@@ -1,0 +1,98 @@
+"""Ablation — cost scaling with the number of activated rules.
+
+Not a figure in the paper, but the obvious follow-up question to
+Fig. 6: the paper argues per-transaction cost is governed by *which
+partial differentials fire*, not by how many rules exist.  We activate
+k parameterized rules over disjoint items and update one item per
+transaction: only the differentials of the one affected condition
+execute, so the per-transaction cost should grow far slower than k
+(the residual growth is the manager's per-activation bookkeeping).
+
+Run:  pytest benchmarks/test_bench_ablation_rule_count.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.bench.harness import Sweep, measure
+from repro.bench.workload import build_inventory
+
+N_ITEMS = 200
+RULE_COUNTS = [1, 10, 50]
+TRANSACTIONS = 20
+
+
+def build_with_rules(rule_count):
+    workload = build_inventory(N_ITEMS, mode="incremental")
+    amos = workload.amos
+    # one parameterized activation per item for the first `rule_count`
+    # items; each monitors a single item's condition instance
+    engine_rule = amos.rules.rule("monitor_items")
+    del engine_rule  # the global rule stays inactive; we add our own
+    fired = []
+    amos.create_rule(
+        "monitor_one",
+        _item_condition_clauses(amos),
+        lambda row: fired.append(row),
+        n_params=1,
+        condition_name="cnd_monitor_one",
+    )
+    for index in range(rule_count):
+        amos.activate("monitor_one", (workload.items[index],))
+    workload.touch_one_item(0)  # warm-up
+    return workload
+
+
+def _item_condition_clauses(amos):
+    """cnd_monitor_one(I) <- quantity(I,Q) & threshold(I,T) & Q < T."""
+    from repro.objectlog.clause import HornClause
+    from repro.objectlog.literals import Comparison, PredLiteral
+    from repro.objectlog.terms import Variable
+
+    I, Q, T = Variable("I"), Variable("Q"), Variable("T")
+    return [
+        HornClause(
+            PredLiteral("cnd_monitor_one", (I,)),
+            [
+                PredLiteral("quantity", (I, Q)),
+                PredLiteral("threshold", (I, T)),
+                Comparison("<", Q, T),
+            ],
+        )
+    ]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    result = Sweep(
+        "Ablation — activated rule count vs per-transaction cost "
+        "(ms/transaction)",
+        x_label="rules",
+    )
+    for rule_count in RULE_COUNTS:
+        workload = build_with_rules(rule_count)
+
+        def stream(w=workload):
+            for step in range(TRANSACTIONS):
+                w.touch_one_item(step % 25)
+
+        result.add(
+            measure("incremental", rule_count, stream, transactions=TRANSACTIONS)
+        )
+    print()
+    print(result.format_table())
+    return result
+
+
+class TestRuleCountAblation:
+    def test_cost_grows_sublinearly_with_rule_count(self, sweep, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        points = sweep.series("incremental")
+        first, last = points[0][1], points[-1][1]
+        growth = last / first
+        rule_growth = RULE_COUNTS[-1] / RULE_COUNTS[0]
+        assert growth < rule_growth / 2, (growth, rule_growth)
+
+    def test_absolute_cost_stays_small(self, sweep, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        for _, cost in sweep.series("incremental"):
+            assert cost < 0.02, cost  # < 20 ms/txn with 50 active rules

@@ -1,0 +1,102 @@
+"""Ablation — node sharing (section 7.1) vs full expansion.
+
+The paper leaves the expansion-vs-sharing trade-off as an open
+question: full expansion gives the optimizer freedom (the flat Fig.-2
+network), node sharing lets several rules reuse one differenced
+sub-function (``threshold``).  This ablation measures both on two
+workloads:
+
+* the Fig.-6 single-quantity-update stream, where sharing only adds an
+  extra propagation level for quantity changes... but quantity bypasses
+  threshold, so costs should be close; and
+* a delivery-time-update stream, where the shared network pays one
+  extra hop (delta(threshold) then delta(cnd)) per transaction.
+
+Run:  pytest benchmarks/test_bench_ablation_sharing.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.bench.harness import Sweep, measure
+from repro.bench.workload import build_inventory
+
+N_ITEMS = 1000
+TRANSACTIONS = 20
+
+
+def build(shared: bool):
+    options = {"shared_nodes": frozenset({"threshold"})} if shared else {}
+    workload = build_inventory(N_ITEMS, mode="incremental", **options)
+    workload.activate()
+    workload.touch_one_item(0)  # warm-up
+    return workload
+
+
+def quantity_stream(workload):
+    for step in range(TRANSACTIONS):
+        workload.touch_one_item(step)
+
+
+def delivery_stream(workload):
+    amos = workload.amos
+    for step in range(TRANSACTIONS):
+        item = workload.items[step % N_ITEMS]
+        supplier = workload.suppliers[step % N_ITEMS]
+        current = amos.value("delivery_time", item, supplier)
+        amos.set_value("delivery_time", (item, supplier), current % 4 + 1)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    result = Sweep(
+        "Ablation 7.1 — flat vs node-shared network (ms/transaction)",
+        x_label="workload",
+    )
+    streams = {1: quantity_stream, 2: delivery_stream}
+    for shared in (False, True):
+        series = "shared" if shared else "flat"
+        for key, stream in streams.items():
+            workload = build(shared)
+            result.add(
+                measure(
+                    series,
+                    key,
+                    lambda w=workload, s=stream: s(w),
+                    transactions=TRANSACTIONS,
+                )
+            )
+    print()
+    print(result.format_table())
+    print("workload 1 = quantity updates, workload 2 = delivery_time updates")
+    return result
+
+
+class TestSharingAblation:
+    def test_both_networks_stay_fast(self, sweep, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        for measurement in sweep.measurements:
+            assert measurement.seconds_per_transaction < 0.05, measurement
+
+    def test_sharing_overhead_is_bounded(self, sweep, benchmark):
+        """The extra propagation level costs at most a small factor."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        for workload_key in (1, 2):
+            ratio = sweep.ratio("shared", "flat", workload_key)
+            assert ratio is not None and ratio < 6, (workload_key, ratio)
+
+    def test_differential_counts_differ(self, benchmark):
+        """Structural ablation: the flat network differences 5 influents
+        on one edge set; the shared one splits them across two levels."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        flat = build(False).amos.rules.engine.network
+        shared = build(True).amos.rules.engine.network
+        assert "threshold" not in flat.nodes
+        assert "threshold" in shared.nodes
+        flat_cnd_edges = [
+            e for e in flat.edges() if e.target.name == "cnd_monitor_items"
+        ]
+        shared_cnd_edges = [
+            e for e in shared.edges() if e.target.name == "cnd_monitor_items"
+        ]
+        assert len(flat_cnd_edges) == 5
+        assert len(shared_cnd_edges) == 2  # quantity and threshold

@@ -1,0 +1,128 @@
+"""Micro-benchmarks of the calculus primitives.
+
+These are the inner-loop operations every check phase executes; their
+costs explain the macro figures:
+
+* delta-union (the logical-event cancellation of section 4.1),
+* physical-event accumulation into a MutableDelta,
+* old-state reconstruction: scans, membership, and keyed lookups
+  against an OldStateView (logical rollback) vs the NewStateView,
+* a single partial-differential execution on the Fig.-6 network.
+
+Run:  pytest benchmarks/test_bench_micro_calculus.py --benchmark-only
+"""
+
+import random
+
+import pytest
+
+from repro.algebra.delta import DeltaSet, MutableDelta
+from repro.algebra.oldstate import NewStateView, OldStateView
+from repro.bench.workload import build_inventory
+from repro.storage.database import Database
+
+rng = random.Random(13)
+
+
+def random_rows(count, span=100000):
+    return {(rng.randrange(span), rng.randrange(span)) for _ in range(count)}
+
+
+class TestDeltaOps:
+    def test_delta_union_small(self, benchmark):
+        first = DeltaSet(random_rows(5), random_rows(5) - random_rows(5))
+        second = DeltaSet(random_rows(5), set())
+        benchmark(lambda: first.union(second))
+
+    def test_delta_union_large(self, benchmark):
+        a_plus = random_rows(2000)
+        b_minus = set(rng.sample(sorted(a_plus), 500))
+        first = DeltaSet(a_plus, set())
+        second = DeltaSet(set(), b_minus)
+        result = benchmark(lambda: first.union(second))
+        assert len(result.plus) == len(a_plus) - 500
+
+    def test_event_accumulation(self, benchmark):
+        events = [(rng.randrange(100), rng.randrange(100)) for _ in range(1000)]
+
+        def accumulate():
+            delta = MutableDelta()
+            for index, row in enumerate(events):
+                if index % 2:
+                    delta.add_insert(row)
+                else:
+                    delta.add_delete(row)
+            return delta
+
+        benchmark(accumulate)
+
+    def test_update_counter_update_cancels(self, benchmark):
+        """The section-4.1 pattern at scale: net effect must be empty."""
+        rows = sorted(random_rows(500))
+
+        def churn():
+            delta = MutableDelta()
+            for row in rows:
+                delta.add_delete(row)
+                delta.add_insert((row[0], row[1] + 1))
+            for row in rows:
+                delta.add_delete((row[0], row[1] + 1))
+                delta.add_insert(row)
+            return delta
+
+        result = benchmark(churn)
+        assert result.empty
+
+
+@pytest.fixture(scope="module")
+def state_views():
+    db = Database()
+    relation = db.create_relation("r", 2)
+    relation.bulk_insert(random_rows(20000))
+    relation.create_index((0,))
+    sample = sorted(relation.rows())
+    minus = set(sample[:50])
+    plus = random_rows(50) - relation.rows()
+    for row in plus:
+        relation.insert(row)
+    for row in minus:
+        relation.delete(row)
+    deltas = {"r": DeltaSet(frozenset(plus), frozenset(minus))}
+    keys = [row[0] for row in sample[:1000]]
+    return NewStateView(db), OldStateView(db, deltas), keys
+
+
+class TestStateViews:
+    def test_new_state_lookup(self, benchmark, state_views):
+        new_view, _, keys = state_views
+        benchmark(lambda: [new_view.lookup("r", (0,), (k,)) for k in keys[:100]])
+
+    def test_old_state_lookup(self, benchmark, state_views):
+        """The logical-rollback lookup must stay near the new-state cost."""
+        _, old_view, keys = state_views
+        benchmark(lambda: [old_view.lookup("r", (0,), (k,)) for k in keys[:100]])
+
+    def test_old_state_membership(self, benchmark, state_views):
+        _, old_view, keys = state_views
+        rows = [(k, k) for k in keys[:200]]
+        benchmark(lambda: [old_view.contains("r", row) for row in rows])
+
+    def test_old_state_full_scan(self, benchmark, state_views):
+        _, old_view, _ = state_views
+        result = benchmark(lambda: old_view.rows("r"))
+        assert len(result) == 20000
+
+
+class TestDifferentialExecution:
+    def test_single_differential_on_fig6_network(self, benchmark):
+        """One check phase worth of propagation at n=2000."""
+        workload = build_inventory(2000, mode="incremental")
+        workload.activate()
+        workload.touch_one_item(0)  # warm indexes
+        counter = [0]
+
+        def one_transaction():
+            counter[0] += 1
+            workload.touch_one_item(counter[0])
+
+        benchmark(one_transaction)

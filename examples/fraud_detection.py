@@ -1,0 +1,82 @@
+"""Fraud monitoring: negation and deletions through the calculus.
+
+A rule fires when an account has a large transfer and is NOT on the
+trusted whitelist.  This exercises the parts of the calculus the
+inventory example doesn't:
+
+* **negation** — the whitelist is referenced under ``not``, so the
+  compiler creates an auxiliary predicate and the network propagates
+  *inverted* changes through it (``delta(~Q) = <delta-Q, delta+Q>``,
+  section 4.5);
+* **negative differentials** — *removing* an account from the
+  whitelist must trigger the rule for its existing large transfers,
+  which requires evaluating the other influents in the OLD database
+  state via logical rollback (section 4.4).
+
+Run:  python examples/fraud_detection.py
+"""
+
+from repro import AmosqlEngine
+
+engine = AmosqlEngine(explain=True)
+
+alerts = []
+engine.amos.create_procedure(
+    "alert",
+    ("account", "integer"),
+    lambda account, amount: alerts.append((account, amount)),
+)
+
+engine.execute(
+    """
+    create type account;
+    create function balance(account) -> integer;
+    create function transfer_amount(account) -> integer;
+    create function trusted(account) -> boolean;
+
+    create rule monitor_fraud() as
+        when for each account a
+        where transfer_amount(a) > 1000 and not (trusted(a) = true)
+        do alert(a, transfer_amount(a));
+
+    create account instances :alice, :bob, :carol;
+    set balance(:alice) = 10000;
+    set balance(:bob) = 500;
+    set balance(:carol) = 7500;
+    set trusted(:alice) = true;
+    set trusted(:bob) = false;
+    set trusted(:carol) = true;
+    set transfer_amount(:alice) = 50;
+    set transfer_amount(:bob) = 10;
+    set transfer_amount(:carol) = 2000;
+    activate monitor_fraud();
+    """
+)
+
+print("initial alerts:", alerts, "(carol is trusted, so her 2000 is fine)\n")
+
+# 1. a large transfer by an untrusted account -> alert
+engine.execute("set transfer_amount(:bob) = 5000;")
+print("bob transfers 5000  ->", alerts)
+
+# 2. DELETION through negation: carol loses trusted status; her already
+#    existing large transfer must now raise an alert.  The condition
+#    gained a tuple because an influent LOST one.
+engine.execute("set trusted(:carol) = false;")
+print("carol un-trusted    ->", alerts)
+print("\nwhy did the rule fire? (explanation)")
+report = engine.amos.rules.last_report
+print(report.summary())
+for fired in report.fired_rules():
+    for row in sorted(fired.rows, key=repr):
+        print(
+            f"  row {row}: influents={sorted(fired.influents_for(row))} "
+            f"signs={sorted(fired.signs_for(row))}"
+        )
+
+# 3. whitelisting bob silences him; net-change semantics: doing it in the
+#    same transaction as another large transfer means no alert at all
+engine.execute(
+    "begin; set transfer_amount(:bob) = 9999; set trusted(:bob) = true; commit;"
+)
+print("\nbob transfers 9999 but is whitelisted in the same txn ->", alerts)

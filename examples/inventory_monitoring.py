@@ -1,0 +1,60 @@
+"""Inventory monitoring at scale: incremental vs naive, live.
+
+Builds the paper's inventory workload at a few database sizes, runs the
+same transaction stream against the incremental (partial differencing)
+and the naive monitor, verifies both produce identical orders, and
+prints the per-transaction costs — a miniature of the paper's Fig. 6.
+
+Run:  python examples/inventory_monitoring.py
+"""
+
+import time
+
+from repro.bench import build_inventory
+
+SIZES = [10, 100, 1000]
+TRANSACTIONS = 50
+
+
+def run(mode: str, n_items: int):
+    workload = build_inventory(n_items, mode=mode)
+    workload.activate()
+    start = time.perf_counter()
+    for step in range(TRANSACTIONS):
+        # mostly harmless updates; every 10th drives an item below its
+        # threshold so the rule actually fires now and then
+        workload.touch_one_item(step, below=(step % 10 == 9))
+        if step % 10 == 9:
+            # restock so the next dip triggers again (strict semantics)
+            workload.touch_one_item(step)
+    elapsed = time.perf_counter() - start
+    return workload.orders, elapsed / TRANSACTIONS
+
+
+def main() -> None:
+    print(f"{TRANSACTIONS} single-item transactions per cell; times per txn\n")
+    print(f"{'items':>8}  {'incremental':>12}  {'naive':>12}  {'speedup':>8}")
+    for n_items in SIZES:
+        orders_incremental, seconds_incremental = run("incremental", n_items)
+        orders_naive, seconds_naive = run("naive", n_items)
+        amounts_incremental = sorted(amount for _, amount in orders_incremental)
+        amounts_naive = sorted(amount for _, amount in orders_naive)
+        assert amounts_incremental == amounts_naive, (
+            "engines disagree!",
+            amounts_incremental,
+            amounts_naive,
+        )
+        print(
+            f"{n_items:>8}  {seconds_incremental * 1000:>10.3f}ms"
+            f"  {seconds_naive * 1000:>10.3f}ms"
+            f"  {seconds_naive / seconds_incremental:>7.1f}x"
+        )
+    print(
+        "\nBoth engines ordered identically; the incremental monitor's cost"
+        "\nis flat in the database size while the naive monitor scans"
+        "\nevery item on every transaction (the paper's Fig. 6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

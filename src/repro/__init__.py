@@ -1,0 +1,59 @@
+"""repro — reproduction of Sköld & Risch, "Using Partial Differencing for
+Efficient Monitoring of Deferred Complex Rule Conditions" (ICDE 1996).
+
+The package layers, bottom-up:
+
+* :mod:`repro.storage`  — relations, indexes, undo/redo log, transactions
+* :mod:`repro.algebra`  — delta-sets, delta-union, logical rollback,
+  partial differencing of the relational operators (Fig. 4)
+* :mod:`repro.objectlog` — typed Datalog (ObjectLog): clauses, evaluation,
+  full expansion, dependency networks
+* :mod:`repro.amos`     — the functional data model (types, OIDs,
+  stored/derived/foreign functions, procedures)
+* :mod:`repro.amosql`   — the AMOSQL language front end
+* :mod:`repro.rules`    — the paper's contribution: partial differentials,
+  the breadth-first bottom-up propagation algorithm, rule management with
+  strict/nervous semantics, plus the naive baseline and a hybrid engine
+* :mod:`repro.bench`    — workload generators and measurement harness for
+  the paper's performance figures
+
+Quickstart::
+
+    from repro import AmosqlEngine
+
+    engine = AmosqlEngine()
+    engine.amos.create_procedure("order", ("item", "integer"), my_order_fn)
+    engine.execute(open("inventory.amosql").read())
+"""
+
+from repro.algebra import DeltaSet, MutableDelta, delta_union
+from repro.amos import AmosDatabase, OID
+from repro.amosql import AmosqlEngine
+from repro.errors import ReproError
+from repro.rules import (
+    CheckPhaseReport,
+    PropagationNetwork,
+    Propagator,
+    Rule,
+    RuleManager,
+)
+from repro.storage import Database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeltaSet",
+    "MutableDelta",
+    "delta_union",
+    "AmosDatabase",
+    "OID",
+    "AmosqlEngine",
+    "ReproError",
+    "CheckPhaseReport",
+    "PropagationNetwork",
+    "Propagator",
+    "Rule",
+    "RuleManager",
+    "Database",
+    "__version__",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro`` launches the AMOSQL interactive shell."""
+
+import sys
+
+from repro.amosql.repl import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,349 @@
+"""Relational algebra expression trees.
+
+The algebra layer exposes the calculus at the level the paper's Fig. 4
+speaks: expressions built from base relations with sigma, pi, union,
+difference, product, join, and intersection.  Expressions evaluate
+against an :class:`EvalContext` in either the NEW or the OLD database
+state; leaves may also be *delta leaves* that read the plus- or
+minus-side of an influent's delta-set, which is how the symbolic
+partial differentials of :mod:`repro.algebra.differencing` are
+represented.
+
+Each node knows its ``arity`` so that membership tests
+(:meth:`Expression.contains`) can split concatenated product/join rows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Mapping, Optional, Sequence, Tuple
+
+from repro.algebra import operators as ops
+from repro.algebra.delta import DeltaSet
+from repro.algebra.oldstate import StateView
+from repro.errors import SchemaError
+
+Row = Tuple
+Rows = FrozenSet[Row]
+
+_EMPTY_DELTA = DeltaSet()
+
+
+class EvalContext:
+    """Everything an expression needs to evaluate.
+
+    Attributes
+    ----------
+    new:
+        View of the current database state.
+    old:
+        View of the pre-transaction state (logical rollback).
+    deltas:
+        Per-base-relation delta-sets accumulated this transaction.
+    """
+
+    __slots__ = ("new", "old", "deltas")
+
+    def __init__(
+        self,
+        new: StateView,
+        old: StateView,
+        deltas: Optional[Mapping[str, DeltaSet]] = None,
+    ) -> None:
+        self.new = new
+        self.old = old
+        self.deltas = dict(deltas or {})
+
+    def view(self, state: str) -> StateView:
+        if state == "new":
+            return self.new
+        if state == "old":
+            return self.old
+        raise ValueError(f"unknown state {state!r}")
+
+    def delta_of(self, name: str) -> DeltaSet:
+        return self.deltas.get(name, _EMPTY_DELTA)
+
+
+class Expression:
+    """Base class of all algebra AST nodes."""
+
+    arity: int
+
+    def evaluate(self, ctx: EvalContext, state: str = "new") -> Rows:
+        raise NotImplementedError
+
+    def contains(self, ctx: EvalContext, state: str, row: Row) -> bool:
+        """Membership test; default falls back to full evaluation."""
+        return tuple(row) in self.evaluate(ctx, state)
+
+    def influents(self) -> FrozenSet[str]:
+        """Names of all base relations this expression depends on."""
+        raise NotImplementedError
+
+    # -- convenience constructors ------------------------------------------------
+
+    def select(self, predicate: Callable[[Row], bool], label: str = "cond") -> "Select":
+        return Select(self, predicate, label)
+
+    def project(self, columns: Sequence[int]) -> "Project":
+        return Project(self, columns)
+
+    def union(self, other: "Expression") -> "Union":
+        return Union(self, other)
+
+    def difference(self, other: "Expression") -> "Difference":
+        return Difference(self, other)
+
+    def intersect(self, other: "Expression") -> "Intersect":
+        return Intersect(self, other)
+
+    def product(self, other: "Expression") -> "Product":
+        return Product(self, other)
+
+    def join(self, other: "Expression", pairs: Sequence[Tuple[int, int]]) -> "Join":
+        return Join(self, other, pairs)
+
+
+class Relation(Expression):
+    """A base relation leaf; ``state`` pins the leaf to one state.
+
+    A pinned leaf (``state="old"``) evaluates in the old state even when
+    the surrounding differential is evaluated in the new state — that is
+    how cells like ``delta+Q - R_old`` in Fig. 4 are expressed.
+    """
+
+    __slots__ = ("name", "arity", "state")
+
+    def __init__(self, name: str, arity: int, state: Optional[str] = None) -> None:
+        self.name = name
+        self.arity = arity
+        self.state = state
+
+    def evaluate(self, ctx: EvalContext, state: str = "new") -> Rows:
+        return ctx.view(self.state or state).rows(self.name)
+
+    def contains(self, ctx: EvalContext, state: str, row: Row) -> bool:
+        return ctx.view(self.state or state).contains(self.name, tuple(row))
+
+    def influents(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def pinned(self, state: str) -> "Relation":
+        return Relation(self.name, self.arity, state)
+
+    def __repr__(self) -> str:
+        suffix = f"_{self.state}" if self.state else ""
+        return f"{self.name}{suffix}"
+
+
+class DeltaLeaf(Expression):
+    """Reads one side of an influent's delta-set (``delta+Q`` / ``delta-Q``)."""
+
+    __slots__ = ("name", "arity", "sign")
+
+    def __init__(self, name: str, arity: int, sign: str) -> None:
+        if sign not in ("+", "-"):
+            raise SchemaError(f"delta sign must be '+' or '-', got {sign!r}")
+        self.name = name
+        self.arity = arity
+        self.sign = sign
+
+    def evaluate(self, ctx: EvalContext, state: str = "new") -> Rows:
+        delta = ctx.delta_of(self.name)
+        return delta.plus if self.sign == "+" else delta.minus
+
+    def contains(self, ctx: EvalContext, state: str, row: Row) -> bool:
+        return tuple(row) in self.evaluate(ctx, state)
+
+    def influents(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def __repr__(self) -> str:
+        return f"Δ{self.sign}{self.name}"
+
+
+class Select(Expression):
+    """sigma_cond(child)."""
+
+    __slots__ = ("child", "predicate", "label", "arity")
+
+    def __init__(
+        self, child: Expression, predicate: Callable[[Row], bool], label: str = "cond"
+    ) -> None:
+        self.child = child
+        self.predicate = predicate
+        self.label = label
+        self.arity = child.arity
+
+    def evaluate(self, ctx: EvalContext, state: str = "new") -> Rows:
+        return ops.select(self.child.evaluate(ctx, state), self.predicate)
+
+    def contains(self, ctx: EvalContext, state: str, row: Row) -> bool:
+        row = tuple(row)
+        return self.predicate(row) and self.child.contains(ctx, state, row)
+
+    def influents(self) -> FrozenSet[str]:
+        return self.child.influents()
+
+    def __repr__(self) -> str:
+        return f"σ[{self.label}]({self.child!r})"
+
+
+class Project(Expression):
+    """pi_attr(child); duplicate-eliminating."""
+
+    __slots__ = ("child", "columns", "arity")
+
+    def __init__(self, child: Expression, columns: Sequence[int]) -> None:
+        for col in columns:
+            if not 0 <= col < child.arity:
+                raise SchemaError(
+                    f"projection column {col} out of range for arity {child.arity}"
+                )
+        self.child = child
+        self.columns = tuple(columns)
+        self.arity = len(self.columns)
+
+    def evaluate(self, ctx: EvalContext, state: str = "new") -> Rows:
+        return ops.project(self.child.evaluate(ctx, state), self.columns)
+
+    def influents(self) -> FrozenSet[str]:
+        return self.child.influents()
+
+    def __repr__(self) -> str:
+        cols = ",".join(str(c) for c in self.columns)
+        return f"π[{cols}]({self.child!r})"
+
+
+class _Binary(Expression):
+    __slots__ = ("left", "right", "arity")
+
+    symbol = "?"
+
+    def __init__(self, left: Expression, right: Expression) -> None:
+        self.left = left
+        self.right = right
+        self.arity = self._arity_of(left, right)
+
+    @staticmethod
+    def _arity_of(left: Expression, right: Expression) -> int:
+        raise NotImplementedError
+
+    def influents(self) -> FrozenSet[str]:
+        return self.left.influents() | self.right.influents()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.symbol} {self.right!r})"
+
+
+class _SameArity(_Binary):
+    @staticmethod
+    def _arity_of(left: Expression, right: Expression) -> int:
+        if left.arity != right.arity:
+            raise SchemaError(
+                f"arity mismatch: {left.arity} vs {right.arity} "
+                f"in {left!r} / {right!r}"
+            )
+        return left.arity
+
+
+class Union(_SameArity):
+    symbol = "∪"
+
+    def evaluate(self, ctx: EvalContext, state: str = "new") -> Rows:
+        return ops.union(self.left.evaluate(ctx, state), self.right.evaluate(ctx, state))
+
+    def contains(self, ctx: EvalContext, state: str, row: Row) -> bool:
+        return self.left.contains(ctx, state, row) or self.right.contains(ctx, state, row)
+
+
+class Difference(_SameArity):
+    symbol = "-"
+
+    def evaluate(self, ctx: EvalContext, state: str = "new") -> Rows:
+        return ops.difference(
+            self.left.evaluate(ctx, state), self.right.evaluate(ctx, state)
+        )
+
+    def contains(self, ctx: EvalContext, state: str, row: Row) -> bool:
+        return self.left.contains(ctx, state, row) and not self.right.contains(
+            ctx, state, row
+        )
+
+
+class Intersect(_SameArity):
+    symbol = "∩"
+
+    def evaluate(self, ctx: EvalContext, state: str = "new") -> Rows:
+        return ops.intersection(
+            self.left.evaluate(ctx, state), self.right.evaluate(ctx, state)
+        )
+
+    def contains(self, ctx: EvalContext, state: str, row: Row) -> bool:
+        return self.left.contains(ctx, state, row) and self.right.contains(
+            ctx, state, row
+        )
+
+
+class Product(_Binary):
+    symbol = "×"
+
+    @staticmethod
+    def _arity_of(left: Expression, right: Expression) -> int:
+        return left.arity + right.arity
+
+    def evaluate(self, ctx: EvalContext, state: str = "new") -> Rows:
+        return ops.cartesian_product(
+            self.left.evaluate(ctx, state), self.right.evaluate(ctx, state)
+        )
+
+    def contains(self, ctx: EvalContext, state: str, row: Row) -> bool:
+        row = tuple(row)
+        split = self.left.arity
+        return self.left.contains(ctx, state, row[:split]) and self.right.contains(
+            ctx, state, row[split:]
+        )
+
+
+class Join(_Binary):
+    """Equijoin keeping all columns of both sides."""
+
+    symbol = "⋈"
+
+    __slots__ = ("pairs",)
+
+    def __init__(
+        self, left: Expression, right: Expression, pairs: Sequence[Tuple[int, int]]
+    ) -> None:
+        for i, j in pairs:
+            if not 0 <= i < left.arity:
+                raise SchemaError(f"join column {i} out of range on left")
+            if not 0 <= j < right.arity:
+                raise SchemaError(f"join column {j} out of range on right")
+        super().__init__(left, right)
+        self.pairs = tuple((i, j) for i, j in pairs)
+
+    @staticmethod
+    def _arity_of(left: Expression, right: Expression) -> int:
+        return left.arity + right.arity
+
+    def evaluate(self, ctx: EvalContext, state: str = "new") -> Rows:
+        return ops.equijoin(
+            self.left.evaluate(ctx, state),
+            self.right.evaluate(ctx, state),
+            self.pairs,
+        )
+
+    def contains(self, ctx: EvalContext, state: str, row: Row) -> bool:
+        row = tuple(row)
+        split = self.left.arity
+        left_row, right_row = row[:split], row[split:]
+        if any(left_row[i] != right_row[j] for i, j in self.pairs):
+            return False
+        return self.left.contains(ctx, state, left_row) and self.right.contains(
+            ctx, state, right_row
+        )
+
+    def __repr__(self) -> str:
+        pairs = ",".join(f"{i}={j}" for i, j in self.pairs)
+        return f"({self.left!r} ⋈[{pairs}] {self.right!r})"

@@ -1,0 +1,77 @@
+"""Set-level implementations of the relational operators.
+
+These are the primitives underneath both the algebra expression
+evaluator (:mod:`repro.algebra.expression`) and the Fig.-4 differencing
+rules (:mod:`repro.algebra.differencing`).  Everything is set-oriented
+(the paper assumes set semantics, section 7.2): inputs and outputs are
+``frozenset`` s of plain Python tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, Sequence, Tuple
+
+Row = Tuple
+Rows = FrozenSet[Row]
+
+Predicate = Callable[[Row], bool]
+
+
+def select(rows: Iterable[Row], predicate: Predicate) -> Rows:
+    """sigma_cond(Q)."""
+    return frozenset(row for row in rows if predicate(row))
+
+
+def project(rows: Iterable[Row], columns: Sequence[int]) -> Rows:
+    """pi_attr(Q) — duplicate-eliminating, as set semantics demands."""
+    cols = tuple(columns)
+    return frozenset(tuple(row[c] for c in cols) for row in rows)
+
+
+def union(left: Iterable[Row], right: Iterable[Row]) -> Rows:
+    return frozenset(left) | frozenset(right)
+
+
+def difference(left: Iterable[Row], right: Iterable[Row]) -> Rows:
+    return frozenset(left) - frozenset(right)
+
+
+def intersection(left: Iterable[Row], right: Iterable[Row]) -> Rows:
+    return frozenset(left) & frozenset(right)
+
+
+def cartesian_product(left: Iterable[Row], right: Iterable[Row]) -> Rows:
+    """Q x R — tuples concatenated."""
+    right_rows = tuple(right)
+    return frozenset(l + r for l in left for r in right_rows)
+
+
+def equijoin(
+    left: Iterable[Row],
+    right: Iterable[Row],
+    pairs: Sequence[Tuple[int, int]],
+) -> Rows:
+    """Q |><| R on ``left[i] == right[j]`` for each ``(i, j)`` in ``pairs``.
+
+    The join result keeps *all* columns of both sides (the projection
+    that a natural join would apply is left to an explicit ``project``),
+    which keeps the differencing rules purely structural.
+    """
+    if not pairs:
+        return cartesian_product(left, right)
+    left_cols = tuple(i for i, _ in pairs)
+    right_cols = tuple(j for _, j in pairs)
+    buckets: Dict[Tuple, list] = {}
+    for row in right:
+        buckets.setdefault(tuple(row[c] for c in right_cols), []).append(row)
+    out = set()
+    for row in left:
+        key = tuple(row[c] for c in left_cols)
+        for other in buckets.get(key, ()):
+            out.add(row + other)
+    return frozenset(out)
+
+
+def complement(rows: Iterable[Row], domain: Iterable[Row]) -> Rows:
+    """~Q relative to an explicit finite domain."""
+    return frozenset(domain) - frozenset(rows)

@@ -1,0 +1,17 @@
+"""The AMOS functional data model: types, objects, functions, procedures."""
+
+from repro.amos.database import AmosDatabase
+from repro.amos.functions import FunctionDef, FunctionSignature, ProcedureDef
+from repro.amos.oid import OID
+from repro.amos.types import LITERAL_TYPES, TypeDef, TypeSystem
+
+__all__ = [
+    "AmosDatabase",
+    "FunctionDef",
+    "FunctionSignature",
+    "ProcedureDef",
+    "OID",
+    "LITERAL_TYPES",
+    "TypeDef",
+    "TypeSystem",
+]

@@ -1,0 +1,508 @@
+"""AmosDatabase: the object-relational facade (the paper's AMOS).
+
+Ties together the storage engine, the ObjectLog program, the type
+system, the function catalog, and the rule manager into the programmer
+API that the AMOSQL interpreter (and any Python application) talks to:
+
+* types and objects (``create type item`` / ``create item instances``),
+* stored / derived / foreign functions and procedures,
+* functional updates (``set quantity(:item1) = 5000``) that are
+  logged, delta-accumulated, and rolled back exactly as section 4.1
+  prescribes,
+* CA rules with deferred, incrementally monitored conditions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.amos.functions import FunctionDef, FunctionSignature, ProcedureDef
+from repro.amos.oid import OID
+from repro.amos.types import TypeDef, TypeSystem
+from repro.algebra.oldstate import NewStateView
+from repro.errors import AmosError, TypeCheckError, UnknownFunctionError
+from repro.objectlog.clause import HornClause
+from repro.objectlog.evaluate import Evaluator
+from repro.objectlog.program import Program
+from repro.rules.manager import RuleManager
+from repro.rules.rule import Rule
+from repro.storage.database import Database
+
+Row = Tuple
+
+__all__ = ["AmosDatabase"]
+
+
+class AmosDatabase:
+    """An active object-relational database in the style of AMOS.
+
+    Parameters
+    ----------
+    mode:
+        Rule condition monitoring strategy: ``"incremental"``
+        (partial differencing, the paper's algorithm), ``"naive"``
+        (full recomputation baseline) or ``"hybrid"``.
+    shared_nodes:
+        Derived function names kept as shared intermediate nodes in the
+        propagation network (section 7.1).
+    explain:
+        Record check-phase reports (see :mod:`repro.rules.explain`).
+    """
+
+    def __init__(
+        self,
+        mode: str = "incremental",
+        shared_nodes: FrozenSet[str] = frozenset(),
+        explain: bool = False,
+        **manager_options,
+    ) -> None:
+        self.storage = Database()
+        self.program = Program()
+        self.types = TypeSystem()
+        self.functions: Dict[str, FunctionDef] = {}
+        self.procedures: Dict[str, ProcedureDef] = {}
+        self.rules = RuleManager(
+            self.storage,
+            self.program,
+            mode=mode,
+            shared_nodes=shared_nodes,
+            explain=explain,
+            **manager_options,
+        )
+        self._oid_counter = itertools.count(1)
+        #: per rule: (condition predicate, auxiliary NOT-predicates)
+        self._rule_artifacts: Dict[str, Tuple[str, Tuple[str, ...]]] = {}
+
+    # -- types and objects -------------------------------------------------------
+
+    def create_type(self, name: str, under: Sequence[str] = ()) -> TypeDef:
+        """``create type <name> [under <supertypes>]``."""
+        if self.program.has(name):
+            raise AmosError(f"name {name!r} is already in use")
+        type_def = self.types.create(name, tuple(under))
+        self.storage.create_relation(name, 1, column_names=("oid",))
+        self.program.declare_base(name, 1)
+        return type_def
+
+    def create_object(self, type_name: str) -> OID:
+        """Create a surrogate object and enter it into all its extents."""
+        if not self.types.is_user_type(type_name):
+            raise TypeCheckError(f"cannot instantiate non-user type {type_name!r}")
+        oid = OID(next(self._oid_counter), type_name)
+        with self.storage._implicit_transaction():
+            for extent in sorted(self.types.supertype_closure(type_name)):
+                self.storage.insert(extent, (oid,))
+            self.rules.maybe_immediate_check()
+        return oid
+
+    def create_objects(self, type_name: str, count: int) -> List[OID]:
+        return [self.create_object(type_name) for _ in range(count)]
+
+    def delete_object(self, oid: OID) -> None:
+        """Remove an object from its extents and all stored functions."""
+        with self.storage._implicit_transaction():
+            for extent in sorted(self.types.supertype_closure(oid.type_name)):
+                self.storage.delete(extent, (oid,))
+            for function in self.functions.values():
+                if function.kind != "stored":
+                    continue
+                relation = self.storage.relation(function.name)
+                doomed = [row for row in relation.rows() if oid in row]
+                for row in doomed:
+                    self.storage.delete(function.name, row)
+
+    def objects_of(self, type_name: str) -> FrozenSet[OID]:
+        return frozenset(row[0] for row in self.storage.relation(type_name).rows())
+
+    # -- functions ------------------------------------------------------------------
+
+    def create_stored_function(
+        self,
+        name: str,
+        arg_types: Sequence[str],
+        result_types: Sequence[str] = ("integer",),
+    ) -> FunctionDef:
+        """``create function quantity(item) -> integer``."""
+        signature = self._signature(name, arg_types, result_types)
+        if signature.n_args == 0:
+            raise AmosError(f"stored function {name!r} needs at least one argument")
+        relation = self.storage.create_relation(name, signature.arity)
+        relation.create_index(tuple(range(signature.n_args)))
+        self.program.declare_base(name, signature.arity)
+        function = FunctionDef(signature, "stored")
+        self.functions[name] = function
+        return function
+
+    def create_derived_function(
+        self,
+        name: str,
+        arg_types: Sequence[str],
+        result_types: Sequence[str],
+        clauses: Iterable[HornClause] = (),
+    ) -> FunctionDef:
+        """A derived function (relational view) from Horn clauses."""
+        signature = self._signature(name, arg_types, result_types)
+        self.program.declare_derived(name, signature.arity)
+        for clause in clauses:
+            self.program.add_clause(clause)
+        function = FunctionDef(signature, "derived")
+        self.functions[name] = function
+        return function
+
+    def add_clause(self, clause: HornClause) -> None:
+        self.program.add_clause(clause)
+
+    def create_foreign_function(
+        self,
+        name: str,
+        arg_types: Sequence[str],
+        result_types: Sequence[str],
+        fn: Callable,
+    ) -> FunctionDef:
+        """A function computed in Python (the paper's Lisp/C foreign fns)."""
+        signature = self._signature(name, arg_types, result_types)
+        self.program.declare_foreign(name, signature.arity, signature.n_args, fn)
+        function = FunctionDef(signature, "foreign")
+        self.functions[name] = function
+        return function
+
+    def create_aggregate_function(
+        self,
+        name: str,
+        arg_types: Sequence[str],
+        result_types: Sequence[str],
+        func: str,
+        source: str,
+    ) -> FunctionDef:
+        """A grouped aggregate function (section-8 extension).
+
+        ``source`` names an existing predicate of arity
+        ``len(arg_types) + w + 1`` whose leading columns are the group
+        (this function's arguments), the trailing column the value, and
+        any columns between them witnesses that preserve multiplicity.
+        ``func`` is one of count/sum/min/max/avg.
+        """
+        signature = self._signature(name, arg_types, result_types)
+        self.program.declare_aggregate(name, source, signature.n_args, func)
+        function = FunctionDef(signature, "aggregate")
+        self.functions[name] = function
+        return function
+
+    def create_procedure(
+        self, name: str, arg_types: Sequence[str], fn: Callable
+    ) -> ProcedureDef:
+        """A side-effecting procedure usable in rule actions."""
+        if name in self.procedures:
+            raise AmosError(f"procedure {name!r} already exists")
+        procedure = ProcedureDef(name, tuple(arg_types), fn)
+        self.procedures[name] = procedure
+        return procedure
+
+    def call_procedure(self, name: str, args: Sequence) -> object:
+        try:
+            procedure = self.procedures[name]
+        except KeyError:
+            raise UnknownFunctionError(name) from None
+        if len(args) != procedure.n_args:
+            raise AmosError(
+                f"procedure {name!r} takes {procedure.n_args} argument(s), "
+                f"got {len(args)}"
+            )
+        return procedure.fn(*args)
+
+    def function(self, name: str) -> FunctionDef:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise UnknownFunctionError(name) from None
+
+    def _signature(
+        self, name: str, arg_types: Sequence[str], result_types: Sequence[str]
+    ) -> FunctionSignature:
+        if name in self.functions or self.program.has(name):
+            raise AmosError(f"name {name!r} is already in use")
+        for type_name in tuple(arg_types) + tuple(result_types):
+            if not self.types.exists(type_name):
+                raise TypeCheckError(f"unknown type {type_name!r} in {name!r}")
+        return FunctionSignature(name, tuple(arg_types), tuple(result_types))
+
+    # -- functional updates -------------------------------------------------------------
+
+    def set_value(self, name: str, args: Sequence, *results) -> None:
+        """``set f(args) = value``: replace the mapping for ``args``.
+
+        Produces the physical events the paper describes (section 4.1):
+        first the removal of the old value tuple(s), then the insertion
+        of the new one — so update/counter-update nets to nothing.
+        """
+        function = self._stored(name)
+        row = self._typed_row(function, args, results)
+        n_args = function.signature.n_args
+        relation = self.storage.relation(name)
+        with self.storage._implicit_transaction():
+            for existing in relation.lookup(tuple(range(n_args)), tuple(args)):
+                self.storage.delete(name, existing)
+            self.storage.insert(name, row)
+            self.rules.maybe_immediate_check()
+
+    def add_value(self, name: str, args: Sequence, *results) -> None:
+        """``add f(args) = value``: add one mapping (multi-valued fns)."""
+        function = self._stored(name)
+        row = self._typed_row(function, args, results)
+        with self.storage._implicit_transaction():
+            self.storage.insert(name, row)
+            self.rules.maybe_immediate_check()
+
+    def remove_value(self, name: str, args: Sequence, *results) -> None:
+        """``remove f(args) = value``: remove one specific mapping."""
+        function = self._stored(name)
+        row = self._typed_row(function, args, results)
+        with self.storage._implicit_transaction():
+            self.storage.delete(name, row)
+            self.rules.maybe_immediate_check()
+
+    def clear_value(self, name: str, args: Sequence) -> None:
+        """Remove every mapping of ``f(args)``."""
+        function = self._stored(name)
+        n_args = function.signature.n_args
+        relation = self.storage.relation(name)
+        with self.storage._implicit_transaction():
+            for existing in relation.lookup(tuple(range(n_args)), tuple(args)):
+                self.storage.delete(name, existing)
+            self.rules.maybe_immediate_check()
+
+    def _stored(self, name: str) -> FunctionDef:
+        function = self.function(name)
+        if function.kind != "stored":
+            raise AmosError(f"{name!r} is not a stored function")
+        return function
+
+    def _typed_row(
+        self, function: FunctionDef, args: Sequence, results: Sequence
+    ) -> Row:
+        signature = function.signature
+        if len(args) != signature.n_args:
+            raise AmosError(
+                f"function {signature.name!r} takes {signature.n_args} "
+                f"argument(s), got {len(args)}"
+            )
+        if len(results) != signature.n_results:
+            raise AmosError(
+                f"function {signature.name!r} yields {signature.n_results} "
+                f"result(s), got {len(results)}"
+            )
+        for type_name, value in zip(signature.arg_types, args):
+            self.types.check_value(type_name, value)
+        for type_name, value in zip(signature.result_types, results):
+            self.types.check_value(type_name, value)
+        return tuple(args) + tuple(results)
+
+    # -- queries --------------------------------------------------------------------------
+
+    def evaluator(self) -> Evaluator:
+        """A fresh evaluator over the current database state."""
+        return Evaluator(self.program, NewStateView(self.storage))
+
+    def get_values(self, name: str, args: Sequence) -> FrozenSet[Tuple]:
+        """All result tuples of ``f(args)`` (any function kind)."""
+        function = self.function(name)
+        evaluator = self.evaluator()
+        from repro.objectlog.terms import fresh_variable
+
+        out_vars = tuple(
+            fresh_variable("_R") for _ in range(function.signature.n_results)
+        )
+        call_args = tuple(args) + out_vars
+        results = set()
+        for env in evaluator.query(name, call_args):
+            results.add(tuple(env[v] for v in out_vars))
+        return frozenset(results)
+
+    def value(self, name: str, *args) -> Optional[object]:
+        """The single result of ``f(args)``; None when undefined.
+
+        Raises :class:`AmosError` when the function is multi-valued for
+        these arguments — use :meth:`get_values` then.
+        """
+        values = self.get_values(name, args)
+        if not values:
+            return None
+        if len(values) > 1:
+            raise AmosError(
+                f"{name}{tuple(args)!r} has {len(values)} values; "
+                "use get_values()"
+            )
+        (row,) = values
+        return row[0] if len(row) == 1 else row
+
+    def extension(self, name: str) -> FrozenSet[Row]:
+        """The full extension of any predicate/function."""
+        return self.evaluator().extension(name)
+
+    # -- rules ------------------------------------------------------------------------------
+
+    def create_rule(
+        self,
+        name: str,
+        condition_clauses: Iterable[HornClause],
+        action: Callable,
+        n_params: int = 0,
+        priority: int = 0,
+        semantics: str = "strict",
+        action_mode: str = "tuple",
+        condition_name: Optional[str] = None,
+        events=None,
+        aux_predicates: Sequence[str] = (),
+    ) -> Rule:
+        """Register a CA rule from raw condition clauses.
+
+        The condition clauses must all share one head predicate (the
+        generated ``cnd_<rule>`` function); it is declared here.  Most
+        users go through the AMOSQL front end instead
+        (:mod:`repro.amosql`).
+        """
+        clauses = list(condition_clauses)
+        if not clauses:
+            raise AmosError(f"rule {name!r} needs at least one condition clause")
+        condition = condition_name or f"cnd_{name}"
+        heads = {clause.head.pred for clause in clauses}
+        if heads != {condition}:
+            raise AmosError(
+                f"condition clauses of {name!r} must all have head "
+                f"{condition!r}, got {sorted(heads)}"
+            )
+        arity = clauses[0].head.arity
+        self.program.declare_derived(condition, arity)
+        for clause in clauses:
+            self.program.add_clause(clause)
+        rule = Rule(
+            name,
+            condition,
+            action,
+            n_params=n_params,
+            priority=priority,
+            semantics=semantics,
+            action_mode=action_mode,
+            events=events,
+        )
+        created = self.rules.create_rule(rule)
+        self._rule_artifacts[name] = (condition, tuple(aux_predicates))
+        return created
+
+    def drop_rule(self, name: str) -> None:
+        """``drop rule <name>``: deactivate, unregister, and clean up the
+        generated condition function and auxiliary NOT-predicates."""
+        self.rules.drop_rule(name)
+        condition, aux_predicates = self._rule_artifacts.pop(
+            name, (f"cnd_{name}", ())
+        )
+        if self.program.has(condition):
+            self.program.drop(condition)
+        for aux in aux_predicates:
+            if self.program.has(aux):
+                self.program.drop(aux)
+
+    def drop_function(self, name: str) -> None:
+        """``drop function <name>``: rejected while anything refers to it."""
+        function = self.function(name)
+        for pred_name in self.program.names():
+            if pred_name == name:
+                continue
+            definition = self.program.predicate(pred_name)
+            if getattr(definition, "source", None) == name:
+                raise AmosError(
+                    f"cannot drop {name!r}: aggregate {pred_name!r} uses it"
+                )
+            for clause in self.program.clauses_of(pred_name):
+                if name in clause.referenced_predicates():
+                    raise AmosError(
+                        f"cannot drop {name!r}: {pred_name!r} references it"
+                    )
+        self.program.drop(name)
+        del self.functions[name]
+        if function.kind == "stored":
+            self.storage.drop_relation(name)
+
+    def drop_type(self, name: str) -> None:
+        """``drop type <name>``: rejected while instances or users exist."""
+        if not self.types.is_user_type(name):
+            raise AmosError(f"{name!r} is not a user type")
+        if self.objects_of(name):
+            raise AmosError(f"cannot drop type {name!r}: extent is not empty")
+        for function in self.functions.values():
+            signature = function.signature
+            if name in signature.arg_types or name in signature.result_types:
+                raise AmosError(
+                    f"cannot drop type {name!r}: function "
+                    f"{function.name!r} uses it"
+                )
+        for pred_name in self.program.names():
+            for clause in self.program.clauses_of(pred_name):
+                if name in clause.referenced_predicates():
+                    raise AmosError(
+                        f"cannot drop type {name!r}: {pred_name!r} "
+                        "references its extent"
+                    )
+        self.types.drop(name)
+        self.program.drop(name)
+        self.storage.drop_relation(name)
+
+    def activate(self, rule_name: str, params: Tuple = ()) -> None:
+        self.rules.activate(rule_name, params)
+
+    def deactivate(self, rule_name: str, params: Tuple = ()) -> None:
+        self.rules.deactivate(rule_name, params)
+
+    # -- persistence ------------------------------------------------------------------------
+
+    def save_data(self, path: str) -> None:
+        """Dump all stored data (extents + stored functions) to JSON.
+
+        Schema and rules are code: re-create them through the API or an
+        AMOSQL script, then :meth:`load_data`.
+        """
+        from repro.storage import persistence
+
+        persistence.save(self.storage, path)
+
+    def load_data(self, path: str) -> int:
+        """Restore data saved by :meth:`save_data` into this schema.
+
+        The OID counter advances past the highest restored OID so new
+        objects never collide with reloaded ones.  Returns the number
+        of rows loaded.
+        """
+        from repro.amos.oid import OID
+        from repro.storage import persistence
+
+        loaded = persistence.load(self.storage, path)
+        highest = 0
+        for name in self.storage.relation_names():
+            for row in self.storage.relation(name).rows():
+                for value in row:
+                    if isinstance(value, OID):
+                        highest = max(highest, value.id)
+        self._oid_counter = itertools.count(highest + 1)
+        return loaded
+
+    # -- transactions -----------------------------------------------------------------------
+
+    def transaction(self):
+        """``with amos.transaction(): ...`` — deferred rules run at commit."""
+        return self.storage.transaction()
+
+    def begin(self) -> None:
+        self.storage.begin()
+
+    def commit(self) -> None:
+        self.storage.commit()
+
+    def rollback(self) -> None:
+        self.storage.rollback()
+
+    def __repr__(self) -> str:
+        return (
+            f"AmosDatabase(types={len(self.types.user_types())}, "
+            f"functions={len(self.functions)}, mode={self.rules.mode!r})"
+        )

@@ -1,0 +1,84 @@
+"""Function metadata for the functional data model.
+
+AMOS functions come in three flavours (section 3): *stored* functions
+(object attributes / base tables), *derived* functions (methods /
+views, compiled into Horn clauses), and *foreign* functions (written in
+the host language).  *Procedures* are functions with side effects; they
+may appear in rule actions but never in conditions.
+
+A function ``f(t1, ..., tn) -> r`` is represented relationally as the
+predicate ``f/(n+1)`` whose last column holds the result; multi-result
+functions extend this to ``f/(n+m)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from repro.errors import AmosError
+
+
+@dataclass(frozen=True)
+class FunctionSignature:
+    """Argument and result types of a function."""
+
+    name: str
+    arg_types: Tuple[str, ...]
+    result_types: Tuple[str, ...]
+
+    @property
+    def n_args(self) -> int:
+        return len(self.arg_types)
+
+    @property
+    def n_results(self) -> int:
+        return len(self.result_types)
+
+    @property
+    def arity(self) -> int:
+        """Relational arity: arguments then results."""
+        return self.n_args + self.n_results
+
+    def __str__(self) -> str:
+        args = ", ".join(self.arg_types)
+        results = ", ".join(self.result_types)
+        return f"{self.name}({args}) -> {results or 'boolean'}"
+
+
+@dataclass(frozen=True)
+class FunctionDef:
+    """A declared function: signature plus its kind.
+
+    ``kind`` is one of ``"stored"``, ``"derived"``, ``"foreign"``, or
+    ``"aggregate"``; the relational/clausal definition lives in the
+    ObjectLog program under the same name.
+    """
+
+    signature: FunctionSignature
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("stored", "derived", "foreign", "aggregate"):
+            raise AmosError(f"unknown function kind {self.kind!r}")
+
+    @property
+    def name(self) -> str:
+        return self.signature.name
+
+
+@dataclass(frozen=True)
+class ProcedureDef:
+    """A side-effecting procedure callable from rule actions.
+
+    The registered callable receives the evaluated argument values.
+    The paper's running example registers ``order(item, integer)``.
+    """
+
+    name: str
+    arg_types: Tuple[str, ...]
+    fn: Callable
+
+    @property
+    def n_args(self) -> int:
+        return len(self.arg_types)

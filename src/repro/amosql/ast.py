@@ -1,0 +1,252 @@
+"""Abstract syntax of AMOSQL statements, expressions, and predicates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class of value expressions."""
+
+
+@dataclass(frozen=True)
+class NumberLit(Expr):
+    value: object  # int or float
+
+
+@dataclass(frozen=True)
+class StringLit(Expr):
+    value: str
+
+
+@dataclass(frozen=True)
+class BoolLit(Expr):
+    value: bool
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    """A query variable (``i``, ``s``)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class IfaceVar(Expr):
+    """An interface variable (``:item1``) bound in the session."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class FunCall(Expr):
+    """``f(e1, ..., en)`` — stored, derived, or foreign function call."""
+
+    name: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Arithmetic: ``+ - * /``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnaryMinus(Expr):
+    operand: Expr
+
+
+# ---------------------------------------------------------------------------
+# predicates (boolean expressions)
+# ---------------------------------------------------------------------------
+
+
+class Pred:
+    """Base class of predicate expressions."""
+
+
+@dataclass(frozen=True)
+class Cmp(Pred):
+    """``left op right`` with op in ``= != < <= > >=``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class BoolAtom(Pred):
+    """A bare boolean function call used as a predicate atom."""
+
+    call: FunCall
+
+
+@dataclass(frozen=True)
+class And(Pred):
+    left: Pred
+    right: Pred
+
+
+@dataclass(frozen=True)
+class Or(Pred):
+    left: Pred
+    right: Pred
+
+
+@dataclass(frozen=True)
+class Not(Pred):
+    operand: Pred
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+
+class Statement:
+    """Base class of executable statements."""
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    """``item i`` in a for-each clause or parameter list."""
+
+    type_name: str
+    var_name: str
+
+
+@dataclass(frozen=True)
+class CreateType(Statement):
+    name: str
+    under: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class FunctionParam:
+    """``item i`` or bare ``item`` in a function signature."""
+
+    type_name: str
+    var_name: Optional[str]
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """``select exprs [for each decls] [where pred]``."""
+
+    exprs: Tuple[Expr, ...]
+    decls: Tuple[VarDecl, ...] = ()
+    pred: Optional[Pred] = None
+
+
+@dataclass(frozen=True)
+class CreateFunction(Statement):
+    name: str
+    params: Tuple[FunctionParam, ...]
+    result_type: str
+    body: Optional[SelectQuery] = None  # None => stored function
+
+
+@dataclass(frozen=True)
+class ProcedureCall:
+    name: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class UpdateAction:
+    """``set/add/remove f(args) = value`` used as a rule action."""
+
+    kind: str  # "set" | "add" | "remove"
+    function: str
+    args: Tuple[Expr, ...]
+    value: Expr
+
+
+RuleAction = object  # ProcedureCall | UpdateAction
+
+
+@dataclass(frozen=True)
+class RuleCondition:
+    """``when [for each decls where] pred``."""
+
+    decls: Tuple[VarDecl, ...]
+    pred: Pred
+
+
+@dataclass(frozen=True)
+class CreateRule(Statement):
+    name: str
+    params: Tuple[VarDecl, ...]
+    condition: RuleCondition
+    actions: Tuple[RuleAction, ...]
+    semantics: Optional[str] = None  # "strict" | "nervous" | None (default)
+    priority: int = 0
+    #: optional ECA event filter: stored function names that must have
+    #: been updated for the condition to be tested ("on quantity, ...")
+    events: Optional[Tuple[str, ...]] = None
+
+
+@dataclass(frozen=True)
+class CreateInstances(Statement):
+    type_name: str
+    names: Tuple[str, ...]  # interface variable names (without the colon)
+
+
+@dataclass(frozen=True)
+class UpdateStatement(Statement):
+    kind: str  # "set" | "add" | "remove"
+    function: str
+    args: Tuple[Expr, ...]
+    value: Expr
+
+
+@dataclass(frozen=True)
+class SelectStatement(Statement):
+    query: SelectQuery
+
+
+@dataclass(frozen=True)
+class ActivateRule(Statement):
+    name: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class DeactivateRule(Statement):
+    name: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class BeginTransaction(Statement):
+    pass
+
+
+@dataclass(frozen=True)
+class CommitTransaction(Statement):
+    pass
+
+
+@dataclass(frozen=True)
+class RollbackTransaction(Statement):
+    pass
+
+
+@dataclass(frozen=True)
+class DropStatement(Statement):
+    kind: str  # "type" | "function" | "rule"
+    name: str
+
+
+@dataclass(frozen=True)
+class CallStatement(Statement):
+    call: ProcedureCall

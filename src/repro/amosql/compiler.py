@@ -1,0 +1,367 @@
+"""Compilation of AMOSQL queries and conditions into ObjectLog.
+
+Mirrors the paper's section 3.2: "AMOSQL functions are compiled into a
+domain calculus language called ObjectLog ... stored functions are
+compiled into facts (base relations) and derived functions are compiled
+into Horn Clauses".  Concretely:
+
+* a function call ``quantity(i)`` becomes the literal
+  ``quantity(I, _G)`` with a fresh result variable;
+* arithmetic becomes :class:`~repro.objectlog.literals.Assignment`
+  literals (``_G4 = _G1 * _G3``);
+* comparisons become :class:`~repro.objectlog.literals.Comparison`
+  literals; the common ``f(x) = y`` shape unifies the result column
+  directly into the call literal (no intermediate variable);
+* disjunction produces one clause per DNF conjunct (ObjectLog keeps
+  disjunction in bodies rather than extra Horn clauses — footnote 2 —
+  which for us is the same thing expressed as clause multiplicity);
+* negation compiles the negated subformula into an auxiliary derived
+  predicate over its externally-bound variables and references it with
+  a negated literal.
+
+Range restriction follows the paper: a ``for each`` variable gets an
+explicit extent literal only when no other positive literal of the
+conjunct restricts it — this is why the expanded
+``cnd_monitor_items`` has exactly the five influents of Fig. 2.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.amos.database import AmosDatabase
+from repro.amosql import ast
+from repro.errors import CompileError
+from repro.objectlog.clause import HornClause
+from repro.objectlog.literals import Assignment, Comparison, Literal, PredLiteral
+from repro.objectlog.terms import Arith, ArithTerm, Variable, fresh_variable
+
+__all__ = ["QueryCompiler", "CompiledQuery"]
+
+_aux_counter = itertools.count()
+
+
+class CompiledQuery:
+    """The result of compiling a select query or rule condition."""
+
+    __slots__ = ("clauses", "head_name", "head_vars", "aux_predicates")
+
+    def __init__(
+        self,
+        clauses: List[HornClause],
+        head_name: str,
+        head_vars: List[str],
+        aux_predicates: List[str],
+    ) -> None:
+        self.clauses = clauses
+        self.head_name = head_name
+        #: names of the head variables, in head order (rule params first)
+        self.head_vars = head_vars
+        #: auxiliary NOT-predicates registered in the program
+        self.aux_predicates = aux_predicates
+
+
+class QueryCompiler:
+    """Compiles AMOSQL ASTs against an :class:`AmosDatabase` catalog."""
+
+    def __init__(
+        self, amos: AmosDatabase, iface_env: Optional[Mapping[str, object]] = None
+    ) -> None:
+        self.amos = amos
+        self.iface_env = dict(iface_env or {})
+        #: declared types of query variables (from params / for-each),
+        #: used for static type checking of function calls
+        self._var_types: Dict[str, str] = {}
+
+    # -- entry points -----------------------------------------------------------
+
+    def compile_select(
+        self,
+        query: ast.SelectQuery,
+        head_name: str,
+        params: Sequence[ast.VarDecl] = (),
+    ) -> CompiledQuery:
+        """Compile ``select exprs for each decls where pred``.
+
+        Head layout: parameter variables first, then one column per
+        select expression.
+        """
+        aux: List[str] = []
+        self._var_types = {
+            decl.var_name: decl.type_name
+            for decl in list(params) + list(query.decls)
+        }
+        param_vars = [Variable(decl.var_name) for decl in params]
+        conjuncts = (
+            self._dnf(query.pred, aux) if query.pred is not None else [[]]
+        )
+        clauses: List[HornClause] = []
+        for conjunct in conjuncts:
+            body: List[Literal] = list(conjunct)
+            head_terms: List = list(param_vars)
+            for expr in query.exprs:
+                term, literals = self._compile_expr(expr)
+                body.extend(literals)
+                if isinstance(term, Arith):
+                    out = fresh_variable()
+                    body.append(Assignment(out, term))
+                    term = out
+                head_terms.append(term)
+            body = self._add_extents(body, list(params) + list(query.decls))
+            clauses.append(
+                HornClause(PredLiteral(head_name, tuple(head_terms)), body)
+            )
+        head_vars = [decl.var_name for decl in params] + [
+            self._expr_name(expr, index) for index, expr in enumerate(query.exprs)
+        ]
+        return CompiledQuery(clauses, head_name, head_vars, aux)
+
+    def compile_condition(
+        self,
+        condition: ast.RuleCondition,
+        head_name: str,
+        params: Sequence[ast.VarDecl] = (),
+    ) -> CompiledQuery:
+        """Compile a rule condition; head = parameters + for-each vars."""
+        aux: List[str] = []
+        self._var_types = {
+            decl.var_name: decl.type_name
+            for decl in list(params) + list(condition.decls)
+        }
+        param_vars = [Variable(decl.var_name) for decl in params]
+        decl_vars = [Variable(decl.var_name) for decl in condition.decls]
+        head_terms = tuple(param_vars + decl_vars)
+        clauses: List[HornClause] = []
+        for conjunct in self._dnf(condition.pred, aux):
+            body = self._add_extents(
+                list(conjunct), list(params) + list(condition.decls)
+            )
+            clauses.append(HornClause(PredLiteral(head_name, head_terms), body))
+        head_vars = [decl.var_name for decl in params] + [
+            decl.var_name for decl in condition.decls
+        ]
+        return CompiledQuery(clauses, head_name, head_vars, aux)
+
+    # -- range restriction ---------------------------------------------------------
+
+    def _add_extents(
+        self, body: List[Literal], decls: Sequence[ast.VarDecl]
+    ) -> List[Literal]:
+        """Prepend extent literals for declared vars not otherwise restricted."""
+        restricted: Set[Variable] = set()
+        for literal in body:
+            if isinstance(literal, PredLiteral) and not literal.negated:
+                restricted |= literal.variables()
+        extents: List[Literal] = []
+        for decl in decls:
+            var = Variable(decl.var_name)
+            if var in restricted:
+                continue
+            if not self.amos.types.is_user_type(decl.type_name):
+                continue  # literal-typed vars must be bound elsewhere
+            extents.append(PredLiteral(decl.type_name, (var,)))
+        return extents + body
+
+    # -- predicates ------------------------------------------------------------------
+
+    def _dnf(self, pred: ast.Pred, aux: List[str]) -> List[List[Literal]]:
+        """Disjunctive normal form, each conjunct already compiled."""
+        if isinstance(pred, ast.Or):
+            return self._dnf(pred.left, aux) + self._dnf(pred.right, aux)
+        if isinstance(pred, ast.And):
+            out: List[List[Literal]] = []
+            for left in self._dnf(pred.left, aux):
+                for right in self._dnf(pred.right, aux):
+                    out.append(left + right)
+            return out
+        return [self._compile_atom(pred, aux)]
+
+    def _compile_atom(self, pred: ast.Pred, aux: List[str]) -> List[Literal]:
+        if isinstance(pred, ast.Cmp):
+            return self._compile_cmp(pred)
+        if isinstance(pred, ast.BoolAtom):
+            return self._compile_bool_atom(pred.call)
+        if isinstance(pred, ast.Not):
+            return self._compile_not(pred, aux)
+        raise CompileError(f"cannot compile predicate {pred!r}")
+
+    def _compile_cmp(self, pred: ast.Cmp) -> List[Literal]:
+        # f(args) = term  ==> unify the result column directly
+        if pred.op == "=":
+            for call, other in ((pred.left, pred.right), (pred.right, pred.left)):
+                if isinstance(call, ast.FunCall) and self._is_simple(other):
+                    term, literals = self._compile_expr(other)
+                    call_literals = self._compile_call(call, term)
+                    return literals + call_literals
+        left, left_literals = self._compile_expr(pred.left)
+        right, right_literals = self._compile_expr(pred.right)
+        return left_literals + right_literals + [Comparison(pred.op, left, right)]
+
+    def _compile_bool_atom(self, call: ast.FunCall) -> List[Literal]:
+        """A bare boolean call ``blacklisted(a)`` => literal with result True."""
+        return self._compile_call(call, True)
+
+    def _compile_not(self, pred: ast.Not, aux: List[str]) -> List[Literal]:
+        """Compile ``not P`` through an auxiliary derived predicate."""
+        free = sorted(self._pred_vars(pred.operand))
+        name = f"_not_{next(_aux_counter)}"
+        free_vars = tuple(Variable(v) for v in free)
+        self.amos.program.declare_derived(name, len(free_vars))
+        inner_aux: List[str] = []
+        for conjunct in self._dnf(pred.operand, inner_aux):
+            self.amos.program.add_clause(
+                HornClause(PredLiteral(name, free_vars), conjunct)
+            )
+        aux.append(name)
+        aux.extend(inner_aux)
+        return [PredLiteral(name, free_vars, negated=True)]
+
+    # -- expressions --------------------------------------------------------------------
+
+    def _compile_expr(self, expr: ast.Expr) -> Tuple[ArithTerm, List[Literal]]:
+        """Returns ``(term, literals)``; term is Variable, constant, or Arith."""
+        if isinstance(expr, ast.NumberLit):
+            return expr.value, []
+        if isinstance(expr, ast.StringLit):
+            return expr.value, []
+        if isinstance(expr, ast.BoolLit):
+            return expr.value, []
+        if isinstance(expr, ast.VarRef):
+            return Variable(expr.name), []
+        if isinstance(expr, ast.IfaceVar):
+            if expr.name not in self.iface_env:
+                raise CompileError(f"unbound interface variable :{expr.name}")
+            return self.iface_env[expr.name], []
+        if isinstance(expr, ast.FunCall):
+            result = fresh_variable()
+            literals = self._compile_call(expr, result)
+            return result, literals
+        if isinstance(expr, ast.BinOp):
+            left, left_literals = self._compile_expr(expr.left)
+            right, right_literals = self._compile_expr(expr.right)
+            return Arith(expr.op, left, right), left_literals + right_literals
+        if isinstance(expr, ast.UnaryMinus):
+            operand, literals = self._compile_expr(expr.operand)
+            return Arith("-", 0, operand), literals
+        raise CompileError(f"cannot compile expression {expr!r}")
+
+    def _compile_call(self, call: ast.FunCall, result_term) -> List[Literal]:
+        function = self.amos.function(call.name)
+        signature = function.signature
+        if len(call.args) != signature.n_args:
+            raise CompileError(
+                f"function {call.name!r} takes {signature.n_args} argument(s), "
+                f"got {len(call.args)}"
+            )
+        if signature.n_results != 1:
+            raise CompileError(
+                f"function {call.name!r} used as an expression must have "
+                f"exactly one result"
+            )
+        literals: List[Literal] = []
+        arg_terms: List = []
+        for position, arg in enumerate(call.args):
+            term, arg_literals = self._compile_expr(arg)
+            literals.extend(arg_literals)
+            if isinstance(term, Arith):
+                var = fresh_variable()
+                literals.append(Assignment(var, term))
+                term = var
+            self._check_arg_type(call.name, position, arg, term,
+                                 signature.arg_types[position])
+            arg_terms.append(term)
+        literals.append(PredLiteral(call.name, tuple(arg_terms) + (result_term,)))
+        return literals
+
+    def _check_arg_type(
+        self, fn_name: str, position: int, arg: ast.Expr, term, expected: str
+    ) -> None:
+        """Static type check of one call argument (ObjectLog is typed).
+
+        Checks what is cheaply known at compile time: declared query
+        variables, literal constants, interface-variable values, and
+        nested function-call results.  Anything else passes.
+        """
+        types = self.amos.types
+        actual: Optional[str] = None
+        if isinstance(arg, ast.VarRef):
+            actual = self._var_types.get(arg.name)
+        elif isinstance(arg, ast.FunCall):
+            inner = self.amos.function(arg.name).signature
+            actual = inner.result_types[0]
+        elif isinstance(arg, ast.NumberLit):
+            actual = "integer" if isinstance(arg.value, int) else "real"
+        elif isinstance(arg, ast.StringLit):
+            actual = "charstring"
+        elif isinstance(arg, ast.BoolLit):
+            actual = "boolean"
+        elif isinstance(arg, (ast.BinOp, ast.UnaryMinus)):
+            actual = "real"  # arithmetic always yields numbers
+        elif isinstance(arg, ast.IfaceVar):
+            value = self.iface_env.get(arg.name)
+            if hasattr(value, "type_name"):
+                actual = value.type_name
+        if actual is None:
+            return
+        if self._types_compatible(actual, expected):
+            return
+        raise CompileError(
+            f"type error: argument {position + 1} of {fn_name!r} expects "
+            f"{expected!r}, got {actual!r}"
+        )
+
+    def _types_compatible(self, actual: str, expected: str) -> bool:
+        types = self.amos.types
+        if expected == "object" or actual == "object":
+            return True
+        numeric = {"integer", "real"}
+        if actual in numeric and expected in numeric:
+            return True
+        if types.is_user_type(actual) and types.is_user_type(expected):
+            # accept both directions: a supertype variable may hold a
+            # subtype instance at run time (late binding)
+            return types.is_subtype(actual, expected) or types.is_subtype(
+                expected, actual
+            )
+        return actual == expected
+
+    # -- helpers ----------------------------------------------------------------------------
+
+    @staticmethod
+    def _is_simple(expr: ast.Expr) -> bool:
+        return isinstance(
+            expr,
+            (ast.VarRef, ast.IfaceVar, ast.NumberLit, ast.StringLit, ast.BoolLit),
+        )
+
+    def _pred_vars(self, pred: ast.Pred) -> Set[str]:
+        if isinstance(pred, (ast.And, ast.Or)):
+            return self._pred_vars(pred.left) | self._pred_vars(pred.right)
+        if isinstance(pred, ast.Not):
+            return self._pred_vars(pred.operand)
+        if isinstance(pred, ast.Cmp):
+            return self._expr_vars(pred.left) | self._expr_vars(pred.right)
+        if isinstance(pred, ast.BoolAtom):
+            return self._expr_vars(pred.call)
+        raise CompileError(f"cannot analyze predicate {pred!r}")
+
+    def _expr_vars(self, expr: ast.Expr) -> Set[str]:
+        if isinstance(expr, ast.VarRef):
+            return {expr.name}
+        if isinstance(expr, ast.BinOp):
+            return self._expr_vars(expr.left) | self._expr_vars(expr.right)
+        if isinstance(expr, ast.UnaryMinus):
+            return self._expr_vars(expr.operand)
+        if isinstance(expr, ast.FunCall):
+            out: Set[str] = set()
+            for arg in expr.args:
+                out |= self._expr_vars(arg)
+            return out
+        return set()
+
+    @staticmethod
+    def _expr_name(expr: ast.Expr, index: int) -> str:
+        if isinstance(expr, ast.VarRef):
+            return expr.name
+        return f"_out{index}"

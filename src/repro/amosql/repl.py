@@ -1,0 +1,205 @@
+"""An interactive AMOSQL shell.
+
+Run with ``python -m repro`` — statements end with ``;`` and may span
+lines.  Dot-commands control the session:
+
+.. code-block:: text
+
+    amosql> create type item;
+    amosql> create function quantity(item) -> integer;
+    amosql> create item instances :i1;
+    amosql> set quantity(:i1) = 5;
+    amosql> select i, quantity(i) for each item i;
+    (#[item 1], 5)
+    amosql> .explain          -- show the last check-phase report
+    amosql> .network          -- dump the propagation network as dot
+    amosql> .help / .quit
+
+The shell registers a default ``print_(...)`` procedure of every arity
+up to 4, so rules can be demonstrated without Python glue.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from repro.amosql.interpreter import AmosqlEngine
+from repro.errors import ReproError
+
+__all__ = ["Repl", "main"]
+
+_BANNER = """repro — partial differencing for rule condition monitoring (ICDE'96)
+AMOSQL shell; statements end with ';'.  .help for commands, .quit to exit."""
+
+_HELP = """dot-commands:
+  .help              this message
+  .quit / .exit      leave the shell
+  .mode              show the monitoring mode
+  .rules             list rules and their activation state
+  .relations         list base relations with row counts
+  .network           print the propagation network (GraphViz dot)
+  .explain           print the last check-phase report
+  .plan select ...   show the compiled, optimized ObjectLog plan
+statements: any AMOSQL statement, terminated by ';' (may span lines)."""
+
+
+class Repl:
+    """Line-based AMOSQL read-eval-print loop."""
+
+    def __init__(
+        self,
+        engine: Optional[AmosqlEngine] = None,
+        mode: str = "incremental",
+        out=None,
+    ) -> None:
+        self.engine = engine or AmosqlEngine(mode=mode, explain=True)
+        self.out = out or sys.stdout
+        self._buffer: List[str] = []
+        self._register_print_procedures()
+
+    def _register_print_procedures(self) -> None:
+        for arity in range(1, 5):
+            name = "print_" if arity == 1 else f"print_{arity}"
+            types = tuple("object" for _ in range(arity))
+            self.engine.amos.create_procedure(
+                name, types, self._make_printer()
+            )
+
+    def _make_printer(self):
+        def printer(*args):
+            print(" ".join(repr(a) for a in args), file=self.out)
+
+        return printer
+
+    # -- command handling --------------------------------------------------------
+
+    def handle_line(self, line: str) -> bool:
+        """Process one input line; returns False when the session ends."""
+        stripped = line.strip()
+        if not self._buffer and stripped.startswith("."):
+            return self._dot_command(stripped)
+        self._buffer.append(line)
+        if stripped.endswith(";"):
+            statement_text = "\n".join(self._buffer)
+            self._buffer = []
+            self._run(statement_text)
+        return True
+
+    @property
+    def pending(self) -> bool:
+        """True while a multi-line statement is being collected."""
+        return bool(self._buffer)
+
+    def _run(self, text: str) -> None:
+        try:
+            results = self.engine.execute(text)
+        except ReproError as exc:
+            print(f"error: {exc}", file=self.out)
+            return
+        for result in results:
+            if isinstance(result, list):
+                if not result:
+                    print("(no rows)", file=self.out)
+                for row in result:
+                    print(repr(row), file=self.out)
+
+    def _dot_command(self, command: str) -> bool:
+        name = command.split()[0].lower()
+        if name in (".quit", ".exit"):
+            return False
+        if name == ".help":
+            print(_HELP, file=self.out)
+        elif name == ".mode":
+            rules = self.engine.amos.rules
+            print(
+                f"monitoring={rules.mode} processing={rules.processing}",
+                file=self.out,
+            )
+        elif name == ".rules":
+            manager = self.engine.amos.rules
+            active = dict(
+                (rule_name, params)
+                for rule_name, params in manager.active_rules()
+            )
+            for rule_name in sorted(manager._rules):
+                marker = "active" if rule_name in active else "inactive"
+                print(f"  {rule_name}: {marker}", file=self.out)
+            if not manager._rules:
+                print("  (no rules)", file=self.out)
+        elif name == ".relations":
+            storage = self.engine.amos.storage
+            for rel_name in storage.relation_names():
+                relation = storage.relation(rel_name)
+                monitored = "*" if storage.is_monitored(rel_name) else " "
+                print(f" {monitored} {rel_name}: {len(relation)} rows", file=self.out)
+        elif name == ".network":
+            engine = self.engine.amos.rules.engine
+            network = getattr(engine, "network", None)
+            if network is None or not network.nodes:
+                print("(no propagation network; incremental mode + an "
+                      "activated rule required)", file=self.out)
+            else:
+                print(network.to_dot(), file=self.out)
+        elif name == ".plan":
+            query_text = command[len(".plan"):].strip().rstrip(";")
+            if not query_text:
+                print("usage: .plan select ...", file=self.out)
+            else:
+                try:
+                    print(self.engine.explain_query(query_text), file=self.out)
+                except ReproError as exc:
+                    print(f"error: {exc}", file=self.out)
+        elif name == ".explain":
+            report = self.engine.amos.rules.last_report
+            if report is None:
+                print("(no check phase recorded yet)", file=self.out)
+            else:
+                print(report.summary() or "(empty check phase)", file=self.out)
+        else:
+            print(f"unknown command {command!r}; try .help", file=self.out)
+        return True
+
+    def run(self, input_stream=None) -> None:
+        """Interactive loop over an input stream (default: stdin)."""
+        stream = input_stream or sys.stdin
+        interactive = stream is sys.stdin and sys.stdin.isatty()
+        print(_BANNER, file=self.out)
+        while True:
+            if interactive:
+                prompt = "......> " if self.pending else "amosql> "
+                self.out.write(prompt)
+                self.out.flush()
+            line = stream.readline()
+            if not line:
+                break
+            if not self.handle_line(line):
+                break
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description="AMOSQL interactive shell"
+    )
+    parser.add_argument(
+        "--mode",
+        choices=["incremental", "naive", "hybrid"],
+        default="incremental",
+        help="rule condition monitoring strategy",
+    )
+    parser.add_argument(
+        "script",
+        nargs="?",
+        help="AMOSQL script to execute instead of the interactive loop",
+    )
+    options = parser.parse_args(argv)
+    repl = Repl(mode=options.mode)
+    if options.script:
+        with open(options.script) as handle:
+            repl._run(handle.read())
+        return 0
+    repl.run()
+    return 0

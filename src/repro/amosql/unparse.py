@@ -1,0 +1,173 @@
+"""Unparsing: AMOSQL ASTs back to source text.
+
+The inverse of :mod:`repro.amosql.parser`: ``parse(unparse(stmt))``
+yields an equal AST (round-trip property, tested).  Used by tooling —
+schema dumps, the REPL's introspection — and handy for generating
+AMOSQL programmatically.
+"""
+
+from __future__ import annotations
+
+from repro.amosql import ast
+
+__all__ = ["unparse_statement", "unparse_expr", "unparse_pred"]
+
+_MUL_OPS = ("*", "/")
+
+
+def _parenthesize_operand(operand: ast.Expr, parent_op: str, right: bool) -> str:
+    text = unparse_expr(operand)
+    if isinstance(operand, ast.BinOp):
+        lower = operand.op not in _MUL_OPS and parent_op in _MUL_OPS
+        same_level_right = right and _precedence(operand.op) == _precedence(parent_op)
+        if lower or same_level_right:
+            return f"({text})"
+    if isinstance(operand, ast.UnaryMinus) and right:
+        return f"({text})"
+    return text
+
+
+def _precedence(op: str) -> int:
+    return 2 if op in _MUL_OPS else 1
+
+
+def unparse_expr(expr: ast.Expr) -> str:
+    """Render a value expression."""
+    if isinstance(expr, ast.NumberLit):
+        return repr(expr.value)
+    if isinstance(expr, ast.StringLit):
+        escaped = expr.value.replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    if isinstance(expr, ast.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.VarRef):
+        return expr.name
+    if isinstance(expr, ast.IfaceVar):
+        return f":{expr.name}"
+    if isinstance(expr, ast.FunCall):
+        args = ", ".join(unparse_expr(arg) for arg in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, ast.BinOp):
+        left = _parenthesize_operand(expr.left, expr.op, right=False)
+        right = _parenthesize_operand(expr.right, expr.op, right=True)
+        return f"{left} {expr.op} {right}"
+    if isinstance(expr, ast.UnaryMinus):
+        inner = unparse_expr(expr.operand)
+        # parenthesize nested negation: "--x" would lex as a comment
+        if isinstance(expr.operand, (ast.BinOp, ast.UnaryMinus)):
+            inner = f"({inner})"
+        return f"-{inner}"
+    raise TypeError(f"cannot unparse expression {expr!r}")
+
+
+def unparse_pred(pred: ast.Pred) -> str:
+    """Render a predicate expression."""
+    if isinstance(pred, ast.Cmp):
+        return f"{unparse_expr(pred.left)} {pred.op} {unparse_expr(pred.right)}"
+    if isinstance(pred, ast.BoolAtom):
+        return unparse_expr(pred.call)
+    if isinstance(pred, ast.And):
+        return f"{_pred_operand(pred.left, 'and')} and {_pred_operand(pred.right, 'and')}"
+    if isinstance(pred, ast.Or):
+        return f"{_pred_operand(pred.left, 'or')} or {_pred_operand(pred.right, 'or')}"
+    if isinstance(pred, ast.Not):
+        return f"not ({unparse_pred(pred.operand)})"
+    raise TypeError(f"cannot unparse predicate {pred!r}")
+
+
+def _pred_operand(pred: ast.Pred, parent: str) -> str:
+    text = unparse_pred(pred)
+    if parent == "and" and isinstance(pred, ast.Or):
+        return f"({text})"
+    return text
+
+
+def _unparse_select(query: ast.SelectQuery) -> str:
+    parts = ["select " + ", ".join(unparse_expr(e) for e in query.exprs)]
+    if query.decls:
+        decls = ", ".join(f"{d.type_name} {d.var_name}" for d in query.decls)
+        parts.append(f"for each {decls}")
+    if query.pred is not None:
+        parts.append(f"where {unparse_pred(query.pred)}")
+    return " ".join(parts)
+
+
+def _unparse_action(action) -> str:
+    if isinstance(action, ast.ProcedureCall):
+        args = ", ".join(unparse_expr(a) for a in action.args)
+        return f"{action.name}({args})"
+    if isinstance(action, ast.UpdateAction):
+        args = ", ".join(unparse_expr(a) for a in action.args)
+        return (
+            f"{action.kind} {action.function}({args}) = "
+            f"{unparse_expr(action.value)}"
+        )
+    raise TypeError(f"cannot unparse action {action!r}")
+
+
+def unparse_statement(statement: ast.Statement) -> str:
+    """Render one statement (with its terminating semicolon)."""
+    if isinstance(statement, ast.CreateType):
+        under = (
+            f" under {', '.join(statement.under)}" if statement.under else ""
+        )
+        return f"create type {statement.name}{under};"
+    if isinstance(statement, ast.CreateFunction):
+        params = ", ".join(
+            f"{p.type_name} {p.var_name}" if p.var_name else p.type_name
+            for p in statement.params
+        )
+        head = f"create function {statement.name}({params}) -> {statement.result_type}"
+        if statement.body is None:
+            return head + ";"
+        return f"{head} as {_unparse_select(statement.body)};"
+    if isinstance(statement, ast.CreateRule):
+        params = ", ".join(
+            f"{p.type_name} {p.var_name}" for p in statement.params
+        )
+        parts = [f"create rule {statement.name}({params}) as"]
+        if statement.events:
+            parts.append(f"on {', '.join(statement.events)}")
+        condition = statement.condition
+        if condition.decls:
+            decls = ", ".join(
+                f"{d.type_name} {d.var_name}" for d in condition.decls
+            )
+            parts.append(f"when for each {decls} where {unparse_pred(condition.pred)}")
+        else:
+            parts.append(f"when {unparse_pred(condition.pred)}")
+        if statement.semantics:
+            parts.append(statement.semantics)
+        if statement.priority:
+            parts.append(f"priority {statement.priority}")
+        actions = ", ".join(_unparse_action(a) for a in statement.actions)
+        parts.append(f"do {actions}")
+        return " ".join(parts) + ";"
+    if isinstance(statement, ast.CreateInstances):
+        names = ", ".join(f":{n}" for n in statement.names)
+        return f"create {statement.type_name} instances {names};"
+    if isinstance(statement, ast.UpdateStatement):
+        args = ", ".join(unparse_expr(a) for a in statement.args)
+        return (
+            f"{statement.kind} {statement.function}({args}) = "
+            f"{unparse_expr(statement.value)};"
+        )
+    if isinstance(statement, ast.SelectStatement):
+        return _unparse_select(statement.query) + ";"
+    if isinstance(statement, ast.ActivateRule):
+        args = ", ".join(unparse_expr(a) for a in statement.args)
+        return f"activate {statement.name}({args});"
+    if isinstance(statement, ast.DeactivateRule):
+        args = ", ".join(unparse_expr(a) for a in statement.args)
+        return f"deactivate {statement.name}({args});"
+    if isinstance(statement, ast.DropStatement):
+        return f"drop {statement.kind} {statement.name};"
+    if isinstance(statement, ast.BeginTransaction):
+        return "begin;"
+    if isinstance(statement, ast.CommitTransaction):
+        return "commit;"
+    if isinstance(statement, ast.RollbackTransaction):
+        return "rollback;"
+    if isinstance(statement, ast.CallStatement):
+        return _unparse_action(statement.call) + ";"
+    raise TypeError(f"cannot unparse statement {statement!r}")

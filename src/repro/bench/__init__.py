@@ -1,0 +1,18 @@
+"""Benchmark support: workload generators and measurement harness."""
+
+from repro.bench.harness import Measurement, Sweep, fit_linear, measure
+from repro.bench.workload import (
+    INVENTORY_SCHEMA_AMOSQL,
+    InventoryWorkload,
+    build_inventory,
+)
+
+__all__ = [
+    "Measurement",
+    "Sweep",
+    "fit_linear",
+    "measure",
+    "INVENTORY_SCHEMA_AMOSQL",
+    "InventoryWorkload",
+    "build_inventory",
+]

@@ -1,0 +1,176 @@
+"""Measurement harness: timed sweeps over database sizes and engines.
+
+Reproduces the *shape* of the paper's figures: absolute numbers depend
+on the host (the paper used an HP9000/710), but who wins, by what
+rough factor, and how costs scale with the database size are
+machine-independent claims that these sweeps verify.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Measurement", "Sweep", "measure", "fit_linear"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One timed cell of a sweep."""
+
+    series: str  # e.g. "incremental" / "naive"
+    x: int  # database size (number of items)
+    seconds: float
+    transactions: int
+
+    @property
+    def seconds_per_transaction(self) -> float:
+        return self.seconds / max(self.transactions, 1)
+
+
+@dataclass
+class Sweep:
+    """A collection of measurements, printable as a paper-style table."""
+
+    title: str
+    x_label: str = "items"
+    measurements: List[Measurement] = field(default_factory=list)
+
+    def add(self, measurement: Measurement) -> None:
+        self.measurements.append(measurement)
+
+    def series_names(self) -> List[str]:
+        seen: List[str] = []
+        for measurement in self.measurements:
+            if measurement.series not in seen:
+                seen.append(measurement.series)
+        return seen
+
+    def xs(self) -> List[int]:
+        seen: List[int] = []
+        for measurement in self.measurements:
+            if measurement.x not in seen:
+                seen.append(measurement.x)
+        return sorted(seen)
+
+    def cell(self, series: str, x: int) -> Optional[Measurement]:
+        for measurement in self.measurements:
+            if measurement.series == series and measurement.x == x:
+                return measurement
+        return None
+
+    def series(self, name: str) -> List[Tuple[int, float]]:
+        return sorted(
+            (m.x, m.seconds_per_transaction)
+            for m in self.measurements
+            if m.series == name
+        )
+
+    def ratio(self, numerator: str, denominator: str, x: int) -> Optional[float]:
+        top = self.cell(numerator, x)
+        bottom = self.cell(denominator, x)
+        if top is None or bottom is None or bottom.seconds == 0:
+            return None
+        return top.seconds / bottom.seconds
+
+    def format_table(self, per_transaction: bool = True) -> str:
+        """Render the sweep as an aligned text table (ms)."""
+        names = self.series_names()
+        header = [self.x_label] + [f"{name} (ms)" for name in names]
+        if len(names) == 2:
+            header.append(f"{names[0]}/{names[1]}")
+        rows: List[List[str]] = [header]
+        for x in self.xs():
+            row = [str(x)]
+            cells = [self.cell(name, x) for name in names]
+            for cell in cells:
+                if cell is None:
+                    row.append("-")
+                else:
+                    seconds = (
+                        cell.seconds_per_transaction if per_transaction else cell.seconds
+                    )
+                    row.append(f"{seconds * 1000:.3f}")
+            if len(names) == 2:
+                ratio = self.ratio(names[0], names[1], x) if all(cells) else None
+                row.append(f"{ratio:.2f}" if ratio is not None else "-")
+            rows.append(row)
+        widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+        lines = [self.title, "=" * len(self.title)]
+        for index, row in enumerate(rows):
+            lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+            if index == 0:
+                lines.append("  ".join("-" * width for width in widths))
+        return "\n".join(lines)
+
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        """Flat dict rows (one per cell) — feed to csv.DictWriter/json."""
+        return [
+            {
+                "series": m.series,
+                self.x_label: m.x,
+                "seconds": m.seconds,
+                "transactions": m.transactions,
+                "ms_per_transaction": m.seconds_per_transaction * 1000,
+            }
+            for m in self.measurements
+        ]
+
+    def write_csv(self, path: str) -> None:
+        """Export the sweep as CSV (for external plotting)."""
+        import csv
+
+        rows = self.to_rows()
+        if not rows:
+            raise ValueError("empty sweep")
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+            writer.writeheader()
+            writer.writerows(rows)
+
+    def write_json(self, path: str) -> None:
+        """Export the sweep as JSON (title + rows)."""
+        import json
+
+        with open(path, "w") as handle:
+            json.dump(
+                {"title": self.title, "rows": self.to_rows()}, handle, indent=1
+            )
+
+
+def measure(
+    series: str,
+    x: int,
+    run: Callable[[], None],
+    transactions: int = 1,
+    repeats: int = 1,
+) -> Measurement:
+    """Time ``run()`` (best of ``repeats``) as one sweep cell."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return Measurement(series, x, best, transactions)
+
+
+def fit_linear(points: Sequence[Tuple[int, float]]) -> Tuple[float, float]:
+    """Least-squares slope and intercept of ``(x, y)`` points.
+
+    Used by the benchmark assertions: the naive curve of Fig. 6 must
+    have a clearly positive slope over the database size while the
+    incremental curve must stay (nearly) flat.
+    """
+    n = len(points)
+    if n < 2:
+        raise ValueError("need at least two points")
+    mean_x = sum(x for x, _ in points) / n
+    mean_y = sum(y for _, y in points) / n
+    var_x = sum((x - mean_x) ** 2 for x, _ in points)
+    if var_x == 0:
+        return 0.0, mean_y
+    slope = sum((x - mean_x) * (y - mean_y) for x, y in points) / var_x
+    return slope, mean_y - slope * mean_x

@@ -1,0 +1,44 @@
+"""ObjectLog: typed Datalog with builtins (the paper's section 3.2 substrate)."""
+
+from repro.objectlog.clause import HornClause
+from repro.objectlog.dependency import DependencyNetwork
+from repro.objectlog.evaluate import Evaluator
+from repro.objectlog.expand import expand_clause, expand_predicate, substitute_literal
+from repro.objectlog.literals import Assignment, Comparison, Literal, PredLiteral
+from repro.objectlog.program import (
+    BasePredicate,
+    DerivedPredicate,
+    ForeignPredicate,
+    Program,
+)
+from repro.objectlog.terms import (
+    Arith,
+    Variable,
+    eval_expr,
+    expr_variables,
+    fresh_variable,
+    is_variable,
+)
+
+__all__ = [
+    "HornClause",
+    "DependencyNetwork",
+    "Evaluator",
+    "expand_clause",
+    "expand_predicate",
+    "substitute_literal",
+    "Assignment",
+    "Comparison",
+    "Literal",
+    "PredLiteral",
+    "BasePredicate",
+    "DerivedPredicate",
+    "ForeignPredicate",
+    "Program",
+    "Arith",
+    "Variable",
+    "eval_expr",
+    "expr_variables",
+    "fresh_variable",
+    "is_variable",
+]

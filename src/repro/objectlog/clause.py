@@ -1,0 +1,71 @@
+"""Horn clauses with conjunctive bodies.
+
+A derived predicate is defined by one or more clauses; several clauses
+for the same head express disjunction (the AMOSQL compiler produces one
+clause per disjunct of a condition in DNF).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
+
+from repro.errors import ObjectLogError
+from repro.objectlog.literals import Literal, PredLiteral
+from repro.objectlog.terms import Variable, fresh_variable
+
+
+class HornClause:
+    """``head <- body_1 & ... & body_n``."""
+
+    __slots__ = ("head", "body")
+
+    def __init__(self, head: PredLiteral, body: Iterable[Literal]) -> None:
+        if head.negated or head.delta:
+            raise ObjectLogError("clause head must be a plain positive literal")
+        self.head = head
+        self.body = tuple(body)
+
+    def variables(self) -> FrozenSet[Variable]:
+        out = set(self.head.variables())
+        for literal in self.body:
+            out |= literal.variables()
+        return frozenset(out)
+
+    def rename(self, mapping: Mapping[Variable, Variable]) -> "HornClause":
+        return HornClause(
+            self.head.rename(mapping), tuple(lit.rename(mapping) for lit in self.body)
+        )
+
+    def rename_apart(self) -> "HornClause":
+        """A copy with every variable replaced by a globally fresh one."""
+        mapping: Dict[Variable, Variable] = {
+            var: fresh_variable(f"_{var.name}_") for var in self.variables()
+        }
+        return self.rename(mapping)
+
+    def pred_literals(self) -> Tuple[PredLiteral, ...]:
+        return tuple(lit for lit in self.body if isinstance(lit, PredLiteral))
+
+    def referenced_predicates(self) -> FrozenSet[str]:
+        return frozenset(lit.pred for lit in self.pred_literals())
+
+    def replace_body_literal(self, index: int, *replacement: Literal) -> "HornClause":
+        """A copy with body[index] swapped for ``replacement`` literal(s)."""
+        if not 0 <= index < len(self.body):
+            raise ObjectLogError(f"body index {index} out of range")
+        body = self.body[:index] + tuple(replacement) + self.body[index + 1 :]
+        return HornClause(self.head, body)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, HornClause)
+            and other.head == self.head
+            and other.body == self.body
+        )
+
+    def __hash__(self) -> int:
+        return hash(("HornClause", self.head, self.body))
+
+    def __repr__(self) -> str:
+        body = " & ".join(repr(lit) for lit in self.body)
+        return f"{self.head!r} <- {body}"

@@ -1,0 +1,149 @@
+"""Dependency networks (paper Fig. 1).
+
+A :class:`DependencyNetwork` records, for a set of root predicates
+(typically rule condition functions), which predicates influence which:
+an edge ``X -> P`` means "X is an influent of P".  It is the skeleton
+the propagation network (rules layer) decorates with partial
+differentials, and is independently useful for introspection — the
+``to_dot`` export draws the same picture as the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.errors import RecursionNotSupportedError
+from repro.objectlog.program import (
+    AggregatePredicate,
+    BasePredicate,
+    DerivedPredicate,
+    Program,
+)
+
+
+class DependencyNetwork:
+    """Influence edges between predicates, with bottom-up levels."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self._edges: Set[Tuple[str, str]] = set()
+        self._nodes: Set[str] = set()
+        self._roots: Set[str] = set()
+
+    # -- construction -----------------------------------------------------------
+
+    def add_root(self, name: str, keep: FrozenSet[str] = frozenset()) -> None:
+        """Add root predicate ``name`` and everything below it.
+
+        ``keep`` lists derived predicates that stay as intermediate
+        nodes; all other derived predicates below the root are treated
+        as if expanded into their parents (their base influents connect
+        directly to the nearest kept ancestor).
+        """
+        self._roots.add(name)
+        self._visit(name, keep, frozenset())
+
+    def _visit(self, name: str, keep: FrozenSet[str], stack: FrozenSet[str]) -> None:
+        if name in stack:
+            raise RecursionNotSupportedError(f"dependency cycle through {name!r}")
+        self._nodes.add(name)
+        definition = self.program.predicate(name)
+        if isinstance(definition, AggregatePredicate):
+            self._nodes.add(definition.source)
+            self._edges.add((definition.source, name))
+            self._visit(definition.source, keep, stack | {name})
+            return
+        if not isinstance(definition, DerivedPredicate):
+            return
+        for influent in self._effective_influents(name, keep, stack | {name}):
+            self._nodes.add(influent)
+            self._edges.add((influent, name))
+            self._visit(influent, keep, stack | {name})
+
+    def _effective_influents(
+        self, name: str, keep: FrozenSet[str], stack: FrozenSet[str]
+    ) -> FrozenSet[str]:
+        """Direct influents after conceptually expanding non-kept deriveds."""
+        out: Set[str] = set()
+        for direct in self.program.direct_influents(name):
+            definition = self.program.predicate(direct)
+            negated = direct in self.program.negated_references(name)
+            is_node = (
+                not isinstance(definition, DerivedPredicate)
+                or direct in keep
+                or negated
+            )  # aggregates and base/foreign predicates are always nodes
+            if is_node:
+                out.add(direct)
+            else:
+                if direct in stack:
+                    raise RecursionNotSupportedError(
+                        f"dependency cycle through {direct!r}"
+                    )
+                out |= self._effective_influents(direct, keep, stack | {direct})
+        return frozenset(out)
+
+    # -- queries ------------------------------------------------------------------
+
+    def nodes(self) -> FrozenSet[str]:
+        return frozenset(self._nodes)
+
+    def roots(self) -> FrozenSet[str]:
+        return frozenset(self._roots)
+
+    def edges(self) -> FrozenSet[Tuple[str, str]]:
+        return frozenset(self._edges)
+
+    def influents_of(self, name: str) -> FrozenSet[str]:
+        return frozenset(src for src, dst in self._edges if dst == name)
+
+    def dependents_of(self, name: str) -> FrozenSet[str]:
+        return frozenset(dst for src, dst in self._edges if src == name)
+
+    def levels(self) -> Dict[str, int]:
+        """Bottom-up levels: base/leaf nodes are 0, parents above."""
+        cache: Dict[str, int] = {}
+
+        def level(name: str, trail: FrozenSet[str]) -> int:
+            if name in trail:
+                raise RecursionNotSupportedError(f"dependency cycle through {name!r}")
+            if name in cache:
+                return cache[name]
+            influents = self.influents_of(name)
+            value = (
+                0
+                if not influents
+                else 1 + max(level(i, trail | {name}) for i in influents)
+            )
+            cache[name] = value
+            return value
+
+        for node in self._nodes:
+            level(node, frozenset())
+        return cache
+
+    def bottom_up_order(self) -> List[str]:
+        """Nodes sorted by level (breadth-first, bottom-up)."""
+        levels = self.levels()
+        return sorted(self._nodes, key=lambda name: (levels[name], name))
+
+    def base_nodes(self) -> FrozenSet[str]:
+        return frozenset(
+            name
+            for name in self._nodes
+            if isinstance(self.program.predicate(name), BasePredicate)
+        )
+
+    def to_dot(self) -> str:
+        """GraphViz rendering of the dependency network."""
+        lines = ["digraph dependency_network {", "  rankdir=BT;"]
+        levels = self.levels()
+        for name in sorted(self._nodes):
+            shape = "box" if name in self._roots else (
+                "ellipse" if levels[name] else "plaintext"
+            )
+            lines.append(f'  "{name}" [shape={shape}];')
+        for src, dst in sorted(self._edges):
+            lines.append(f'  "{src}" -> "{dst}";')
+        lines.append("}")
+        return "\n".join(lines)

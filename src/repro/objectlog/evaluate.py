@@ -1,0 +1,386 @@
+"""The ObjectLog evaluation engine.
+
+A generator-based, set-oriented evaluator for conjunctive clause bodies
+with *dynamic sideways information passing*: at every step the most
+selective executable literal is chosen next —
+
+1. assignments and comparisons whose inputs are bound (free filters),
+2. fully-bound negated literals,
+3. delta-set reads (tiny by assumption — "few updates per transaction"),
+4. foreign predicates whose inputs are bound,
+5. stored/derived predicate reads, preferring the most-bound literal so
+   that index probes replace scans.
+
+The evaluator is parameterized by a :class:`~repro.algebra.oldstate.StateView`,
+so the *same* engine evaluates positive differentials in the new state
+and negative differentials in the old state (logical rollback), and by
+a mapping of delta-sets for delta-marked literals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.algebra.delta import DeltaSet
+from repro.algebra.oldstate import StateView
+from repro.errors import (
+    ObjectLogError,
+    RecursionNotSupportedError,
+    UnknownPredicateError,
+    UnsafeClauseError,
+)
+from repro.objectlog.clause import HornClause
+from repro.objectlog.literals import Assignment, Comparison, Literal, PredLiteral
+from repro.objectlog.program import (
+    AggregatePredicate,
+    BasePredicate,
+    DerivedPredicate,
+    ForeignPredicate,
+    Program,
+)
+from repro.objectlog.terms import Env, Variable, bind_row, eval_expr, fresh_variable
+
+Row = Tuple
+_EMPTY_DELTA = DeltaSet()
+
+
+class Evaluator:
+    """Evaluates clauses and queries against one database state.
+
+    Parameters
+    ----------
+    program:
+        The predicate catalog.
+    view:
+        State view (new or old) used for base relation access.
+    deltas:
+        Delta-sets for delta-marked literals, keyed by predicate name.
+        The propagation algorithm supplies the changed node's delta
+        here; plain queries never need it.
+    memoize:
+        Cache derived-predicate extensions within this evaluator's
+        lifetime.  Safe because an evaluator sees one immutable state.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        view: StateView,
+        deltas: Optional[Mapping[str, DeltaSet]] = None,
+        memoize: bool = True,
+    ) -> None:
+        self.program = program
+        self.view = view
+        self.deltas = dict(deltas or {})
+        self.memoize = memoize
+        self._memo: Dict[Tuple, FrozenSet[Row]] = {}
+        self._stack: Set[str] = set()
+
+    # -- public API ---------------------------------------------------------------
+
+    def solve_body(
+        self,
+        body: Iterable[Literal],
+        env: Optional[Env] = None,
+        static: bool = False,
+    ) -> Iterator[Env]:
+        """All environments satisfying the conjunction ``body``.
+
+        With ``static=True`` the literals are executed exactly in the
+        given order (no per-step scheduling) — for bodies pre-ordered by
+        :func:`repro.objectlog.optimize.order_body`, e.g. compiled
+        partial differentials.
+        """
+        if static:
+            yield from self._solve_static(tuple(body), 0, dict(env or {}))
+        else:
+            yield from self._solve(list(body), dict(env or {}))
+
+    def solve_clause(
+        self,
+        clause: HornClause,
+        env: Optional[Env] = None,
+        static: bool = False,
+    ) -> Iterator[Row]:
+        """Head rows produced by one clause (may contain duplicates)."""
+        head_args = clause.head.args
+        for solution in self.solve_body(clause.body, env, static=static):
+            yield tuple(
+                solution[a] if isinstance(a, Variable) else a for a in head_args
+            )
+
+    def query(self, pred: str, args: Tuple) -> Iterator[Env]:
+        """Solve a single goal literal ``pred(args)``."""
+        yield from self._eval_literal(PredLiteral(pred, tuple(args)), {})
+
+    def extension(self, pred: str) -> FrozenSet[Row]:
+        """The full extension of a predicate in this state."""
+        definition = self.program.predicate(pred)
+        args = tuple(fresh_variable("_X") for _ in range(definition.arity))
+        out = set()
+        for env in self.query(pred, args):
+            out.add(tuple(env[a] for a in args))
+        return frozenset(out)
+
+    def holds(self, pred: str, row: Row) -> bool:
+        """Membership test: is ``row`` in the extension of ``pred``?"""
+        for _ in self.query(pred, tuple(row)):
+            return True
+        return False
+
+    # -- scheduling -----------------------------------------------------------------
+
+    def _solve(self, literals: List[Literal], env: Env) -> Iterator[Env]:
+        if not literals:
+            yield env
+            return
+        index = self._pick(literals, env)
+        literal = literals[index]
+        rest = literals[:index] + literals[index + 1 :]
+        for extended in self._eval_literal(literal, env):
+            yield from self._solve(rest, extended)
+
+    def _solve_static(
+        self, literals: Tuple[Literal, ...], index: int, env: Env
+    ) -> Iterator[Env]:
+        """Evaluate a pre-ordered body with no runtime scheduling."""
+        if index == len(literals):
+            yield env
+            return
+        for extended in self._eval_literal(literals[index], env):
+            yield from self._solve_static(literals, index + 1, extended)
+
+    def _pick(self, literals: List[Literal], env: Env) -> int:
+        best_index = -1
+        best_score = None
+        for index, literal in enumerate(literals):
+            score = self._score(literal, env)
+            if score is None:
+                continue
+            if best_score is None or score < best_score:
+                best_index, best_score = index, score
+            if best_score == (0, 0):
+                break
+        if best_index < 0:
+            raise UnsafeClauseError(
+                f"no executable literal among {literals!r} with bindings "
+                f"{sorted(v.name for v in env)!r}"
+            )
+        return best_index
+
+    def _score(self, literal: Literal, env: Env):
+        """Lower is better; None means not executable yet."""
+        if isinstance(literal, Assignment):
+            if all(v in env for v in literal.input_variables()):
+                return (0, 0)
+            return None
+        if isinstance(literal, Comparison):
+            if all(v in env for v in literal.variables()):
+                return (0, 0)
+            return None
+        if isinstance(literal, PredLiteral):
+            unbound = sum(
+                1
+                for a in literal.args
+                if isinstance(a, Variable) and a not in env
+            )
+            if literal.negated:
+                return (1, 0) if unbound == 0 else None
+            if literal.delta is not None:
+                return (2, unbound)
+            definition = self.program.predicate(literal.pred)
+            if isinstance(definition, ForeignPredicate):
+                inputs = literal.args[: definition.n_in]
+                ready = all(
+                    not isinstance(a, Variable) or a in env for a in inputs
+                )
+                return (3, unbound) if ready else None
+            return (4, unbound)
+        raise ObjectLogError(f"unknown literal type {type(literal).__name__}")
+
+    # -- literal evaluation ------------------------------------------------------------
+
+    def _eval_literal(self, literal: Literal, env: Env) -> Iterator[Env]:
+        if isinstance(literal, Assignment):
+            value = eval_expr(literal.expr, env)
+            if literal.var in env:
+                if env[literal.var] == value:
+                    yield env
+            else:
+                extended = dict(env)
+                extended[literal.var] = value
+                yield extended
+            return
+        if isinstance(literal, Comparison):
+            if literal.holds(env):
+                yield env
+            return
+        assert isinstance(literal, PredLiteral)
+        if literal.negated:
+            positive = PredLiteral(literal.pred, literal.args)
+            for _ in self._eval_literal(positive, env):
+                return
+            yield env
+            return
+        if literal.delta is not None:
+            yield from self._eval_delta(literal, env)
+            return
+        definition = self.program.predicate(literal.pred)
+        if isinstance(definition, BasePredicate):
+            yield from self._eval_base(literal, env)
+        elif isinstance(definition, ForeignPredicate):
+            yield from self._eval_foreign(definition, literal, env)
+        elif isinstance(definition, DerivedPredicate):
+            yield from self._eval_derived(definition, literal, env)
+        elif isinstance(definition, AggregatePredicate):
+            yield from self._eval_aggregate(definition, literal, env)
+        else:  # pragma: no cover - catalog only holds the four kinds
+            raise UnknownPredicateError(literal.pred)
+
+    def _eval_base(self, literal: PredLiteral, env: Env) -> Iterator[Env]:
+        bound_cols: List[int] = []
+        key: List = []
+        for position, arg in enumerate(literal.args):
+            if isinstance(arg, Variable):
+                if arg in env:
+                    bound_cols.append(position)
+                    key.append(env[arg])
+            else:
+                bound_cols.append(position)
+                key.append(arg)
+        if bound_cols:
+            rows = self.view.lookup(literal.pred, tuple(bound_cols), tuple(key))
+        else:
+            rows = self.view.rows(literal.pred)
+        for row in rows:
+            extended = bind_row(literal.args, row, env)
+            if extended is not None:
+                yield extended
+
+    def _eval_delta(self, literal: PredLiteral, env: Env) -> Iterator[Env]:
+        delta = self.deltas.get(literal.pred, _EMPTY_DELTA)
+        rows = delta.plus if literal.delta == "+" else delta.minus
+        for row in rows:
+            extended = bind_row(literal.args, row, env)
+            if extended is not None:
+                yield extended
+
+    def _eval_foreign(
+        self, definition: ForeignPredicate, literal: PredLiteral, env: Env
+    ) -> Iterator[Env]:
+        inputs = []
+        for arg in literal.args[: definition.n_in]:
+            if isinstance(arg, Variable):
+                if arg not in env:
+                    raise UnsafeClauseError(
+                        f"foreign predicate {definition.name!r} called with "
+                        f"unbound input {arg!r}"
+                    )
+                inputs.append(env[arg])
+            else:
+                inputs.append(arg)
+        result = definition.fn(*inputs)
+        out_args = literal.args[definition.n_in :]
+        if not out_args:
+            if result:
+                yield env
+            return
+        if result is None:
+            return
+        for item in result:
+            row = item if isinstance(item, tuple) else (item,)
+            extended = bind_row(out_args, row, env)
+            if extended is not None:
+                yield extended
+
+    def _eval_aggregate(
+        self, definition: AggregatePredicate, literal: PredLiteral, env: Env
+    ) -> Iterator[Env]:
+        """Evaluate a grouped aggregate, restricted by bound group args.
+
+        The source predicate is queried with whatever group columns are
+        already bound (so a fully-bound group costs one group's rows,
+        not a full scan); rows are then grouped and folded.  Empty
+        groups yield nothing — an aggregate over nothing is undefined,
+        matching the functional-data-model convention that a function
+        application without a stored value simply fails.
+        """
+        n_group = definition.n_group
+        source_arity = self.program.predicate(definition.source).arity
+        value_var = fresh_variable("_V")
+        probe_args = tuple(
+            env.get(arg, arg) if isinstance(arg, Variable) else arg
+            for arg in literal.args[:n_group]
+        )
+        probe_args += tuple(
+            fresh_variable("_W") for _ in range(source_arity - n_group - 1)
+        )
+        probe_args += (value_var,)
+        groups: Dict[Tuple, List] = {}
+        for solution in self.query(definition.source, probe_args):
+            key = tuple(
+                solution[arg] if isinstance(arg, Variable) else arg
+                for arg in probe_args[:n_group]
+            )
+            groups.setdefault(key, []).append(solution[value_var])
+        for key, values in groups.items():
+            row = key + (definition.apply(values),)
+            extended = bind_row(literal.args, row, env)
+            if extended is not None:
+                yield extended
+
+    def _eval_derived(
+        self, definition: DerivedPredicate, literal: PredLiteral, env: Env
+    ) -> Iterator[Env]:
+        rows = self._derived_rows(definition, literal, env)
+        for row in rows:
+            extended = bind_row(literal.args, row, env)
+            if extended is not None:
+                yield extended
+
+    def _derived_rows(
+        self, definition: DerivedPredicate, literal: PredLiteral, env: Env
+    ) -> FrozenSet[Row]:
+        """Extension of a derived predicate restricted by the bound args."""
+        if definition.name in self._stack:
+            raise RecursionNotSupportedError(
+                f"recursive evaluation of {definition.name!r} "
+                "(recursion is outside the paper's scope)"
+            )
+        bound: List[Tuple[int, object]] = []
+        for position, arg in enumerate(literal.args):
+            if isinstance(arg, Variable):
+                if arg in env:
+                    bound.append((position, env[arg]))
+            else:
+                bound.append((position, arg))
+        memo_key = (definition.name, tuple(bound)) if self.memoize else None
+        if memo_key is not None and memo_key in self._memo:
+            return self._memo[memo_key]
+        self._stack.add(definition.name)
+        try:
+            out: Set[Row] = set()
+            for clause in definition.clauses:
+                renamed = clause.rename_apart()
+                call_env: Env = {}
+                compatible = True
+                for position, value in bound:
+                    head_arg = renamed.head.args[position]
+                    if isinstance(head_arg, Variable):
+                        if head_arg in call_env and call_env[head_arg] != value:
+                            compatible = False
+                            break
+                        call_env[head_arg] = value
+                    elif head_arg != value:
+                        compatible = False
+                        break
+                if not compatible:
+                    continue
+                for row in self.solve_clause(renamed, call_env):
+                    out.add(row)
+            result = frozenset(out)
+        finally:
+            self._stack.discard(definition.name)
+        if memo_key is not None:
+            self._memo[memo_key] = result
+        return result

@@ -1,0 +1,148 @@
+"""Full expansion of derived predicates (the AMOS compiler behaviour).
+
+The AMOSQL compiler "expands as many derived relations as possible to
+have more degrees of freedom for optimizations" (section 4.3): a
+condition over ``threshold(i)`` becomes one flat conjunctive clause
+over the stored functions only.  Expansion stops at
+
+* base and foreign predicates,
+* predicates listed in ``keep`` (node sharing, section 7.1 — kept
+  predicates become intermediate nodes of a bushy network), and
+* *negated* literals — a negation is a set-level operation on the whole
+  sub-predicate, so it can never be flattened through.
+
+Several clauses per derived predicate (disjunction) multiply out to
+several expanded clauses (DNF).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Tuple
+
+from repro.errors import RecursionNotSupportedError
+from repro.objectlog.clause import HornClause
+from repro.objectlog.literals import Assignment, Comparison, Literal, PredLiteral
+from repro.objectlog.program import DerivedPredicate, Program
+from repro.objectlog.terms import Arith, ArithTerm, Term, Variable
+
+Substitution = Mapping[Variable, Term]
+
+
+def _subst_term(term: Term, mapping: Substitution) -> Term:
+    if isinstance(term, Variable):
+        return mapping.get(term, term)
+    return term
+
+
+def _subst_expr(expr: ArithTerm, mapping: Substitution) -> ArithTerm:
+    if isinstance(expr, Variable):
+        return mapping.get(expr, expr)
+    if isinstance(expr, Arith):
+        return Arith(
+            expr.op, _subst_expr(expr.left, mapping), _subst_expr(expr.right, mapping)
+        )
+    return expr
+
+
+def substitute_literal(literal: Literal, mapping: Substitution) -> Literal:
+    """Apply a variable-to-term substitution to one body literal."""
+    if isinstance(literal, PredLiteral):
+        args = tuple(_subst_term(arg, mapping) for arg in literal.args)
+        return PredLiteral(literal.pred, args, literal.negated, literal.delta)
+    if isinstance(literal, Comparison):
+        return Comparison(
+            literal.op,
+            _subst_expr(literal.left, mapping),
+            _subst_expr(literal.right, mapping),
+        )
+    if isinstance(literal, Assignment):
+        target = mapping.get(literal.var, literal.var)
+        new_expr = _subst_expr(literal.expr, mapping)
+        if isinstance(target, Variable):
+            return Assignment(target, new_expr)
+        # the assignment target was substituted by a constant: degrade to
+        # an equality check
+        return Comparison("=", target, new_expr)
+    raise TypeError(f"unknown literal type {type(literal).__name__}")
+
+
+def _inline(
+    sub_clause: HornClause, call: PredLiteral
+) -> Tuple[List[Literal], bool]:
+    """Body literals of ``sub_clause`` with its head unified against ``call``.
+
+    Returns ``(literals, ok)``; ``ok`` is False when head constants
+    contradict constant call arguments (the clause contributes nothing).
+    """
+    mapping: Dict[Variable, Term] = {}
+    extra: List[Literal] = []
+    for head_arg, call_arg in zip(sub_clause.head.args, call.args):
+        if isinstance(head_arg, Variable):
+            if head_arg in mapping:
+                # repeated head variable: both call args must agree
+                extra.append(Comparison("=", mapping[head_arg], call_arg))
+            else:
+                mapping[head_arg] = call_arg
+        else:
+            if isinstance(call_arg, Variable):
+                extra.append(Assignment(call_arg, head_arg))
+            elif call_arg != head_arg:
+                return [], False
+    literals = [substitute_literal(lit, mapping) for lit in sub_clause.body]
+    return literals + extra, True
+
+
+def expand_clause(
+    program: Program,
+    clause: HornClause,
+    keep: FrozenSet[str] = frozenset(),
+) -> List[HornClause]:
+    """Expand every inlinable derived literal of ``clause`` recursively.
+
+    Callers must ensure the dependency graph below the clause is
+    acyclic (:meth:`Program.influent_closure` raises otherwise); with
+    an acyclic graph every inlining step strictly descends, so the
+    rewriting terminates.
+    """
+    for index, literal in enumerate(clause.body):
+        if not isinstance(literal, PredLiteral):
+            continue
+        if literal.negated or literal.delta is not None:
+            continue
+        if literal.pred in keep:
+            continue
+        definition = program.predicate(literal.pred)
+        if not isinstance(definition, DerivedPredicate):
+            continue
+        expanded: List[HornClause] = []
+        for sub_clause in definition.clauses:
+            renamed = sub_clause.rename_apart()
+            literals, ok = _inline(renamed, literal)
+            if not ok:
+                continue
+            replacement = clause.replace_body_literal(index, *literals)
+            expanded.extend(expand_clause(program, replacement, keep))
+        return expanded
+    return [clause]
+
+
+def expand_predicate(
+    program: Program, name: str, keep: FrozenSet[str] = frozenset()
+) -> List[HornClause]:
+    """Fully expanded clauses of derived predicate ``name``.
+
+    With ``keep=frozenset()`` this produces the flat network of the
+    paper's Fig. 2; passing intermediate function names in ``keep``
+    produces the bushy, node-shared network of section 7.1.
+
+    Raises :class:`RecursionNotSupportedError` for recursive
+    predicates (outside the paper's scope, section 5 footnote 1).
+    """
+    definition = program.predicate(name)
+    if not isinstance(definition, DerivedPredicate):
+        return []
+    program.influent_closure(name)  # raises on dependency cycles
+    out: List[HornClause] = []
+    for clause in definition.clauses:
+        out.extend(expand_clause(program, clause, keep))
+    return out

@@ -1,0 +1,207 @@
+"""Body literals of ObjectLog clauses.
+
+Three kinds of literal appear in clause bodies:
+
+* :class:`PredLiteral` — a (possibly negated) reference to a stored or
+  derived predicate, e.g. ``quantity(I, _G1)`` or ``~blacklisted(A)``.
+  A pred literal may additionally carry a *delta marker*: the literal
+  ``delta='+'`` reads the plus-side of the predicate's delta-set instead
+  of the predicate itself — this is exactly how the paper's partial
+  differentials substitute ``delta+X`` for ``X`` (section 4.3).
+* :class:`Comparison` — ``_G1 < _G7`` and friends over arithmetic
+  expressions; only evaluable once all its variables are bound.
+* :class:`Assignment` — ``_G4 = _G1 * _G3``; binds (or checks) a
+  variable against the value of an expression.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import FrozenSet, Mapping, Tuple
+
+from repro.errors import ObjectLogError
+from repro.objectlog.terms import (
+    Arith,
+    ArithTerm,
+    Env,
+    Term,
+    Variable,
+    eval_expr,
+    expr_variables,
+    rename_expr,
+    variables_of,
+)
+
+
+class Literal:
+    """Common base for body literals."""
+
+    def variables(self) -> FrozenSet[Variable]:
+        raise NotImplementedError
+
+    def rename(self, mapping: Mapping[Variable, Variable]) -> "Literal":
+        raise NotImplementedError
+
+
+class PredLiteral(Literal):
+    """``[~]pred(args)``, optionally reading a delta-set side.
+
+    Attributes
+    ----------
+    pred:
+        Predicate (relation / function) name.
+    args:
+        Tuple of variables and constants.
+    negated:
+        Negation-as-absence: succeeds when no matching tuple exists.
+    delta:
+        ``None`` (read the predicate), ``"+"`` (read its delta-plus) or
+        ``"-"`` (read its delta-minus).
+    """
+
+    __slots__ = ("pred", "args", "negated", "delta")
+
+    def __init__(
+        self,
+        pred: str,
+        args: Tuple[Term, ...],
+        negated: bool = False,
+        delta: str = None,
+    ) -> None:
+        if delta not in (None, "+", "-"):
+            raise ObjectLogError(f"bad delta marker {delta!r}")
+        if delta and negated:
+            raise ObjectLogError("a literal cannot be both negated and a delta read")
+        self.pred = pred
+        self.args = tuple(args)
+        self.negated = negated
+        self.delta = delta
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def variables(self) -> FrozenSet[Variable]:
+        return variables_of(self.args)
+
+    def rename(self, mapping: Mapping[Variable, Variable]) -> "PredLiteral":
+        args = tuple(
+            mapping.get(arg, arg) if isinstance(arg, Variable) else arg
+            for arg in self.args
+        )
+        return PredLiteral(self.pred, args, self.negated, self.delta)
+
+    def with_delta(self, sign: str) -> "PredLiteral":
+        """The same literal reading the delta-set side ``sign`` instead."""
+        return PredLiteral(self.pred, self.args, False, sign)
+
+    def substitute(self, env: Env) -> "PredLiteral":
+        """Replace bound variables by their values."""
+        args = tuple(
+            env.get(arg, arg) if isinstance(arg, Variable) else arg
+            for arg in self.args
+        )
+        return PredLiteral(self.pred, args, self.negated, self.delta)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PredLiteral)
+            and other.pred == self.pred
+            and other.args == self.args
+            and other.negated == self.negated
+            and other.delta == self.delta
+        )
+
+    def __hash__(self) -> int:
+        return hash(("PredLiteral", self.pred, self.args, self.negated, self.delta))
+
+    def __repr__(self) -> str:
+        args = ", ".join(repr(a) for a in self.args)
+        name = f"Δ{self.delta}{self.pred}" if self.delta else self.pred
+        prefix = "~" if self.negated else ""
+        return f"{prefix}{name}({args})"
+
+
+_COMPARATORS = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "=": operator.eq,
+    "!=": operator.ne,
+}
+
+
+class Comparison(Literal):
+    """``left op right`` over arithmetic expressions."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: ArithTerm, right: ArithTerm) -> None:
+        if op not in _COMPARATORS:
+            raise ObjectLogError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def variables(self) -> FrozenSet[Variable]:
+        return expr_variables(self.left) | expr_variables(self.right)
+
+    def rename(self, mapping: Mapping[Variable, Variable]) -> "Comparison":
+        return Comparison(
+            self.op, rename_expr(self.left, mapping), rename_expr(self.right, mapping)
+        )
+
+    def holds(self, env: Env) -> bool:
+        return _COMPARATORS[self.op](
+            eval_expr(self.left, env), eval_expr(self.right, env)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Comparison)
+            and other.op == self.op
+            and other.left == self.left
+            and other.right == self.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Comparison", self.op, self.left, self.right))
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} {self.op} {self.right!r}"
+
+
+class Assignment(Literal):
+    """``var = expr``: bind ``var`` when free, check equality when bound."""
+
+    __slots__ = ("var", "expr")
+
+    def __init__(self, var: Variable, expr: ArithTerm) -> None:
+        if not isinstance(var, Variable):
+            raise ObjectLogError(f"assignment target must be a variable, got {var!r}")
+        self.var = var
+        self.expr = expr
+
+    def variables(self) -> FrozenSet[Variable]:
+        return frozenset({self.var}) | expr_variables(self.expr)
+
+    def input_variables(self) -> FrozenSet[Variable]:
+        """Variables that must be bound before the assignment can run."""
+        return expr_variables(self.expr)
+
+    def rename(self, mapping: Mapping[Variable, Variable]) -> "Assignment":
+        return Assignment(mapping.get(self.var, self.var), rename_expr(self.expr, mapping))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Assignment)
+            and other.var == self.var
+            and other.expr == self.expr
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Assignment", self.var, self.expr))
+
+    def __repr__(self) -> str:
+        return f"{self.var!r} = {self.expr!r}"

@@ -1,0 +1,189 @@
+"""Generation of partial differentials from rule conditions (sections 4.3-4.5).
+
+Given the (expanded) Horn clauses of a monitored derived predicate P and
+the set of its *network influents* (base relations, shared intermediate
+nodes, negated sub-predicates), the generator produces — per clause, per
+influent occurrence —
+
+* a **positive** partial differential ``dP/d+X``: the clause with that
+  occurrence replaced by a read of ``delta+X``, to be evaluated in the
+  NEW database state, contributing insertions to P; and
+* a **negative** partial differential ``dP/d-X``: the occurrence
+  replaced by a read of ``delta-X``, evaluated in the OLD state
+  (logical rollback), contributing deletions to P.
+
+Occurrences under *negation* flip the signs (section 4.5,
+``delta(~Q) = <delta-Q, delta+Q>``): deletions from X can make P gain
+tuples, insertions can make it lose them.  A guard literal re-checks
+the negation in the evaluation state so only genuine transitions pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List
+
+from repro.objectlog.clause import HornClause
+from repro.objectlog.literals import PredLiteral
+
+__all__ = ["PartialDifferentialClause", "generate_differentials"]
+
+
+@dataclass(frozen=True)
+class PartialDifferentialClause:
+    """One partial differential ``dP/d(sign)X`` as an executable clause.
+
+    Attributes
+    ----------
+    target:
+        The affected predicate P.
+    influent:
+        The influent X whose delta-set this differential reads.
+    input_sign:
+        Which side of X's delta it reads (``"+"`` or ``"-"``).
+    output_sign:
+        Whether results are insertions (``"+"``) or deletions (``"-"``)
+        of P.  Differs from ``input_sign`` only for negated occurrences.
+    state:
+        Database state the non-delta literals are evaluated in:
+        ``"new"`` for output_sign ``"+"``, ``"old"`` for ``"-"``.
+    clause:
+        The executable Horn clause (head = P's head, one delta literal).
+    occurrence:
+        Index of the replaced literal in the source clause body —
+        distinguishes self-join occurrences of the same influent.
+    static:
+        True when ``clause`` body is statically pre-ordered
+        (:func:`repro.objectlog.optimize.order_body`) and may be
+        evaluated without runtime scheduling.
+    """
+
+    target: str
+    influent: str
+    input_sign: str
+    output_sign: str
+    state: str
+    clause: HornClause
+    occurrence: int
+    static: bool = False
+
+    def label(self) -> str:
+        """Human-readable name, e.g. ``Δcnd_monitor_items/Δ+quantity``."""
+        return f"Δ{self.target}/Δ{self.input_sign}{self.influent}"
+
+    def __repr__(self) -> str:
+        return f"<{self.label()} [{self.output_sign}] occ={self.occurrence}>"
+
+
+def generate_differentials(
+    target: str,
+    clauses: Iterable[HornClause],
+    influents: FrozenSet[str],
+    negatives: bool = True,
+) -> List[PartialDifferentialClause]:
+    """All partial differentials of ``target`` w.r.t. ``influents``.
+
+    Parameters
+    ----------
+    clauses:
+        The (expanded) clauses defining ``target``.
+    influents:
+        Names of predicates that are nodes of the propagation network
+        below ``target`` — only their occurrences get differentials.
+    negatives:
+        Also generate the negative differentials.  Conditions that
+        provably depend only on insertions can skip them (paper
+        section 4.4: "often the rule condition depends only on
+        positive changes"), but strict semantics and net-change
+        tracking require them.
+    """
+    out: List[PartialDifferentialClause] = []
+    for clause in clauses:
+        for index, literal in enumerate(clause.body):
+            if not isinstance(literal, PredLiteral):
+                continue
+            if literal.pred not in influents or literal.delta is not None:
+                continue
+            if not literal.negated:
+                out.append(
+                    _positive_occurrence(target, clause, index, literal)
+                )
+                if negatives:
+                    out.append(
+                        _negative_occurrence(target, clause, index, literal)
+                    )
+            else:
+                out.append(
+                    _negated_positive_occurrence(target, clause, index, literal)
+                )
+                if negatives:
+                    out.append(
+                        _negated_negative_occurrence(target, clause, index, literal)
+                    )
+    return out
+
+
+def _positive_occurrence(
+    target: str, clause: HornClause, index: int, literal: PredLiteral
+) -> PartialDifferentialClause:
+    """``dP/d+X``: substitute the occurrence by delta+X; evaluate in NEW."""
+    replaced = clause.replace_body_literal(index, literal.with_delta("+"))
+    return PartialDifferentialClause(
+        target=target,
+        influent=literal.pred,
+        input_sign="+",
+        output_sign="+",
+        state="new",
+        clause=replaced,
+        occurrence=index,
+    )
+
+
+def _negative_occurrence(
+    target: str, clause: HornClause, index: int, literal: PredLiteral
+) -> PartialDifferentialClause:
+    """``dP/d-X``: substitute by delta-X; evaluate others in OLD state."""
+    replaced = clause.replace_body_literal(index, literal.with_delta("-"))
+    return PartialDifferentialClause(
+        target=target,
+        influent=literal.pred,
+        input_sign="-",
+        output_sign="-",
+        state="old",
+        clause=replaced,
+        occurrence=index,
+    )
+
+
+def _negated_positive_occurrence(
+    target: str, clause: HornClause, index: int, literal: PredLiteral
+) -> PartialDifferentialClause:
+    """P gains when a negated influent loses: delta-X plus a ~X guard."""
+    guard = PredLiteral(literal.pred, literal.args, negated=True)
+    replaced = clause.replace_body_literal(index, literal.with_delta("-"), guard)
+    return PartialDifferentialClause(
+        target=target,
+        influent=literal.pred,
+        input_sign="-",
+        output_sign="+",
+        state="new",
+        clause=replaced,
+        occurrence=index,
+    )
+
+
+def _negated_negative_occurrence(
+    target: str, clause: HornClause, index: int, literal: PredLiteral
+) -> PartialDifferentialClause:
+    """P loses when a negated influent gains: delta+X plus a ~X_old guard."""
+    guard = PredLiteral(literal.pred, literal.args, negated=True)
+    replaced = clause.replace_body_literal(index, literal.with_delta("+"), guard)
+    return PartialDifferentialClause(
+        target=target,
+        influent=literal.pred,
+        input_sign="+",
+        output_sign="-",
+        state="old",
+        clause=replaced,
+        occurrence=index,
+    )

@@ -1,0 +1,226 @@
+"""Condition monitoring engines: incremental, naive, and hybrid.
+
+All three engines answer the same question each check phase — *how did
+every monitored condition change?* — but differently:
+
+* :class:`IncrementalEngine` — the paper's contribution: propagate the
+  base-relation delta-sets through the propagation network, executing
+  only the partial differentials whose influents actually changed.
+* :class:`NaiveEngine` — the paper's baseline (section 6): whenever an
+  update touched an influent of a condition, recompute the whole
+  condition and diff it against the previous, materialized result.
+* :class:`HybridEngine` — the future-work idea of section 8: per
+  condition, estimate whether the transaction changed so much that
+  naive recomputation is cheaper, and mix both strategies.  It
+  recomputes the old state by logical rollback instead of materializing
+  previous results, so it stays as rollback-safe as the incremental
+  engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from repro.algebra.delta import DeltaSet
+from repro.algebra.oldstate import NewStateView, OldStateView
+from repro.objectlog.evaluate import Evaluator
+from repro.objectlog.program import Program
+from repro.rules.network import PropagationNetwork
+from repro.rules.propagation import PropagationTrace, Propagator
+from repro.storage.database import Database
+
+Row = Tuple
+
+__all__ = ["MonitoringEngine", "IncrementalEngine", "NaiveEngine", "HybridEngine"]
+
+
+class MonitoringEngine:
+    """Common interface of the three engines."""
+
+    #: set by the manager: condition name -> base influents
+    def rebuild(self, conditions: Mapping[str, FrozenSet[str]]) -> None:
+        """(Re)configure for the given monitored conditions."""
+        raise NotImplementedError
+
+    def process(
+        self, base_deltas: Mapping[str, DeltaSet], trace: bool = False
+    ) -> Dict[str, DeltaSet]:
+        """Condition deltas caused by ``base_deltas``."""
+        raise NotImplementedError
+
+    def resync(self, pending_deltas: Optional[Mapping[str, DeltaSet]] = None) -> None:
+        """Drop any engine state that may be stale after a rollback.
+
+        ``pending_deltas`` holds the *current* transaction's accumulated
+        changes: engines that materialize previous results must rebuild
+        them as of the pre-transaction state (logical rollback), not the
+        live one.
+        """
+
+    @property
+    def last_trace(self) -> Optional[PropagationTrace]:
+        return None
+
+
+class IncrementalEngine(MonitoringEngine):
+    """Partial differencing over a propagation network."""
+
+    def __init__(
+        self,
+        db: Database,
+        program: Program,
+        shared_nodes: FrozenSet[str] = frozenset(),
+        negatives: bool = True,
+        guard_negatives: bool = True,
+    ) -> None:
+        self.db = db
+        self.program = program
+        self.shared_nodes = frozenset(shared_nodes)
+        self.negatives = negatives
+        self.guard_negatives = guard_negatives
+        self.network = PropagationNetwork(program, negatives=negatives)
+        self._propagator = Propagator(
+            program, db, self.network, guard_negatives=guard_negatives
+        )
+        self._influents: Dict[str, FrozenSet[str]] = {}
+
+    def rebuild(self, conditions: Mapping[str, FrozenSet[str]]) -> None:
+        self.network = PropagationNetwork(self.program, negatives=self.negatives)
+        for condition in sorted(conditions):
+            self.network.add_condition(condition, keep=self.shared_nodes)
+        self._propagator = Propagator(
+            self.program, self.db, self.network, guard_negatives=self.guard_negatives
+        )
+        self._influents = dict(conditions)
+
+    def process(
+        self, base_deltas: Mapping[str, DeltaSet], trace: bool = False
+    ) -> Dict[str, DeltaSet]:
+        return self._propagator.run(base_deltas, trace=trace)
+
+    @property
+    def last_trace(self) -> Optional[PropagationTrace]:
+        return self._propagator.last_trace
+
+
+class NaiveEngine(MonitoringEngine):
+    """Full recomputation against a materialized previous result."""
+
+    def __init__(self, db: Database, program: Program) -> None:
+        self.db = db
+        self.program = program
+        self._influents: Dict[str, FrozenSet[str]] = {}
+        self._previous: Dict[str, FrozenSet[Row]] = {}
+
+    def rebuild(self, conditions: Mapping[str, FrozenSet[str]]) -> None:
+        self._influents = dict(conditions)
+        evaluator = Evaluator(self.program, NewStateView(self.db))
+        self._previous = {
+            condition: evaluator.extension(condition) for condition in conditions
+        }
+
+    def process(
+        self, base_deltas: Mapping[str, DeltaSet], trace: bool = False
+    ) -> Dict[str, DeltaSet]:
+        changed = frozenset(base_deltas)
+        results: Dict[str, DeltaSet] = {}
+        evaluator = Evaluator(self.program, NewStateView(self.db))
+        for condition, influents in self._influents.items():
+            if not (influents & changed):
+                continue
+            current = evaluator.extension(condition)
+            previous = self._previous[condition]
+            delta = DeltaSet(current - previous, previous - current)
+            self._previous[condition] = current
+            if not delta.empty:
+                results[condition] = delta
+        return results
+
+    def resync(self, pending_deltas: Optional[Mapping[str, DeltaSet]] = None) -> None:
+        """Re-materialize all previous results as of the pre-transaction
+        state (the live database rolled back by the pending deltas)."""
+        if pending_deltas:
+            view = OldStateView(self.db, pending_deltas)
+        else:
+            view = NewStateView(self.db)
+        evaluator = Evaluator(self.program, view)
+        for condition in self._influents:
+            self._previous[condition] = evaluator.extension(condition)
+
+
+class HybridEngine(MonitoringEngine):
+    """Mix of incremental propagation and rollback-based recomputation.
+
+    For each affected condition the engine compares the total size of
+    the incoming delta-sets against ``switch_ratio`` times the summed
+    cardinality of the condition's base influents; above the threshold
+    it recomputes the condition in both states (new directly, old by
+    logical rollback) instead of propagating.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        program: Program,
+        switch_ratio: float = 0.2,
+        shared_nodes: FrozenSet[str] = frozenset(),
+    ) -> None:
+        self.db = db
+        self.program = program
+        self.switch_ratio = switch_ratio
+        self._incremental = IncrementalEngine(db, program, shared_nodes=shared_nodes)
+        self._influents: Dict[str, FrozenSet[str]] = {}
+        #: how each condition was handled last time (for tests/reporting)
+        self.last_decisions: Dict[str, str] = {}
+
+    def rebuild(self, conditions: Mapping[str, FrozenSet[str]]) -> None:
+        self._influents = dict(conditions)
+        self._incremental.rebuild(conditions)
+
+    def process(
+        self, base_deltas: Mapping[str, DeltaSet], trace: bool = False
+    ) -> Dict[str, DeltaSet]:
+        changed = frozenset(base_deltas)
+        self.last_decisions = {}
+        naive_conditions: List[str] = []
+        incremental_needed = False
+        for condition, influents in self._influents.items():
+            touched = influents & changed
+            if not touched:
+                continue
+            delta_size = sum(
+                len(base_deltas[name].plus) + len(base_deltas[name].minus)
+                for name in touched
+            )
+            full_size = sum(
+                len(self.db.relation(name)) for name in influents
+            )
+            if delta_size > self.switch_ratio * max(full_size, 1):
+                naive_conditions.append(condition)
+                self.last_decisions[condition] = "naive"
+            else:
+                incremental_needed = True
+                self.last_decisions[condition] = "incremental"
+
+        results: Dict[str, DeltaSet] = {}
+        if incremental_needed:
+            propagated = self._incremental.process(base_deltas, trace=trace)
+            for condition, decision in self.last_decisions.items():
+                if decision == "incremental" and condition in propagated:
+                    results[condition] = propagated[condition]
+        if naive_conditions:
+            new_eval = Evaluator(self.program, NewStateView(self.db))
+            old_eval = Evaluator(
+                self.program, OldStateView(self.db, base_deltas)
+            )
+            for condition in naive_conditions:
+                current = new_eval.extension(condition)
+                previous = old_eval.extension(condition)
+                delta = DeltaSet(current - previous, previous - current)
+                if not delta.empty:
+                    results[condition] = delta
+        return results
+
+    @property
+    def last_trace(self) -> Optional[PropagationTrace]:
+        return self._incremental.last_trace

@@ -1,0 +1,104 @@
+"""Explainability: why did a rule trigger? (paper sections 1 and 8).
+
+    "one can easily determine which influents actually caused a rule to
+    trigger and if it was triggered by an insertion or a deletion.  It
+    is straight forward to determine this by remembering which partial
+    differentials were actually executed in the triggering."
+
+When the manager runs with ``explain=True`` it keeps, per check phase,
+the executed differentials and — per fired rule, per row — the
+differentials that produced the row.  Applications can branch on the
+cause (the section-8 use case: different actions for different
+reasons) via :meth:`CheckPhaseReport.causes_of`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.algebra.delta import DeltaSet
+from repro.rules.propagation import DifferentialExecution, PropagationTrace
+
+Row = Tuple
+
+__all__ = ["FiredRule", "CheckPhaseIteration", "CheckPhaseReport"]
+
+
+@dataclass(frozen=True)
+class FiredRule:
+    """One rule firing: which rows, and which differentials caused them."""
+
+    rule: str
+    params: Tuple
+    rows: FrozenSet[Row]
+    #: row -> executed differentials that produced it (empty when the
+    #: engine ran without tracing, e.g. the naive engine)
+    causes: Dict[Row, Tuple[DifferentialExecution, ...]]
+
+    def influents_for(self, row: Row) -> FrozenSet[str]:
+        """The influents whose changes made ``row`` true."""
+        return frozenset(e.influent for e in self.causes.get(tuple(row), ()))
+
+    def signs_for(self, row: Row) -> FrozenSet[str]:
+        """Was the row triggered by insertions ('+'), deletions ('-')?"""
+        return frozenset(e.input_sign for e in self.causes.get(tuple(row), ()))
+
+
+@dataclass
+class CheckPhaseIteration:
+    """One round of the check-phase loop."""
+
+    index: int
+    base_deltas: Dict[str, DeltaSet]
+    condition_deltas: Dict[str, DeltaSet]
+    trace: Optional[PropagationTrace]
+    fired: Optional[FiredRule] = None
+
+
+@dataclass
+class CheckPhaseReport:
+    """Everything that happened during one deferred check phase."""
+
+    iterations: List[CheckPhaseIteration] = field(default_factory=list)
+
+    def fired_rules(self) -> List[FiredRule]:
+        return [it.fired for it in self.iterations if it.fired is not None]
+
+    def executed_differentials(self) -> List[str]:
+        out: List[str] = []
+        for iteration in self.iterations:
+            if iteration.trace is not None:
+                out.extend(iteration.trace.executed_labels())
+        return out
+
+    def causes_of(self, rule: str, row: Row) -> FrozenSet[str]:
+        """Union of influents that triggered ``rule`` for ``row``."""
+        influents: set = set()
+        for fired in self.fired_rules():
+            if fired.rule == rule and tuple(row) in fired.rows:
+                influents |= fired.influents_for(row)
+        return frozenset(influents)
+
+    def summary(self) -> str:
+        """A human-readable digest of the check phase."""
+        lines: List[str] = []
+        for iteration in self.iterations:
+            changed = ", ".join(
+                f"{name}(+{len(d.plus)}/-{len(d.minus)})"
+                for name, d in sorted(iteration.base_deltas.items())
+            )
+            lines.append(f"iteration {iteration.index}: changed [{changed}]")
+            if iteration.trace is not None:
+                for execution in iteration.trace.executions:
+                    lines.append(f"  executed {execution!r}")
+            for name, delta in sorted(iteration.condition_deltas.items()):
+                lines.append(
+                    f"  condition {name}: +{sorted(delta.plus)} -{sorted(delta.minus)}"
+                )
+            if iteration.fired is not None:
+                lines.append(
+                    f"  fired {iteration.fired.rule}{iteration.fired.params!r} "
+                    f"on {sorted(iteration.fired.rows)}"
+                )
+        return "\n".join(lines)

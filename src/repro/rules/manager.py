@@ -1,0 +1,361 @@
+"""The rule manager: activation, the deferred check phase, firing.
+
+The manager owns the whole CA-rule life cycle (paper section 3):
+
+* rules are *created* (registered) and then *activated* per parameter
+  tuple;
+* activation computes the condition's base influent closure and marks
+  those relations monitored, so their updates accumulate delta-sets —
+  inactive rules cost nothing;
+* at commit, the database calls the manager's **check phase**: the
+  monitoring engine turns base delta-sets into condition delta-sets,
+  strict/nervous semantics filter them, pending net changes accumulate
+  per activation with delta-union (so a condition that becomes true and
+  false again in the same transaction never fires), conflict resolution
+  picks ONE triggered rule, its action executes set-oriented on the net
+  changes — and the loop repeats, because actions are ordinary updates
+  that may trigger further rules.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from repro.algebra.delta import DeltaSet
+from repro.algebra.oldstate import OldStateView
+from repro.errors import RuleActivationError, RuleError, UnknownRuleError
+from repro.objectlog.evaluate import Evaluator
+from repro.objectlog.program import Program
+from repro.rules.engines import (
+    HybridEngine,
+    IncrementalEngine,
+    MonitoringEngine,
+    NaiveEngine,
+)
+from repro.rules.explain import CheckPhaseIteration, CheckPhaseReport, FiredRule
+from repro.rules.rule import STRICT, Activation, Rule, default_conflict_resolver
+from repro.storage.database import Database
+
+Row = Tuple
+
+__all__ = ["RuleManager"]
+
+
+class RuleManager:
+    """Coordinates rules, the monitoring engine, and the database.
+
+    Parameters
+    ----------
+    mode:
+        ``"incremental"`` (partial differencing), ``"naive"`` (the
+        paper's baseline), or ``"hybrid"`` (section-8 extension).
+    shared_nodes:
+        Derived predicates kept as shared intermediate network nodes
+        (section 7.1); incremental/hybrid modes only.
+    explain:
+        Record a :class:`CheckPhaseReport` for every check phase.
+    processing:
+        ``"deferred"`` (the paper's default: conditions are evaluated in
+        the check phase at commit) or ``"immediate"`` (section 1 notes
+        the technique "can also be used for immediate rule processing"):
+        the check loop additionally runs after every data-model update
+        statement, inside the transaction.  Immediate firings cannot be
+        un-done by a later statement of the same transaction — that is
+        the semantic difference, not an implementation limit.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        program: Program,
+        mode: str = "incremental",
+        shared_nodes: FrozenSet[str] = frozenset(),
+        explain: bool = False,
+        max_iterations: int = 1000,
+        conflict_resolver: Callable = default_conflict_resolver,
+        negatives: bool = True,
+        hybrid_switch_ratio: float = 0.2,
+        processing: str = "deferred",
+    ) -> None:
+        if processing not in ("deferred", "immediate"):
+            raise RuleError(f"unknown processing mode {processing!r}")
+        self.db = db
+        self.program = program
+        self.mode = mode
+        self.processing = processing
+        self.explain = explain
+        self.max_iterations = max_iterations
+        self.conflict_resolver = conflict_resolver
+        self._rules: Dict[str, Rule] = {}
+        self._activations: Dict[Tuple[str, Tuple], Activation] = {}
+        self._monitored: FrozenSet[str] = frozenset()
+        self._dirty = False
+        self._in_check_phase = False
+        self.last_report: Optional[CheckPhaseReport] = None
+        #: while a rule action is executing: the FiredRule being served
+        #: (section 8: "By giving access to the results of partial
+        #: differentials in the action part of a CA-rule it is possible
+        #: [to] perform different actions depending on what has
+        #: happened").  None outside action execution.
+        self.current_firing: Optional[FiredRule] = None
+        if mode == "incremental":
+            self.engine: MonitoringEngine = IncrementalEngine(
+                db, program, shared_nodes=shared_nodes, negatives=negatives
+            )
+        elif mode == "naive":
+            self.engine = NaiveEngine(db, program)
+        elif mode == "hybrid":
+            self.engine = HybridEngine(
+                db,
+                program,
+                switch_ratio=hybrid_switch_ratio,
+                shared_nodes=shared_nodes,
+            )
+        else:
+            raise RuleError(f"unknown monitoring mode {mode!r}")
+        db.add_check_hook(self._check_phase)
+
+    # -- rule registry ------------------------------------------------------------
+
+    def create_rule(self, rule: Rule) -> Rule:
+        if rule.name in self._rules:
+            raise RuleError(f"rule {rule.name!r} already exists")
+        self.program.predicate(rule.condition)  # must exist
+        self._rules[rule.name] = rule
+        return rule
+
+    def rule(self, name: str) -> Rule:
+        try:
+            return self._rules[name]
+        except KeyError:
+            raise UnknownRuleError(name) from None
+
+    def drop_rule(self, name: str) -> None:
+        rule = self.rule(name)
+        for key in [k for k in self._activations if k[0] == name]:
+            self.deactivate(name, key[1])
+        del self._rules[rule.name]
+
+    # -- activation ----------------------------------------------------------------
+
+    def activate(self, name: str, params: Tuple = ()) -> Activation:
+        rule = self.rule(name)
+        key = (name, tuple(params))
+        if key in self._activations:
+            raise RuleActivationError(f"rule {name!r}{params!r} is already active")
+        activation = Activation(rule, tuple(params))
+        self._activations[key] = activation
+        self._reconfigure()
+        return activation
+
+    def deactivate(self, name: str, params: Tuple = ()) -> None:
+        key = (name, tuple(params))
+        if key not in self._activations:
+            raise RuleActivationError(f"rule {name!r}{params!r} is not active")
+        del self._activations[key]
+        self._reconfigure()
+
+    def is_active(self, name: str, params: Tuple = ()) -> bool:
+        return (name, tuple(params)) in self._activations
+
+    def active_rules(self) -> List[Tuple[str, Tuple]]:
+        return sorted(self._activations)
+
+    def _conditions(self) -> Dict[str, FrozenSet[str]]:
+        """Monitored condition -> base influents."""
+        out: Dict[str, FrozenSet[str]] = {}
+        for activation in self._activations.values():
+            condition = activation.rule.condition
+            if condition not in out:
+                out[condition] = self.program.base_influents(condition)
+        return out
+
+    def _reconfigure(self) -> None:
+        conditions = self._conditions()
+        needed = frozenset().union(*conditions.values()) if conditions else frozenset()
+        for name in needed - self._monitored:
+            self.db.monitor(name)
+        for name in self._monitored - needed:
+            self.db.unmonitor(name)
+        self._monitored = needed
+        self.engine.rebuild(conditions)
+
+    # -- the check phase ---------------------------------------------------------------
+
+    def maybe_immediate_check(self) -> None:
+        """Run the check loop now if immediate processing is on.
+
+        Called by the data-model layer after each update statement; a
+        no-op for deferred processing, during the check phase itself,
+        and when nothing relevant changed.
+        """
+        if self.processing != "immediate" or self._in_check_phase:
+            return
+        if not self._activations or not self.db.has_pending_changes():
+            return
+        self._check_phase(self.db)
+
+    def _check_phase(self, db: Database) -> None:
+        if self._in_check_phase:
+            return
+        if not self._activations:
+            db.take_deltas()
+            return
+        self._in_check_phase = True
+        report = CheckPhaseReport() if self.explain else None
+        try:
+            self._run_check_loop(db, report)
+        except Exception:
+            # commit will roll the transaction back; engine state that
+            # materializes previous results is now stale
+            self._dirty = True
+            raise
+        finally:
+            self._in_check_phase = False
+            # pending net changes are per-transaction: a condition that
+            # went false and stayed false must not cancel changes of a
+            # LATER transaction
+            for activation in self._activations.values():
+                activation.pending.clear()
+            if report is not None:
+                self.last_report = report
+
+    def _run_check_loop(self, db: Database, report: Optional[CheckPhaseReport]) -> None:
+        if self._dirty:
+            # previous results must reflect the PRE-transaction state:
+            # roll the live relations back by the pending deltas
+            self.engine.resync(db.peek_deltas())
+            self._dirty = False
+        iterations = 0
+        while True:
+            base_deltas = db.take_deltas()
+            if base_deltas:
+                condition_deltas = self.engine.process(
+                    base_deltas, trace=self.explain
+                )
+                self._distribute(condition_deltas, base_deltas)
+            else:
+                condition_deltas = {}
+            chosen = self._choose_triggered()
+            iteration_record = None
+            if report is not None and (base_deltas or chosen is not None):
+                iteration_record = CheckPhaseIteration(
+                    index=iterations,
+                    base_deltas=dict(base_deltas),
+                    condition_deltas=dict(condition_deltas),
+                    trace=self.engine.last_trace if base_deltas else None,
+                )
+                report.iterations.append(iteration_record)
+            if chosen is None:
+                if not db.has_pending_changes():
+                    break
+                continue
+            rows = chosen.take_triggered_rows()
+            fired_record = None
+            if report is not None:
+                fired_record = self._fired_record(chosen, rows, report)
+                if iteration_record is not None:
+                    iteration_record.fired = fired_record
+            self.current_firing = fired_record or FiredRule(
+                rule=chosen.rule.name,
+                params=chosen.params,
+                rows=frozenset(rows),
+                causes={},
+            )
+            try:
+                self._execute_action(chosen, rows)
+            finally:
+                self.current_firing = None
+            iterations += 1
+            if iterations > self.max_iterations:
+                raise RuleError(
+                    f"check phase did not terminate after {self.max_iterations} "
+                    "rule firings (rule actions keep (re)triggering rules)"
+                )
+
+    def _distribute(
+        self,
+        condition_deltas: Mapping[str, DeltaSet],
+        base_deltas: Mapping[str, DeltaSet],
+    ) -> None:
+        """Fan condition deltas out to activations, applying semantics."""
+        if not condition_deltas:
+            return
+        old_eval: Optional[Evaluator] = None
+        for activation in self._activations.values():
+            condition = activation.rule.condition
+            delta = condition_deltas.get(condition)
+            if delta is None or delta.empty:
+                continue
+            events = activation.rule.events
+            if events is not None and not (events & frozenset(base_deltas)):
+                # ECA event filter: this iteration's triggering updates
+                # are not among the rule's events
+                continue
+            delta = activation.restrict(delta)
+            if delta.empty:
+                continue
+            if activation.rule.semantics == STRICT and delta.plus:
+                if old_eval is None:
+                    old_eval = Evaluator(
+                        self.program, OldStateView(self.db, base_deltas)
+                    )
+                genuinely_new = frozenset(
+                    row
+                    for row in delta.plus
+                    if not old_eval.holds(condition, row)
+                )
+                delta = DeltaSet(genuinely_new, delta.minus)
+            activation.pending.merge(delta)
+
+    def _choose_triggered(self) -> Optional[Activation]:
+        candidates = [
+            activation
+            for activation in self._activations.values()
+            if activation.pending.plus
+        ]
+        if not candidates:
+            return None
+        return self.conflict_resolver(candidates)
+
+    def _execute_action(self, activation: Activation, rows: FrozenSet[Row]) -> None:
+        rule = activation.rule
+        if not rows:
+            return
+        if rule.action_mode == "set":
+            rule.action(frozenset(rows))
+        else:
+            for row in sorted(rows, key=repr):
+                rule.action(row)
+
+    def _fired_record(
+        self,
+        activation: Activation,
+        rows: FrozenSet[Row],
+        report: CheckPhaseReport,
+    ) -> FiredRule:
+        causes: Dict[Row, Tuple] = {}
+        condition = activation.rule.condition
+        traces = [it.trace for it in report.iterations if it.trace is not None]
+        for row in rows:
+            contributors = []
+            for trace in traces:
+                contributors.extend(trace.contributors_of(condition, row))
+            causes[row] = tuple(contributors)
+        return FiredRule(
+            rule=activation.rule.name,
+            params=activation.params,
+            rows=frozenset(rows),
+            causes=causes,
+        )
+
+    # -- introspection -------------------------------------------------------------------
+
+    def monitored_relations(self) -> FrozenSet[str]:
+        return self._monitored
+
+    def __repr__(self) -> str:
+        return (
+            f"RuleManager(mode={self.mode!r}, rules={len(self._rules)}, "
+            f"active={len(self._activations)})"
+        )

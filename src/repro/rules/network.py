@@ -1,0 +1,292 @@
+"""The propagation network (paper Fig. 2 / section 7.1).
+
+The propagation network is the dependency network augmented with
+partial differentials: nodes are base relations and monitored derived
+predicates; every edge ``X -> P`` carries the partial differential
+clauses ``dP/d+X`` and ``dP/d-X``.
+
+Two construction modes, matching the paper:
+
+* **full expansion** (default; the benchmarks' configuration): each
+  condition is flattened into conjunctive clauses over base relations
+  only, giving the flat network of Fig. 2;
+* **node sharing** (``keep={...}``, section 7.1): listed derived
+  predicates stay as intermediate nodes with their own differentials,
+  giving a bushy network in which a sub-predicate referenced by many
+  rules (``threshold``) is differenced once and its delta reused.
+
+Negated sub-predicates always become intermediate nodes: negation is a
+set-level operation that cannot be flattened through (see
+:mod:`repro.objectlog.expand`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.algebra.delta import MutableDelta
+from repro.errors import PropagationError
+from repro.objectlog.clause import HornClause
+from repro.objectlog.expand import expand_predicate
+from repro.objectlog.optimize import order_clause
+from repro.objectlog.program import (
+    AggregatePredicate,
+    DerivedPredicate,
+    Program,
+)
+from repro.rules.differentials import (
+    PartialDifferentialClause,
+    generate_differentials,
+)
+
+__all__ = ["NetworkNode", "NetworkEdge", "PropagationNetwork"]
+
+
+class NetworkNode:
+    """One node: a base relation or a monitored derived predicate."""
+
+    __slots__ = ("name", "kind", "level", "delta", "out_edges", "is_root", "clauses")
+
+    def __init__(self, name: str, kind: str) -> None:
+        self.name = name
+        self.kind = kind  # "base" | "derived"
+        self.level = 0
+        self.delta = MutableDelta()
+        self.out_edges: List["NetworkEdge"] = []
+        self.is_root = False
+        #: expanded clauses (derived nodes only) — used for membership
+        #: tests and old-state recomputation
+        self.clauses: List[HornClause] = []
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkNode({self.name!r}, kind={self.kind}, level={self.level}, "
+            f"edges={len(self.out_edges)}, root={self.is_root})"
+        )
+
+
+class NetworkEdge:
+    """Edge ``source -> target`` with its partial differentials.
+
+    An edge into an aggregate node carries no differential clauses;
+    instead ``aggregate`` holds the :class:`AggregatePredicate` and the
+    propagator recomputes the touched groups (old state by rollback).
+    """
+
+    __slots__ = ("source", "target", "positive", "negative", "aggregate")
+
+    def __init__(self, source: NetworkNode, target: NetworkNode) -> None:
+        self.source = source
+        self.target = target
+        #: differentials reading delta+source / delta-source
+        self.positive: List[PartialDifferentialClause] = []
+        self.negative: List[PartialDifferentialClause] = []
+        #: set when the target is an aggregate node
+        self.aggregate = None
+
+    def add(self, differential: PartialDifferentialClause) -> None:
+        if differential.input_sign == "+":
+            self.positive.append(differential)
+        else:
+            self.negative.append(differential)
+
+    def differentials(self) -> List[PartialDifferentialClause]:
+        return self.positive + self.negative
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkEdge({self.source.name!r} -> {self.target.name!r}, "
+            f"+{len(self.positive)}/-{len(self.negative)})"
+        )
+
+
+class PropagationNetwork:
+    """Nodes, edges, and differentials for a set of monitored conditions."""
+
+    def __init__(
+        self,
+        program: Program,
+        negatives: bool = True,
+        optimize: bool = True,
+    ) -> None:
+        self.program = program
+        self.negatives = negatives
+        #: statically pre-order differential bodies at compile time (the
+        #: paper's per-differential query optimization, section 1)
+        self.optimize = optimize
+        self.nodes: Dict[str, NetworkNode] = {}
+        self._edges: Dict[Tuple[str, str], NetworkEdge] = {}
+
+    # -- construction ---------------------------------------------------------------
+
+    def add_condition(
+        self, name: str, keep: FrozenSet[str] = frozenset()
+    ) -> NetworkNode:
+        """Add (or re-add) a monitored condition and everything below it."""
+        node = self._build(name, frozenset(keep), frozenset())
+        node.is_root = True
+        self._recompute_levels()
+        return node
+
+    def _build(
+        self, name: str, keep: FrozenSet[str], stack: FrozenSet[str]
+    ) -> NetworkNode:
+        if name in stack:
+            raise PropagationError(f"propagation network cycle through {name!r}")
+        existing = self.nodes.get(name)
+        if existing is not None and (existing.kind != "derived" or existing.clauses):
+            return existing
+        definition = self.program.predicate(name)
+        if isinstance(definition, AggregatePredicate):
+            node = self.nodes.setdefault(name, NetworkNode(name, "aggregate"))
+            child = self._build(definition.source, keep, stack | {name})
+            edge = self._edge(child, node)
+            edge.aggregate = definition
+            return node
+        if not isinstance(definition, DerivedPredicate):
+            node = self.nodes.setdefault(name, NetworkNode(name, "base"))
+            return node
+        node = self.nodes.setdefault(name, NetworkNode(name, "derived"))
+        # expand, keeping shared nodes and stopping at negation
+        negated = self._negated_below(name, keep)
+        effective_keep = keep | negated
+        clauses = expand_predicate(self.program, name, keep=effective_keep)
+        node.clauses = clauses
+        influents = self._clause_influents(clauses)
+        differentials = generate_differentials(
+            name, clauses, influents, negatives=self.negatives
+        )
+        if self.optimize:
+            differentials = [self._optimize(d) for d in differentials]
+        for influent in sorted(influents):
+            child = self._build(influent, keep, stack | {name})
+            edge = self._edge(child, node)
+            for differential in differentials:
+                if differential.influent == influent:
+                    edge.add(differential)
+        return node
+
+    def _negated_below(self, name: str, keep: FrozenSet[str]) -> FrozenSet[str]:
+        """Derived predicates referenced under negation below ``name``."""
+        out: Set[str] = set()
+        seen: Set[str] = set()
+
+        def visit(pred: str) -> None:
+            if pred in seen:
+                return
+            seen.add(pred)
+            for clause in self.program.clauses_of(pred):
+                for literal in clause.pred_literals():
+                    definition = self.program.predicate(literal.pred)
+                    if literal.negated and isinstance(definition, DerivedPredicate):
+                        out.add(literal.pred)
+                    if isinstance(definition, DerivedPredicate):
+                        visit(literal.pred)
+
+        visit(name)
+        return frozenset(out)
+
+    @staticmethod
+    def _clause_influents(clauses: List[HornClause]) -> FrozenSet[str]:
+        out: Set[str] = set()
+        for clause in clauses:
+            for literal in clause.pred_literals():
+                if literal.delta is None:
+                    out.add(literal.pred)
+        return frozenset(out)
+
+    def _optimize(
+        self, differential: PartialDifferentialClause
+    ) -> PartialDifferentialClause:
+        """Statically pre-order a differential's body (compile once,
+        execute every transaction).  Falls back to the dynamic
+        scheduler when no safe static order exists."""
+        from repro.errors import UnsafeClauseError
+
+        try:
+            ordered = order_clause(differential.clause, self.program)
+        except UnsafeClauseError:
+            return differential
+        return dataclasses.replace(differential, clause=ordered, static=True)
+
+    def _edge(self, source: NetworkNode, target: NetworkNode) -> NetworkEdge:
+        key = (source.name, target.name)
+        edge = self._edges.get(key)
+        if edge is None:
+            edge = NetworkEdge(source, target)
+            self._edges[key] = edge
+            source.out_edges.append(edge)
+        return edge
+
+    def _recompute_levels(self) -> None:
+        incoming: Dict[str, List[str]] = {name: [] for name in self.nodes}
+        for source_name, target_name in self._edges:
+            incoming[target_name].append(source_name)
+
+        cache: Dict[str, int] = {}
+
+        def level(name: str, trail: FrozenSet[str]) -> int:
+            if name in trail:
+                raise PropagationError(f"propagation network cycle through {name!r}")
+            if name in cache:
+                return cache[name]
+            below = incoming[name]
+            value = 0 if not below else 1 + max(
+                level(i, trail | {name}) for i in below
+            )
+            cache[name] = value
+            return value
+
+        for name, node in self.nodes.items():
+            node.level = level(name, frozenset())
+
+    # -- queries ----------------------------------------------------------------------
+
+    def node(self, name: str) -> NetworkNode:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise PropagationError(f"no network node named {name!r}") from None
+
+    def roots(self) -> List[NetworkNode]:
+        return [node for node in self.nodes.values() if node.is_root]
+
+    def base_relations(self) -> FrozenSet[str]:
+        return frozenset(
+            name for name, node in self.nodes.items() if node.kind == "base"
+        )
+
+    def edges(self) -> List[NetworkEdge]:
+        return list(self._edges.values())
+
+    def bottom_up_nodes(self) -> List[NetworkNode]:
+        """All nodes, lowest level first (breadth-first, bottom-up order)."""
+        return sorted(self.nodes.values(), key=lambda node: (node.level, node.name))
+
+    def differential_count(self) -> int:
+        return sum(len(edge.differentials()) for edge in self._edges.values())
+
+    def to_dot(self) -> str:
+        """GraphViz rendering with differential labels on the edges."""
+        lines = ["digraph propagation_network {", "  rankdir=BT;"]
+        for node in sorted(self.nodes.values(), key=lambda n: n.name):
+            shape = "box" if node.is_root else (
+                "ellipse" if node.kind == "derived" else "plaintext"
+            )
+            lines.append(f'  "{node.name}" [shape={shape}];')
+        for edge in sorted(self._edges.values(), key=lambda e: (e.source.name, e.target.name)):
+            labels = sorted({d.label() for d in edge.differentials()})
+            label = "\\n".join(labels)
+            lines.append(
+                f'  "{edge.source.name}" -> "{edge.target.name}" [label="{label}"];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"PropagationNetwork(nodes={len(self.nodes)}, "
+            f"edges={len(self._edges)}, differentials={self.differential_count()})"
+        )

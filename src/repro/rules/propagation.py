@@ -1,0 +1,259 @@
+"""Breadth-first, bottom-up propagation (paper section 5, Fig. 5).
+
+The algorithm, as the paper outlines it::
+
+    for each level (starting with the lowest level)
+        for each changed node (a non-empty delta-set)
+            for each edge to an above node
+                execute the partial differential(s) and accumulate the
+                result in the delta-set of the node above using
+                delta-union
+
+plus the two crucial refinements:
+
+* a node's delta-set is **discarded** as soon as its out-edges have
+  executed (the "wave-front materialization" that keeps memory flat);
+* negative differential results are **guarded** (section 7.2): a
+  deletion candidate still derivable in the new database state is
+  dropped before accumulation, because an over-propagated negative
+  change could cancel a genuine positive one and make rules
+  under-react — "which is unacceptable".
+
+Positive differentials are evaluated in the NEW state, negative ones in
+the OLD state, reconstructed on demand by logical rollback from the
+very delta-sets being propagated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from repro.algebra.delta import DeltaSet
+from repro.algebra.oldstate import NewStateView, OldStateView
+from repro.objectlog.evaluate import Evaluator
+from repro.objectlog.program import Program
+from repro.rules.differentials import PartialDifferentialClause
+from repro.rules.network import NetworkNode, PropagationNetwork
+from repro.storage.database import Database
+
+Row = Tuple
+
+__all__ = ["DifferentialExecution", "PropagationTrace", "Propagator"]
+
+
+@dataclass(frozen=True)
+class DifferentialExecution:
+    """One executed partial differential, for explainability (section 1)."""
+
+    label: str
+    target: str
+    influent: str
+    input_sign: str
+    output_sign: str
+    input_size: int
+    produced: FrozenSet[Row]
+    guarded_away: FrozenSet[Row]
+
+    def __repr__(self) -> str:
+        return (
+            f"<{self.label} [{self.output_sign}] in={self.input_size} "
+            f"out={len(self.produced)} guarded={len(self.guarded_away)}>"
+        )
+
+
+@dataclass
+class PropagationTrace:
+    """Record of everything one propagation run executed."""
+
+    executions: List[DifferentialExecution] = field(default_factory=list)
+
+    def executed_labels(self) -> List[str]:
+        return [execution.label for execution in self.executions]
+
+    def for_target(self, target: str) -> List[DifferentialExecution]:
+        return [e for e in self.executions if e.target == target]
+
+    def contributors_of(self, target: str, row: Row) -> List[DifferentialExecution]:
+        """Which differentials produced ``row`` for ``target``?"""
+        return [
+            e for e in self.executions if e.target == target and row in e.produced
+        ]
+
+
+class Propagator:
+    """Runs the breadth-first bottom-up algorithm over one network."""
+
+    def __init__(
+        self,
+        program: Program,
+        db: Database,
+        network: PropagationNetwork,
+        guard_negatives: bool = True,
+    ) -> None:
+        self.program = program
+        self.db = db
+        self.network = network
+        self.guard_negatives = guard_negatives
+        #: statistics of the last run (differentials executed, tuples produced)
+        self.last_trace: Optional[PropagationTrace] = None
+
+    def run(
+        self,
+        base_deltas: Mapping[str, DeltaSet],
+        trace: bool = False,
+    ) -> Dict[str, DeltaSet]:
+        """Propagate ``base_deltas`` upward; return the root delta-sets."""
+        tracer = PropagationTrace() if trace else None
+        new_view = NewStateView(self.db)
+        old_view = OldStateView(self.db, base_deltas)
+        guard_eval = Evaluator(self.program, new_view)
+
+        self._reset()
+        for name, delta in base_deltas.items():
+            node = self.network.nodes.get(name)
+            if node is not None and not delta.empty:
+                node.delta.merge(delta)
+
+        results: Dict[str, DeltaSet] = {}
+        for node in self.network.bottom_up_nodes():
+            if node.delta.empty:
+                continue
+            frozen = node.delta.freeze()
+            if node.is_root:
+                results[node.name] = frozen
+            for edge in node.out_edges:
+                if edge.aggregate is not None:
+                    self._execute_aggregate(
+                        edge, frozen, new_view, old_view, tracer
+                    )
+                    continue
+                if frozen.plus:
+                    for differential in edge.positive:
+                        self._execute(
+                            differential, frozen, new_view, old_view,
+                            guard_eval, edge.target, tracer,
+                        )
+                if frozen.minus:
+                    for differential in edge.negative:
+                        self._execute(
+                            differential, frozen, new_view, old_view,
+                            guard_eval, edge.target, tracer,
+                        )
+            # the wave front has passed: discard the temporary materialization
+            node.delta.clear()
+
+        self.last_trace = tracer
+        return results
+
+    # -- internals --------------------------------------------------------------
+
+    def _reset(self) -> None:
+        for node in self.network.nodes.values():
+            node.delta.clear()
+
+    def _execute_aggregate(
+        self,
+        edge,
+        source_delta: DeltaSet,
+        new_view: NewStateView,
+        old_view: OldStateView,
+        tracer: Optional[PropagationTrace],
+    ) -> None:
+        """Per-group incremental maintenance of an aggregate node.
+
+        Only the groups whose source rows changed are recomputed — in
+        the new state directly, in the old state by logical rollback —
+        and the difference of their aggregate rows becomes the node's
+        delta.  This is exact (no guard needed).
+        """
+        definition = edge.aggregate
+        n_group = definition.n_group
+        touched = {
+            row[:n_group] for row in source_delta.plus | source_delta.minus
+        }
+        if not touched:
+            return
+        new_eval = Evaluator(self.program, new_view)
+        old_eval = Evaluator(self.program, old_view)
+        plus: set = set()
+        minus: set = set()
+        from repro.objectlog.terms import fresh_variable
+
+        for group in touched:
+            probe = group + (fresh_variable("_A"),)
+            new_rows = {
+                group + (env[probe[-1]],)
+                for env in new_eval.query(definition.name, probe)
+            }
+            old_rows = {
+                group + (env[probe[-1]],)
+                for env in old_eval.query(definition.name, probe)
+            }
+            plus |= new_rows - old_rows
+            minus |= old_rows - new_rows
+        delta = DeltaSet(frozenset(plus) - frozenset(minus),
+                         frozenset(minus) - frozenset(plus))
+        if delta:
+            edge.target.delta.merge(delta)
+        if tracer is not None:
+            tracer.executions.append(
+                DifferentialExecution(
+                    label=f"Δ{definition.name}/Δ{edge.source.name} [groups]",
+                    target=definition.name,
+                    influent=edge.source.name,
+                    input_sign="*",
+                    output_sign="*",
+                    input_size=len(touched),
+                    produced=frozenset(plus | minus),
+                    guarded_away=frozenset(),
+                )
+            )
+
+    def _execute(
+        self,
+        differential: PartialDifferentialClause,
+        source_delta: DeltaSet,
+        new_view: NewStateView,
+        old_view: OldStateView,
+        guard_eval: Evaluator,
+        target: NetworkNode,
+        tracer: Optional[PropagationTrace],
+    ) -> None:
+        view = new_view if differential.state == "new" else old_view
+        evaluator = Evaluator(
+            self.program, view, deltas={differential.influent: source_delta}
+        )
+        produced = frozenset(
+            evaluator.solve_clause(differential.clause, static=differential.static)
+        )
+        guarded_away: FrozenSet[Row] = frozenset()
+        if produced and differential.output_sign == "-" and self.guard_negatives:
+            still_present = frozenset(
+                row for row in produced if guard_eval.holds(differential.target, row)
+            )
+            guarded_away = still_present
+            produced = produced - still_present
+        if produced:
+            if differential.output_sign == "+":
+                target.delta.merge(DeltaSet(produced, ()))
+            else:
+                target.delta.merge(DeltaSet((), produced))
+        if tracer is not None:
+            input_rows = (
+                source_delta.plus
+                if differential.input_sign == "+"
+                else source_delta.minus
+            )
+            tracer.executions.append(
+                DifferentialExecution(
+                    label=differential.label(),
+                    target=differential.target,
+                    influent=differential.influent,
+                    input_sign=differential.input_sign,
+                    output_sign=differential.output_sign,
+                    input_size=len(input_rows),
+                    produced=produced,
+                    guarded_away=guarded_away,
+                )
+            )

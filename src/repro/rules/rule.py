@@ -1,0 +1,153 @@
+"""CA rules and their activations (paper section 3).
+
+A rule is a pair ``<Condition, Action>``: the condition is a derived
+predicate (the generated ``cnd_<rule>`` function), the action a callable
+executed for each instance for which the condition became true.  Rules
+are *activated and deactivated separately for different parameters*
+(section 3.1): ``activate monitor_item(:item1)`` monitors one item,
+``activate monitor_items()`` monitors them all.  The first
+``n_params`` columns of the condition head are the rule parameters; an
+activation pins them to concrete values.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, FrozenSet, Optional, Tuple
+
+from repro.algebra.delta import DeltaSet, MutableDelta
+from repro.errors import RuleError
+
+Row = Tuple
+
+STRICT = "strict"
+NERVOUS = "nervous"
+
+_activation_counter = itertools.count()
+
+
+class Rule:
+    """A Condition-Action rule.
+
+    Parameters
+    ----------
+    name:
+        Unique rule name.
+    condition:
+        Name of the derived predicate monitoring the condition.  Its
+        head columns are ``(param_1 .. param_n, var_1 .. var_m)``.
+    action:
+        Callable invoked when the rule fires.  With
+        ``action_mode="tuple"`` it receives one condition row at a
+        time; with ``"set"`` it receives the frozenset of all newly
+        true rows (set-oriented action execution, [24] in the paper).
+    n_params:
+        How many leading head columns are rule parameters.
+    priority:
+        Conflict-resolution priority (higher fires first).
+    semantics:
+        ``"strict"`` — fire only on false-to-true transitions;
+        ``"nervous"`` — may also fire when the condition was already
+        true (section 3.2).
+    events:
+        Optional ECA-style event filter (paper section 1: "the event
+        part just further restricts when the condition is tested"): a
+        set of base relation / stored function names.  When given, the
+        rule's condition changes are only considered in check-phase
+        iterations whose transaction touched at least one of them.
+    """
+
+    __slots__ = (
+        "name",
+        "condition",
+        "action",
+        "n_params",
+        "priority",
+        "semantics",
+        "action_mode",
+        "events",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        condition: str,
+        action: Callable,
+        n_params: int = 0,
+        priority: int = 0,
+        semantics: str = STRICT,
+        action_mode: str = "tuple",
+        events: Optional[FrozenSet[str]] = None,
+    ) -> None:
+        if semantics not in (STRICT, NERVOUS):
+            raise RuleError(f"unknown semantics {semantics!r}")
+        if action_mode not in ("tuple", "set"):
+            raise RuleError(f"unknown action mode {action_mode!r}")
+        self.name = name
+        self.condition = condition
+        self.action = action
+        self.n_params = n_params
+        self.priority = priority
+        self.semantics = semantics
+        self.action_mode = action_mode
+        self.events = frozenset(events) if events is not None else None
+
+    def __repr__(self) -> str:
+        return (
+            f"Rule({self.name!r}, condition={self.condition!r}, "
+            f"n_params={self.n_params}, semantics={self.semantics})"
+        )
+
+
+class Activation:
+    """One activation of a rule for a specific parameter tuple."""
+
+    __slots__ = ("rule", "params", "sequence", "pending")
+
+    def __init__(self, rule: Rule, params: Tuple) -> None:
+        if len(params) != rule.n_params:
+            raise RuleError(
+                f"rule {rule.name!r} takes {rule.n_params} parameter(s), "
+                f"got {len(params)}"
+            )
+        self.rule = rule
+        self.params = tuple(params)
+        self.sequence = next(_activation_counter)
+        #: net condition changes accumulated (and cancelled) this
+        #: transaction's check phase
+        self.pending = MutableDelta()
+
+    @property
+    def key(self) -> Tuple[str, Tuple]:
+        return (self.rule.name, self.params)
+
+    def matches(self, row: Row) -> bool:
+        """Does a condition row fall under this activation's parameters?"""
+        return tuple(row[: self.rule.n_params]) == self.params
+
+    def restrict(self, delta: DeltaSet) -> DeltaSet:
+        """The part of a condition delta covered by this activation."""
+        if not self.params:
+            return delta
+        return DeltaSet(
+            frozenset(row for row in delta.plus if self.matches(row)),
+            frozenset(row for row in delta.minus if self.matches(row)),
+        )
+
+    def take_triggered_rows(self) -> FrozenSet[Row]:
+        """Consume the pending net insertions (the rows the action sees)."""
+        rows = self.pending.plus
+        self.pending.clear()
+        return rows
+
+    def __repr__(self) -> str:
+        return f"Activation({self.rule.name!r}, params={self.params!r})"
+
+
+def default_conflict_resolver(candidates):
+    """The built-in conflict resolution: highest priority, then oldest.
+
+    Conflict resolution "is the process of choosing one single rule when
+    more than one rule is triggered" (paper footnote 1).
+    """
+    return max(candidates, key=lambda a: (a.rule.priority, -a.sequence))

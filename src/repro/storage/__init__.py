@@ -1,0 +1,18 @@
+"""Storage substrate: relations, indexes, undo/redo log, transactions,
+savepoints, and JSON data persistence."""
+
+from repro.storage import persistence
+from repro.storage.database import Database
+from repro.storage.index import HashIndex
+from repro.storage.log import EventKind, PhysicalEvent, UndoRedoLog
+from repro.storage.relation import BaseRelation
+
+__all__ = [
+    "persistence",
+    "Database",
+    "HashIndex",
+    "EventKind",
+    "PhysicalEvent",
+    "UndoRedoLog",
+    "BaseRelation",
+]

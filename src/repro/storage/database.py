@@ -1,0 +1,288 @@
+"""The database: catalog of base relations, log, transactions, deltas.
+
+This module glues the storage substrate together and implements the
+paper's update-time behaviour (section 4.1):
+
+* every physical change goes through the undo/redo log;
+* *before* the event is logged, if the updated relation is **monitored**
+  (i.e. it is an influent of some activated rule condition), the event
+  is folded into the relation's delta-set accumulator so that the
+  accumulator always holds the logical (net) events of the transaction;
+* unmonitored relations pay nothing beyond the log append — "no
+  overhead is placed on database operations that do not affect any
+  rules".
+
+Commit runs the registered *check-phase* hooks (the rule manager
+installs one) before the transaction's changes become permanent;
+rollback replays the log backwards and discards the delta-sets.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from repro.algebra.delta import DeltaSet, MutableDelta
+from repro.errors import (
+    DuplicateRelationError,
+    TransactionError,
+    UnknownRelationError,
+)
+from repro.storage.log import EventKind, UndoRedoLog
+from repro.storage.relation import BaseRelation
+
+Row = Tuple
+CheckHook = Callable[["Database"], None]
+
+
+class Database:
+    """A catalog of named base relations with transactional updates."""
+
+    def __init__(self) -> None:
+        self._relations: Dict[str, BaseRelation] = {}
+        self.log = UndoRedoLog()
+        self._monitored: Dict[str, int] = {}
+        self._deltas: Dict[str, MutableDelta] = {}
+        self._in_transaction = False
+        self._txn_savepoint = 0
+        self._check_hooks: List[CheckHook] = []
+        self._statistics = {"transactions": 0, "rollbacks": 0, "events": 0}
+
+    # -- catalog ---------------------------------------------------------------
+
+    def create_relation(
+        self,
+        name: str,
+        arity: int,
+        column_names: Optional[Sequence[str]] = None,
+    ) -> BaseRelation:
+        if name in self._relations:
+            raise DuplicateRelationError(name)
+        relation = BaseRelation(name, arity, column_names)
+        self._relations[name] = relation
+        return relation
+
+    def relation(self, name: str) -> BaseRelation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    def relation_names(self) -> List[str]:
+        return sorted(self._relations)
+
+    def drop_relation(self, name: str) -> None:
+        if name not in self._relations:
+            raise UnknownRelationError(name)
+        del self._relations[name]
+        self._monitored.pop(name, None)
+        self._deltas.pop(name, None)
+
+    # -- monitoring --------------------------------------------------------------
+
+    def monitor(self, name: str) -> None:
+        """Mark ``name`` as an influent of some activated rule.
+
+        Monitoring is reference-counted so independent rules can share
+        influents; only monitored relations accumulate delta-sets.
+        """
+        self.relation(name)  # existence check
+        self._monitored[name] = self._monitored.get(name, 0) + 1
+        self._deltas.setdefault(name, MutableDelta())
+
+    def unmonitor(self, name: str) -> None:
+        count = self._monitored.get(name, 0)
+        if count <= 1:
+            self._monitored.pop(name, None)
+            self._deltas.pop(name, None)
+        else:
+            self._monitored[name] = count - 1
+
+    def is_monitored(self, name: str) -> bool:
+        return name in self._monitored
+
+    def monitored_relations(self) -> FrozenSet[str]:
+        return frozenset(self._monitored)
+
+    # -- deltas -------------------------------------------------------------------
+
+    def delta_of(self, name: str) -> DeltaSet:
+        """Current accumulated logical change of a monitored relation."""
+        accumulator = self._deltas.get(name)
+        if accumulator is None:
+            return DeltaSet()
+        return accumulator.freeze()
+
+    def take_deltas(self) -> Dict[str, DeltaSet]:
+        """Consume all non-empty delta-sets (clearing the accumulators)."""
+        taken: Dict[str, DeltaSet] = {}
+        for name, accumulator in self._deltas.items():
+            if accumulator:
+                taken[name] = accumulator.freeze()
+                accumulator.clear()
+        return taken
+
+    def peek_deltas(self) -> Dict[str, DeltaSet]:
+        """Non-empty delta-sets without clearing them."""
+        return {
+            name: accumulator.freeze()
+            for name, accumulator in self._deltas.items()
+            if accumulator
+        }
+
+    def has_pending_changes(self) -> bool:
+        return any(self._deltas.values())
+
+    def _clear_deltas(self) -> None:
+        for accumulator in self._deltas.values():
+            accumulator.clear()
+
+    # -- updates -------------------------------------------------------------------
+
+    def insert(self, name: str, row: Row) -> bool:
+        """Insert ``row`` into relation ``name`` (implicit txn if needed)."""
+        with self._implicit_transaction():
+            return self._apply(name, tuple(row), EventKind.INSERT)
+
+    def delete(self, name: str, row: Row) -> bool:
+        """Delete ``row`` from relation ``name`` (implicit txn if needed)."""
+        with self._implicit_transaction():
+            return self._apply(name, tuple(row), EventKind.DELETE)
+
+    def _apply(self, name: str, row: Row, kind: EventKind, log_event: bool = True) -> bool:
+        relation = self.relation(name)
+        if kind is EventKind.INSERT:
+            changed = relation.insert(row)
+        else:
+            changed = relation.delete(row)
+        if not changed:
+            return False
+        self._statistics["events"] += 1
+        if name in self._monitored:
+            accumulator = self._deltas[name]
+            if kind is EventKind.INSERT:
+                accumulator.add_insert(row)
+            else:
+                accumulator.add_delete(row)
+        if log_event:
+            self.log.append(kind, name, row)
+        return True
+
+    # -- transactions ---------------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._in_transaction
+
+    def begin(self) -> None:
+        if self._in_transaction:
+            raise TransactionError("transaction already in progress")
+        self._in_transaction = True
+        self._txn_savepoint = self.log.savepoint()
+
+    def commit(self) -> None:
+        """Run the deferred check phase, then make the changes permanent."""
+        if not self._in_transaction:
+            raise TransactionError("commit without begin")
+        try:
+            for hook in self._check_hooks:
+                hook(self)
+        except Exception:
+            self._rollback_to_savepoint()
+            self._in_transaction = False
+            raise
+        self._in_transaction = False
+        self._clear_deltas()
+        self.log.truncate(self._txn_savepoint)
+        self._statistics["transactions"] += 1
+
+    def rollback(self) -> None:
+        if not self._in_transaction:
+            raise TransactionError("rollback without begin")
+        self._rollback_to_savepoint()
+        self._in_transaction = False
+        self._statistics["rollbacks"] += 1
+
+    def savepoint(self) -> int:
+        """A named point inside the current transaction.
+
+        Partial rollback via :meth:`rollback_to` replays the undo log
+        back to the savepoint; delta-set accumulators are corrected on
+        the way (the inverse physical events cancel in the
+        accumulator), so monitored conditions see only the surviving
+        net change.
+        """
+        if not self._in_transaction:
+            raise TransactionError("savepoint outside a transaction")
+        return self.log.savepoint()
+
+    def rollback_to(self, savepoint: int) -> None:
+        """Undo everything after ``savepoint``; the transaction stays open."""
+        if not self._in_transaction:
+            raise TransactionError("rollback_to outside a transaction")
+        if savepoint < self._txn_savepoint or savepoint > self.log.savepoint():
+            raise TransactionError(f"invalid savepoint {savepoint}")
+        for event in self.log.undo_events(savepoint):
+            self._apply(event.relation, event.row, event.kind, log_event=False)
+        self.log.truncate(savepoint)
+
+    def _rollback_to_savepoint(self) -> None:
+        for event in self.log.undo_events(self._txn_savepoint):
+            self._apply(event.relation, event.row, event.kind, log_event=False)
+        self.log.truncate(self._txn_savepoint)
+        self._clear_deltas()
+
+    @contextlib.contextmanager
+    def transaction(self) -> Iterator["Database"]:
+        """``with db.transaction(): ...`` — commit on success, roll back on error."""
+        self.begin()
+        try:
+            yield self
+        except Exception:
+            if self._in_transaction:
+                self.rollback()
+            raise
+        else:
+            if self._in_transaction:
+                self.commit()
+
+    @contextlib.contextmanager
+    def _implicit_transaction(self) -> Iterator[None]:
+        if self._in_transaction:
+            yield
+        else:
+            self.begin()
+            try:
+                yield
+            except Exception:
+                if self._in_transaction:
+                    self.rollback()
+                raise
+            else:
+                if self._in_transaction:
+                    self.commit()
+
+    # -- hooks ---------------------------------------------------------------------
+
+    def add_check_hook(self, hook: CheckHook) -> None:
+        """Register a commit-time (check phase) hook; order = registration."""
+        self._check_hooks.append(hook)
+
+    def remove_check_hook(self, hook: CheckHook) -> None:
+        self._check_hooks.remove(hook)
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def statistics(self) -> Dict[str, int]:
+        return dict(self._statistics)
+
+    def __repr__(self) -> str:
+        return (
+            f"Database(relations={len(self._relations)}, "
+            f"monitored={len(self._monitored)}, "
+            f"in_transaction={self._in_transaction})"
+        )

@@ -1,0 +1,90 @@
+"""The logical undo/redo log (paper section 4.1).
+
+All changes to base relations go through the log.  Each entry is a
+*physical event*: ``+(relation, tuple)`` or ``-(relation, tuple)``.  The
+log serves two masters:
+
+* **Transaction rollback** — undoing a transaction replays its events in
+  reverse with inverted signs.
+* **Delta accumulation** — before an event is appended, the transaction
+  layer checks whether the relation is *monitored* (an influent of some
+  activated rule) and, if so, folds the event into that relation's
+  delta-set so the delta always reflects the logical (net) events.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+Row = Tuple
+
+
+class EventKind(enum.Enum):
+    """Sign of a physical event."""
+
+    INSERT = "+"
+    DELETE = "-"
+
+    def inverted(self) -> "EventKind":
+        return EventKind.DELETE if self is EventKind.INSERT else EventKind.INSERT
+
+
+@dataclass(frozen=True)
+class PhysicalEvent:
+    """One physical update event, e.g. ``+(min_stock, (:item1, 150))``."""
+
+    kind: EventKind
+    relation: str
+    row: Row
+    sequence: int
+
+    def inverted(self) -> "PhysicalEvent":
+        return PhysicalEvent(self.kind.inverted(), self.relation, self.row, self.sequence)
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}({self.relation}, {self.row!r})"
+
+
+class UndoRedoLog:
+    """An append-only in-memory event log with savepoints.
+
+    Savepoints are plain integer positions; truncating back to a
+    savepoint yields the events that must be undone (in reverse order).
+    """
+
+    __slots__ = ("_events", "_next_sequence")
+
+    def __init__(self) -> None:
+        self._events: List[PhysicalEvent] = []
+        self._next_sequence = 0
+
+    def append(self, kind: EventKind, relation: str, row: Row) -> PhysicalEvent:
+        event = PhysicalEvent(kind, relation, tuple(row), self._next_sequence)
+        self._next_sequence += 1
+        self._events.append(event)
+        return event
+
+    def savepoint(self) -> int:
+        """Current log position, usable with :meth:`events_since`."""
+        return len(self._events)
+
+    def events_since(self, savepoint: int) -> List[PhysicalEvent]:
+        return list(self._events[savepoint:])
+
+    def undo_events(self, savepoint: int) -> List[PhysicalEvent]:
+        """Events needed to undo back to ``savepoint``: reversed, inverted."""
+        return [event.inverted() for event in reversed(self._events[savepoint:])]
+
+    def truncate(self, savepoint: int) -> None:
+        del self._events[savepoint:]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[PhysicalEvent]:
+        return iter(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()

@@ -1,0 +1,112 @@
+"""Data persistence: JSON dump and restore of base relations.
+
+The paper's system is a main-memory DBMS; this module gives the
+reproduction the minimum durability story a library user expects:
+dumping every base relation's extension to a JSON file and restoring
+it into a database with the same schema.
+
+Scope: **data only**.  Schema (types, functions, rules, Python
+procedures) is code, not data — re-run the DDL script / API calls and
+then :func:`load`.  OIDs are preserved exactly, including their ids,
+so reloaded data keeps referential identity; see
+:meth:`repro.amos.database.AmosDatabase.save_data`.
+
+Supported values inside tuples: int, float, str, bool, None, and
+:class:`~repro.amos.oid.OID`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.amos.oid import OID
+from repro.errors import StorageError
+from repro.storage.database import Database
+
+FORMAT_VERSION = 1
+
+__all__ = ["dump", "restore", "save", "load", "FORMAT_VERSION"]
+
+
+def _encode_value(value):
+    if isinstance(value, OID):
+        return {"$oid": value.id, "$type": value.type_name}
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    raise StorageError(
+        f"cannot persist value {value!r} of type {type(value).__name__}"
+    )
+
+
+def _decode_value(value):
+    if isinstance(value, dict):
+        if set(value) == {"$oid", "$type"}:
+            return OID(value["$oid"], value["$type"])
+        raise StorageError(f"unknown encoded value {value!r}")
+    return value
+
+
+def dump(db: Database) -> Dict:
+    """A JSON-serializable snapshot of every base relation."""
+    relations = {}
+    for name in db.relation_names():
+        relation = db.relation(name)
+        relations[name] = {
+            "arity": relation.arity,
+            "column_names": list(relation.column_names),
+            "rows": sorted(
+                [[_encode_value(v) for v in row] for row in relation.rows()],
+                key=repr,
+            ),
+        }
+    return {"format": FORMAT_VERSION, "relations": relations}
+
+
+def restore(db: Database, snapshot: Dict, create_missing: bool = False) -> int:
+    """Load a snapshot into ``db``; returns the number of rows loaded.
+
+    Existing relation contents are replaced.  Relations present in the
+    snapshot but missing from the catalog are created when
+    ``create_missing`` is set, otherwise rejected — loading data into a
+    database whose schema does not know the relation is almost always a
+    schema-version mistake.
+    """
+    if snapshot.get("format") != FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported snapshot format {snapshot.get('format')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    loaded = 0
+    for name, payload in snapshot["relations"].items():
+        if not db.has_relation(name):
+            if not create_missing:
+                raise StorageError(
+                    f"snapshot contains unknown relation {name!r}; create the "
+                    "schema first or pass create_missing=True"
+                )
+            db.create_relation(name, payload["arity"], payload["column_names"])
+        relation = db.relation(name)
+        if relation.arity != payload["arity"]:
+            raise StorageError(
+                f"relation {name!r}: snapshot arity {payload['arity']} does "
+                f"not match catalog arity {relation.arity}"
+            )
+        relation.clear()
+        for encoded in payload["rows"]:
+            relation.insert(tuple(_decode_value(v) for v in encoded))
+            loaded += 1
+    return loaded
+
+
+def save(db: Database, path: str) -> None:
+    """Dump ``db`` to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(dump(db), handle, indent=1, sort_keys=True)
+
+
+def load(db: Database, path: str, create_missing: bool = False) -> int:
+    """Restore ``db`` from a JSON file written by :func:`save`."""
+    with open(path) as handle:
+        snapshot = json.load(handle)
+    return restore(db, snapshot, create_missing=create_missing)

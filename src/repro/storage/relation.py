@@ -1,0 +1,160 @@
+"""Base relations: named sets of fixed-arity tuples with hash indexes.
+
+A :class:`BaseRelation` is the storage-level realization of a *stored
+function* in the paper's data model (section 3): the stored function
+``quantity(item) -> integer`` becomes the binary base relation
+``quantity(item, integer)``.  Set semantics apply throughout —
+inserting a tuple that is already present is a no-op, and the relation
+reports whether a physical change actually happened so the transaction
+layer only logs *real* physical events.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Sequence, Tuple
+
+from repro.errors import ArityError, SchemaError
+from repro.storage.index import HashIndex
+
+Row = Tuple
+
+
+class BaseRelation:
+    """A named, fixed-arity set of tuples.
+
+    Parameters
+    ----------
+    name:
+        Unique relation name within a database.
+    arity:
+        Number of columns; every stored row must match.
+    column_names:
+        Optional descriptive names (defaults to ``c0..c{arity-1}``).
+    """
+
+    __slots__ = ("name", "arity", "column_names", "_rows", "_indexes")
+
+    def __init__(
+        self,
+        name: str,
+        arity: int,
+        column_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        if arity < 1:
+            raise SchemaError(f"relation {name!r}: arity must be >= 1, got {arity}")
+        if column_names is not None and len(column_names) != arity:
+            raise SchemaError(
+                f"relation {name!r}: {len(column_names)} column names for "
+                f"arity {arity}"
+            )
+        self.name = name
+        self.arity = arity
+        self.column_names = (
+            tuple(column_names)
+            if column_names is not None
+            else tuple(f"c{i}" for i in range(arity))
+        )
+        self._rows: set = set()
+        self._indexes: Dict[Tuple[int, ...], HashIndex] = {}
+
+    # -- mutation -------------------------------------------------------------
+
+    def _check(self, row: Row) -> Row:
+        row = tuple(row)
+        if len(row) != self.arity:
+            raise ArityError(
+                f"relation {self.name!r}: tuple {row!r} has arity {len(row)}, "
+                f"expected {self.arity}"
+            )
+        return row
+
+    def insert(self, row: Row) -> bool:
+        """Insert ``row``; return True iff the relation actually changed."""
+        row = self._check(row)
+        if row in self._rows:
+            return False
+        self._rows.add(row)
+        for index in self._indexes.values():
+            index.add(row)
+        return True
+
+    def delete(self, row: Row) -> bool:
+        """Delete ``row``; return True iff the relation actually changed."""
+        row = self._check(row)
+        if row not in self._rows:
+            return False
+        self._rows.discard(row)
+        for index in self._indexes.values():
+            index.remove(row)
+        return True
+
+    def clear(self) -> None:
+        self._rows.clear()
+        for index in self._indexes.values():
+            index.clear()
+
+    # -- indexes ----------------------------------------------------------------
+
+    def create_index(self, columns: Sequence[int]) -> HashIndex:
+        """Create (or return the existing) hash index on ``columns``."""
+        key = tuple(columns)
+        for col in key:
+            if not 0 <= col < self.arity:
+                raise SchemaError(
+                    f"relation {self.name!r}: index column {col} out of range"
+                )
+        if key in self._indexes:
+            return self._indexes[key]
+        index = HashIndex(key)
+        index.bulk_load(self._rows)
+        self._indexes[key] = index
+        return index
+
+    def index_on(self, columns: Sequence[int]) -> Optional[HashIndex]:
+        return self._indexes.get(tuple(columns))
+
+    @property
+    def indexes(self) -> Dict[Tuple[int, ...], HashIndex]:
+        return dict(self._indexes)
+
+    # -- access -------------------------------------------------------------------
+
+    def __contains__(self, row: Row) -> bool:
+        return tuple(row) in self._rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> FrozenSet[Row]:
+        """A snapshot of the current content."""
+        return frozenset(self._rows)
+
+    def lookup(self, columns: Sequence[int], key: Sequence) -> FrozenSet[Row]:
+        """All rows whose ``columns`` equal ``key``.
+
+        Uses a matching hash index when one exists, otherwise scans.
+        Benchmark-relevant: the naive monitor scans, the incremental
+        monitor probes — that asymmetry *is* Fig. 6.
+        """
+        index = self._indexes.get(tuple(columns))
+        if index is not None:
+            return index.probe(tuple(key))
+        key = tuple(key)
+        cols = tuple(columns)
+        return frozenset(
+            row for row in self._rows if tuple(row[c] for c in cols) == key
+        )
+
+    def bulk_insert(self, rows: Iterable[Row]) -> int:
+        """Insert many rows (no logging); return how many were new."""
+        count = 0
+        for row in rows:
+            if self.insert(row):
+                count += 1
+        return count
+
+    def __repr__(self) -> str:
+        return f"BaseRelation({self.name!r}, arity={self.arity}, rows={len(self)})"

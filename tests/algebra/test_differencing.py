@@ -1,0 +1,214 @@
+"""Property tests for Fig. 4: partial differencing of the relational operators.
+
+For every operator the paper's table gives four differential cells.  We
+prove them *extensionally* on randomized databases: apply a random but
+consistent transaction to base relations Q and R, evaluate the
+differentials, and compare against the ground-truth change
+``P_new - P_old`` / ``P_old - P_new`` computed by brute force.
+
+All cells are exact under set semantics except projection, which may
+over-propagate (section 7.2) — for it we assert soundness (superset)
+and that the guarded compositional evaluator is exact.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.delta import DeltaSet
+from repro.algebra.differencing import (
+    differentiate,
+    evaluate_delta,
+    fig4_table,
+    operator_differentials,
+)
+from repro.algebra.expression import (
+    Difference,
+    EvalContext,
+    Intersect,
+    Join,
+    Product,
+    Project,
+    Relation,
+    Select,
+    Union,
+)
+from repro.algebra.oldstate import NewStateView, OldStateView
+from repro.errors import DeltaError
+from repro.storage.database import Database
+
+pairs = st.tuples(st.integers(0, 4), st.integers(0, 4))
+relation_contents = st.frozensets(pairs, max_size=8)
+
+
+@st.composite
+def scenarios(draw):
+    """(old_q, old_r, delta_q, delta_r) with consistent deltas."""
+    old_q = draw(relation_contents)
+    old_r = draw(relation_contents)
+    plus_q = draw(relation_contents) - old_q
+    minus_q = draw(relation_contents) & old_q
+    plus_r = draw(relation_contents) - old_r
+    minus_r = draw(relation_contents) & old_r
+    return old_q, old_r, DeltaSet(plus_q, minus_q), DeltaSet(plus_r, minus_r)
+
+
+def build_context(old_q, old_r, delta_q, delta_r):
+    db = Database()
+    q = db.create_relation("q", 2)
+    r = db.create_relation("r", 2)
+    q.bulk_insert((old_q | delta_q.plus) - delta_q.minus)
+    r.bulk_insert((old_r | delta_r.plus) - delta_r.minus)
+    deltas = {"q": delta_q, "r": delta_r}
+    return EvalContext(NewStateView(db), OldStateView(db, deltas), deltas)
+
+
+Q = Relation("q", 2)
+R = Relation("r", 2)
+
+EXACT_OPERATORS = [
+    pytest.param(lambda: Select(Q, lambda row: row[0] <= 2, "c0<=2"), id="select"),
+    pytest.param(lambda: Union(Q, R), id="union"),
+    pytest.param(lambda: Difference(Q, R), id="difference"),
+    pytest.param(lambda: Product(Q, R), id="product"),
+    pytest.param(lambda: Join(Q, R, ((1, 0),)), id="join"),
+    pytest.param(lambda: Intersect(Q, R), id="intersect"),
+]
+
+
+def ground_truth(expr, ctx):
+    new = expr.evaluate(ctx, "new")
+    old = expr.evaluate(ctx, "old")
+    return DeltaSet(new - old, old - new)
+
+
+class TestFig4CellsExact:
+    @pytest.mark.parametrize("make_expr", EXACT_OPERATORS)
+    @settings(max_examples=60, deadline=None)
+    @given(case=scenarios())
+    def test_differentials_equal_ground_truth(self, make_expr, case):
+        ctx = build_context(*case)
+        expr = make_expr()
+        delta = evaluate_delta(operator_differentials(expr), ctx)
+        assert delta == ground_truth(expr, ctx)
+
+
+class TestFig4Projection:
+    @settings(max_examples=60, deadline=None)
+    @given(case=scenarios())
+    def test_projection_cells_are_sound_supersets(self, case):
+        ctx = build_context(*case)
+        expr = Project(Q, (0,))
+        truth = ground_truth(expr, ctx)
+        plus = set()
+        minus = set()
+        for diff in operator_differentials(expr):
+            result = diff.evaluate(ctx)
+            (plus if diff.output_sign == "+" else minus).update(result)
+        assert truth.plus <= plus
+        assert truth.minus <= minus
+
+    @settings(max_examples=60, deadline=None)
+    @given(case=scenarios())
+    def test_guarded_compositional_projection_is_exact(self, case):
+        ctx = build_context(*case)
+        expr = Project(Q, (0,))
+        assert differentiate(expr, ctx, exact=True) == ground_truth(expr, ctx)
+
+
+NESTED_SHAPES = [
+    pytest.param(
+        lambda: Join(Select(Q, lambda r: r[1] >= 1, "c1>=1"), R, ((1, 0),)),
+        id="select-join",
+    ),
+    pytest.param(
+        lambda: Union(Project(Q, (0,)), Project(R, (1,))),
+        id="project-union",
+    ),
+    pytest.param(
+        lambda: Difference(Project(Q, (0,)), Project(R, (0,))),
+        id="project-difference",
+    ),
+    pytest.param(
+        lambda: Intersect(
+            Project(Join(Q, R, ((1, 0),)), (0, 2)),
+            Product(Project(Q, (0,)), Project(R, (0,))),
+        ),
+        id="deep-mix",
+    ),
+    pytest.param(
+        lambda: Select(Union(Q, R), lambda r: r[0] != r[1], "c0!=c1"),
+        id="select-over-union",
+    ),
+]
+
+
+class TestCompositionalDifferencing:
+    @pytest.mark.parametrize("make_expr", NESTED_SHAPES)
+    @settings(max_examples=40, deadline=None)
+    @given(case=scenarios())
+    def test_exact_mode_equals_recompute(self, make_expr, case):
+        ctx = build_context(*case)
+        expr = make_expr()
+        assert differentiate(expr, ctx, exact=True) == ground_truth(expr, ctx)
+
+    @pytest.mark.parametrize("make_expr", NESTED_SHAPES)
+    @settings(max_examples=40, deadline=None)
+    @given(case=scenarios())
+    def test_default_mode_never_underreacts(self, make_expr, case):
+        """Guarded negatives (section 7.2): every true change is reported."""
+        ctx = build_context(*case)
+        expr = make_expr()
+        truth = ground_truth(expr, ctx)
+        delta = differentiate(expr, ctx)
+        assert truth.plus <= delta.plus
+        assert truth.minus <= delta.minus
+
+    def test_delta_leaves_cannot_be_differentiated(self):
+        ctx = build_context(frozenset(), frozenset(), DeltaSet(), DeltaSet())
+        from repro.algebra.expression import DeltaLeaf
+
+        with pytest.raises(DeltaError):
+            differentiate(Union(DeltaLeaf("q", 2, "+"), R), ctx)
+
+    def test_pinned_old_leaf_has_no_delta(self):
+        case = (frozenset({(1, 1)}), frozenset(), DeltaSet({(2, 2)}, set()), DeltaSet())
+        ctx = build_context(*case)
+        assert differentiate(Relation("q", 2, state="old"), ctx).empty
+
+
+class TestFig4Table:
+    def test_table_has_all_seven_rows(self):
+        table = fig4_table()
+        assert set(table) == {
+            "σ_cond Q",
+            "π_attr Q",
+            "Q ∪ R",
+            "Q - R",
+            "Q × R",
+            "Q ⋈ R",
+            "Q ∩ R",
+        }
+
+    def test_binary_rows_have_four_columns(self):
+        table = fig4_table()
+        for label in ("Q ∪ R", "Q - R", "Q × R", "Q ⋈ R", "Q ∩ R"):
+            assert set(table[label]) == {
+                "ΔP/Δ+Q",
+                "ΔP/Δ+R",
+                "ΔP/Δ-Q",
+                "ΔP/Δ-R",
+            }, label
+
+    def test_unary_rows_have_two_columns(self):
+        table = fig4_table()
+        for label in ("σ_cond Q", "π_attr Q"):
+            assert set(table[label]) == {"ΔP/Δ+Q", "ΔP/Δ-Q"}
+
+    def test_paper_cells_rendered(self):
+        table = fig4_table()
+        # the table's most telling cells, straight from the paper (our
+        # rendering marks the implicit new state explicitly as `_new`)
+        assert table["Q ∪ R"]["ΔP/Δ+Q"] == "(Δ+Q - R_old)"
+        assert table["Q - R"]["ΔP/Δ-R"] == "(Q_new ∩ Δ-R)"
+        assert table["Q × R"]["ΔP/Δ-Q"] == "(Δ-Q × R_old)"
+        assert table["Q ∩ R"]["ΔP/Δ+Q"] == "(Δ+Q ∩ R_new)"

@@ -1,0 +1,114 @@
+"""Tests for relational algebra expression trees."""
+
+import pytest
+
+from repro.algebra.delta import DeltaSet
+from repro.algebra.expression import (
+    DeltaLeaf,
+    Difference,
+    EvalContext,
+    Intersect,
+    Join,
+    Product,
+    Project,
+    Relation,
+    Select,
+    Union,
+)
+from repro.algebra.oldstate import NewStateView, OldStateView
+from repro.errors import SchemaError
+from repro.storage.database import Database
+
+
+@pytest.fixture
+def ctx():
+    db = Database()
+    q = db.create_relation("q", 2)
+    r = db.create_relation("r", 2)
+    q.bulk_insert([(1, 10), (2, 20), (3, 30)])
+    r.bulk_insert([(10, "a"), (20, "b")])
+    deltas = {"q": DeltaSet({(3, 30)}, set())}  # (3,30) was inserted this txn
+    return EvalContext(NewStateView(db), OldStateView(db, deltas), deltas)
+
+
+Q = Relation("q", 2)
+R = Relation("r", 2)
+
+
+class TestLeaves:
+    def test_relation_evaluates_both_states(self, ctx):
+        assert Q.evaluate(ctx, "new") == {(1, 10), (2, 20), (3, 30)}
+        assert Q.evaluate(ctx, "old") == {(1, 10), (2, 20)}
+
+    def test_pinned_leaf_ignores_requested_state(self, ctx):
+        pinned = Q.pinned("old")
+        assert pinned.evaluate(ctx, "new") == {(1, 10), (2, 20)}
+
+    def test_delta_leaf(self, ctx):
+        assert DeltaLeaf("q", 2, "+").evaluate(ctx) == {(3, 30)}
+        assert DeltaLeaf("q", 2, "-").evaluate(ctx) == frozenset()
+        with pytest.raises(SchemaError):
+            DeltaLeaf("q", 2, "%")
+
+    def test_influents(self, ctx):
+        expr = Union(Q, Relation("q", 2)).product(R)
+        assert expr.influents() == {"q", "r"}
+
+
+class TestOperators:
+    def test_select(self, ctx):
+        expr = Select(Q, lambda row: row[1] >= 20, "big")
+        assert expr.evaluate(ctx) == {(2, 20), (3, 30)}
+        assert expr.contains(ctx, "new", (2, 20))
+        assert not expr.contains(ctx, "new", (1, 10))
+
+    def test_project(self, ctx):
+        expr = Project(Q, (1,))
+        assert expr.evaluate(ctx) == {(10,), (20,), (30,)}
+        assert expr.arity == 1
+        with pytest.raises(SchemaError):
+            Project(Q, (5,))
+
+    def test_union_difference_intersect(self, ctx):
+        s = Relation("q", 2)
+        assert Union(Q, s).evaluate(ctx) == Q.evaluate(ctx)
+        assert Difference(Q, s).evaluate(ctx) == frozenset()
+        assert Intersect(Q, s).evaluate(ctx) == Q.evaluate(ctx)
+
+    def test_same_arity_enforced(self, ctx):
+        with pytest.raises(SchemaError):
+            Union(Q, Project(R, (0,)))
+
+    def test_product(self, ctx):
+        expr = Product(Project(Q, (0,)), Project(R, (1,)))
+        assert expr.arity == 2
+        assert (1, "a") in expr.evaluate(ctx)
+        assert len(expr.evaluate(ctx)) == 6
+
+    def test_join(self, ctx):
+        expr = Join(Q, R, ((1, 0),))
+        assert expr.evaluate(ctx) == {(1, 10, 10, "a"), (2, 20, 20, "b")}
+        assert expr.contains(ctx, "new", (1, 10, 10, "a"))
+        assert not expr.contains(ctx, "new", (1, 10, 20, "b"))
+        with pytest.raises(SchemaError):
+            Join(Q, R, ((5, 0),))
+
+    def test_join_without_pairs_is_product(self, ctx):
+        assert Join(Q, R, ()).evaluate(ctx) == Product(Q, R).evaluate(ctx)
+
+    def test_product_contains_splits_by_arity(self, ctx):
+        expr = Product(Q, R)
+        assert expr.contains(ctx, "new", (1, 10, 10, "a"))
+        assert not expr.contains(ctx, "new", (1, 99, 10, "a"))
+
+    def test_old_state_evaluation_composes(self, ctx):
+        expr = Join(Q, R, ((1, 0),))
+        old = expr.evaluate(ctx, "old")
+        assert old == {(1, 10, 10, "a"), (2, 20, 20, "b")}
+        # (3,30) only exists in the new state and 30 has no join partner
+        assert expr.evaluate(ctx, "new") == old
+
+    def test_fluent_builders(self, ctx):
+        expr = Q.select(lambda r: True).project((0,)).union(R.project((0,)))
+        assert expr.arity == 1
+        assert (1,) in expr.evaluate(ctx)

@@ -1,0 +1,50 @@
+"""Unit tests for function metadata objects."""
+
+import pytest
+
+from repro.amos.functions import FunctionDef, FunctionSignature, ProcedureDef
+from repro.errors import AmosError
+
+
+class TestFunctionSignature:
+    def test_arity_is_args_plus_results(self):
+        signature = FunctionSignature("delivery_time", ("item", "supplier"),
+                                      ("integer",))
+        assert signature.n_args == 2
+        assert signature.n_results == 1
+        assert signature.arity == 3
+
+    def test_str_rendering(self):
+        signature = FunctionSignature("quantity", ("item",), ("integer",))
+        assert str(signature) == "quantity(item) -> integer"
+
+    def test_str_no_results_reads_boolean(self):
+        signature = FunctionSignature("check", ("item",), ())
+        assert str(signature).endswith("-> boolean")
+
+    def test_equality(self):
+        a = FunctionSignature("f", ("item",), ("integer",))
+        b = FunctionSignature("f", ("item",), ("integer",))
+        assert a == b
+
+
+class TestFunctionDef:
+    def test_valid_kinds(self):
+        signature = FunctionSignature("f", ("item",), ("integer",))
+        for kind in ("stored", "derived", "foreign", "aggregate"):
+            assert FunctionDef(signature, kind).kind == kind
+
+    def test_invalid_kind_rejected(self):
+        signature = FunctionSignature("f", ("item",), ("integer",))
+        with pytest.raises(AmosError):
+            FunctionDef(signature, "quantum")
+
+    def test_name_delegates_to_signature(self):
+        signature = FunctionSignature("f", ("item",), ("integer",))
+        assert FunctionDef(signature, "stored").name == "f"
+
+
+class TestProcedureDef:
+    def test_arity(self):
+        procedure = ProcedureDef("order", ("item", "integer"), lambda *a: None)
+        assert procedure.n_args == 2

@@ -1,0 +1,172 @@
+"""Tests for the AMOSQL-to-ObjectLog compiler."""
+
+import pytest
+
+from repro.amos.database import AmosDatabase
+from repro.amosql import ast
+from repro.amosql.compiler import QueryCompiler
+from repro.amosql.parser import parse_statement
+from repro.errors import CompileError
+from repro.objectlog.literals import Assignment, Comparison, PredLiteral
+
+
+@pytest.fixture
+def amos():
+    db = AmosDatabase()
+    db.create_type("item")
+    db.create_type("supplier")
+    db.create_stored_function("quantity", ["item"], ["integer"])
+    db.create_stored_function("min_stock", ["item"], ["integer"])
+    db.create_stored_function("consume_freq", ["item"], ["integer"])
+    db.create_stored_function("supplies", ["supplier"], ["item"])
+    db.create_stored_function("delivery_time", ["item", "supplier"], ["integer"])
+    db.create_stored_function("trusted", ["item"], ["boolean"])
+    return db
+
+
+def compile_condition(amos, text, params=()):
+    statement = parse_statement(text)
+    compiler = QueryCompiler(amos)
+    return compiler.compile_condition(
+        statement.condition, f"cnd_{statement.name}", statement.params
+    )
+
+
+RULE = """create rule r() as
+    when for each item i
+    where quantity(i) < consume_freq(i) * delivery_time(i, s) + min_stock(i)
+        and supplies(s) = i
+    do order_stub(i);"""
+
+
+class TestConditionCompilation:
+    def test_paper_condition_shape(self, amos):
+        """The expanded condition references exactly the paper's five
+        stored functions — no extent literal, because quantity already
+        range-restricts the item variable (section 4.3 / Fig. 2)."""
+        compiled = compile_condition(amos, RULE)
+        assert len(compiled.clauses) == 1
+        clause = compiled.clauses[0]
+        preds = sorted(l.pred for l in clause.pred_literals())
+        assert preds == [
+            "consume_freq",
+            "delivery_time",
+            "min_stock",
+            "quantity",
+            "supplies",
+        ]
+
+    def test_head_is_params_then_decls(self, amos):
+        statement = parse_statement(
+            """create rule r(item j) as
+               when for each item i where quantity(i) < quantity(j)
+               do stub(i);"""
+        )
+        compiler = QueryCompiler(amos)
+        compiled = compiler.compile_condition(
+            statement.condition, "cnd_r", statement.params
+        )
+        assert compiled.head_vars == ["j", "i"]
+        head = compiled.clauses[0].head
+        assert [a.name for a in head.args] == ["j", "i"]
+
+    def test_unrestricted_decl_gets_extent_literal(self, amos):
+        compiled = compile_condition(
+            amos,
+            """create rule r() as
+               when for each item i where 1 < 2 do stub(i);""",
+        )
+        preds = [l.pred for l in compiled.clauses[0].pred_literals()]
+        assert preds == ["item"]
+
+    def test_disjunction_makes_two_clauses(self, amos):
+        compiled = compile_condition(
+            amos,
+            """create rule r() as
+               when for each item i
+               where quantity(i) < 5 or min_stock(i) > 100
+               do stub(i);""",
+        )
+        assert len(compiled.clauses) == 2
+
+    def test_negation_creates_aux_predicate(self, amos):
+        compiled = compile_condition(
+            amos,
+            """create rule r() as
+               when for each item i
+               where quantity(i) < 5 and not (trusted(i) = true)
+               do stub(i);""",
+        )
+        assert len(compiled.aux_predicates) == 1
+        aux = compiled.aux_predicates[0]
+        assert amos.program.has(aux)
+        negated = [
+            l for l in compiled.clauses[0].pred_literals() if l.negated
+        ]
+        assert [l.pred for l in negated] == [aux]
+
+    def test_comparison_with_arithmetic_keeps_expression(self, amos):
+        compiled = compile_condition(
+            amos,
+            """create rule r() as
+               when for each item i where quantity(i) + 1 < 10 do stub(i);""",
+        )
+        comparisons = [
+            l for l in compiled.clauses[0].body if isinstance(l, Comparison)
+        ]
+        assert len(comparisons) == 1
+
+
+class TestSelectCompilation:
+    def test_function_equality_unifies_result_column(self, amos):
+        statement = parse_statement(
+            "select s for each supplier s, item i where supplies(s) = i;"
+        )
+        compiler = QueryCompiler(amos)
+        compiled = compiler.compile_select(statement.query, "_q")
+        supplies = [
+            l for l in compiled.clauses[0].pred_literals() if l.pred == "supplies"
+        ]
+        assert len(supplies) == 1
+        # result column unified directly with i: no fresh variable
+        assert supplies[0].args[1].name == "i"
+
+    def test_select_expression_gets_assignment(self, amos):
+        statement = parse_statement("select quantity(i) * 2 for each item i;")
+        compiler = QueryCompiler(amos)
+        compiled = compiler.compile_select(statement.query, "_q")
+        assert any(
+            isinstance(l, Assignment) for l in compiled.clauses[0].body
+        )
+
+    def test_boolean_atom_compiles_to_true_literal(self, amos):
+        statement = parse_statement("select i for each item i where trusted(i);")
+        compiler = QueryCompiler(amos)
+        compiled = compiler.compile_select(statement.query, "_q")
+        trusted = [
+            l for l in compiled.clauses[0].pred_literals() if l.pred == "trusted"
+        ]
+        assert trusted[0].args[1] is True
+
+
+class TestCompileErrors:
+    def test_unknown_function(self, amos):
+        with pytest.raises(Exception):
+            compile_condition(
+                amos,
+                "create rule r() as when for each item i where ghost(i) < 1 do s(i);",
+            )
+
+    def test_wrong_argument_count(self, amos):
+        with pytest.raises(CompileError):
+            compile_condition(
+                amos,
+                "create rule r() as when for each item i where quantity(i, i) < 1 do s(i);",
+            )
+
+    def test_unbound_interface_variable(self, amos):
+        with pytest.raises(CompileError):
+            compile_condition(
+                amos,
+                "create rule r() as when for each item i where quantity(:ghost) < 1 do s(i);",
+            )

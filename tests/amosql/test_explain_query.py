@@ -1,0 +1,102 @@
+"""Tests for the query EXPLAIN tooling (compiler + optimizer + REPL)."""
+
+import io
+
+import pytest
+
+from repro.amosql.interpreter import AmosqlEngine
+from repro.amosql.repl import Repl
+from repro.errors import AmosError
+
+
+@pytest.fixture
+def engine():
+    e = AmosqlEngine()
+    e.execute(
+        """
+        create type item;
+        create type supplier;
+        create function quantity(item) -> integer;
+        create function supplies(supplier) -> item;
+        create function delivery_time(item, supplier) -> integer;
+        create function trusted(item) -> boolean;
+        """
+    )
+    return e
+
+
+class TestExplainQuery:
+    def test_plan_shows_optimized_order(self, engine):
+        plan = engine.explain_query(
+            "select i for each item i, supplier s "
+            "where supplies(s) = i and quantity(i) < delivery_time(i, s) * 10"
+        )
+        lines = [line.strip() for line in plan.splitlines()]
+        # the comparison sits AFTER all three reads (inputs must bind)
+        read_positions = [
+            index for index, line in enumerate(lines)
+            if line.startswith(("supplies", "quantity", "delivery_time"))
+        ]
+        compare_position = next(
+            index for index, line in enumerate(lines) if " < " in line
+        )
+        assert max(read_positions) < compare_position
+
+    def test_plan_lists_base_influents(self, engine):
+        plan = engine.explain_query(
+            "select i for each item i where quantity(i) < 10"
+        )
+        assert "base influents: ['quantity']" in plan
+
+    def test_disjunction_shows_two_clauses(self, engine):
+        plan = engine.explain_query(
+            "select i for each item i "
+            "where quantity(i) < 10 or quantity(i) > 100"
+        )
+        assert "clause 0:" in plan and "clause 1:" in plan
+
+    def test_negation_cleans_up_aux_predicates(self, engine):
+        before = set(engine.amos.program.names())
+        engine.explain_query(
+            "select i for each item i where not (trusted(i) = true)"
+        )
+        assert set(engine.amos.program.names()) == before
+
+    def test_derived_influents_flattened(self, engine):
+        engine.execute(
+            "create function slow(item i) -> integer as "
+            "select delivery_time(i, s) for each supplier s "
+            "where supplies(s) = i;"
+        )
+        plan = engine.explain_query(
+            "select i for each item i where slow(i) > 5"
+        )
+        assert "'delivery_time'" in plan and "'supplies'" in plan
+
+    def test_non_select_rejected(self, engine):
+        with pytest.raises(AmosError):
+            engine.explain_query("create type gadget")
+
+
+class TestReplPlanCommand:
+    def run_repl_lines(self, engine, lines):
+        out = io.StringIO()
+        repl = Repl(engine=engine, out=out)
+        for line in lines:
+            repl.handle_line(line + "\n")
+        return out.getvalue()
+
+    def test_plan_command(self, engine):
+        output = self.run_repl_lines(
+            engine, [".plan select i for each item i where quantity(i) < 10"]
+        )
+        assert "clause 0:" in output
+        assert "base influents" in output
+
+    def test_plan_without_query_shows_usage(self, engine):
+        output = self.run_repl_lines(engine, [".plan"])
+        assert "usage" in output
+
+    def test_plan_with_bad_query_reports_error(self, engine):
+        output = self.run_repl_lines(engine, [".plan select ghost(i)"])
+        assert "error:" in output

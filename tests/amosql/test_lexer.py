@@ -1,0 +1,80 @@
+"""Tests for the AMOSQL tokenizer."""
+
+import pytest
+
+from repro.amosql.lexer import Token, tokenize
+from repro.errors import LexError
+
+
+def kinds(text):
+    return [token.kind for token in tokenize(text)]
+
+
+def values(text):
+    return [token.value for token in tokenize(text)[:-1]]  # drop EOF
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("CREATE Type item;")
+        assert tokens[0] == Token("KEYWORD", "create", 0, 1)
+        assert tokens[1].value == "type"
+        assert tokens[2].kind == "IDENT"
+
+    def test_identifiers_keep_case(self):
+        assert tokenize("Quantity")[0].value == "Quantity"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert tokens[0].kind == "INT" and tokens[0].value == "42"
+        assert tokens[1].kind == "FLOAT" and tokens[1].value == "3.14"
+
+    def test_strings_with_escapes(self):
+        tokens = tokenize(r"'hello' 'don\'t'")
+        assert tokens[0] == Token("STRING", "hello", 0, 1)
+        assert tokens[1].value == "don't"
+
+    def test_interface_variables(self):
+        token = tokenize(":item1")[0]
+        assert token.kind == "IFACEVAR"
+        assert token.value == ":item1"
+
+    def test_arrow_and_comparisons(self):
+        assert values("-> <= >= != <>") == ["->", "<=", ">=", "!=", "!="]
+
+    def test_symbols(self):
+        assert values("( ) , ; = < > + - * /") == list("(),;=<>+-*/")
+
+    def test_comments_skipped(self):
+        assert kinds("a /* block */ b -- line\n c") == [
+            "IDENT",
+            "IDENT",
+            "IDENT",
+            "EOF",
+        ]
+
+    def test_line_tracking(self):
+        tokens = tokenize("a\nb\n\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+    def test_illegal_character(self):
+        with pytest.raises(LexError):
+            tokenize("select @")
+
+    def test_eof_always_present(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+    def test_paper_statement_roundtrip(self):
+        text = "set delivery_time(:item1, :sup1) = 2;"
+        assert values(text) == [
+            "set",
+            "delivery_time",
+            "(",
+            ":item1",
+            ",",
+            ":sup1",
+            ")",
+            "=",
+            "2",
+            ";",
+        ]

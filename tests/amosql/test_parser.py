@@ -1,0 +1,193 @@
+"""Tests for the AMOSQL parser."""
+
+import pytest
+
+from repro.amosql import ast
+from repro.amosql.parser import parse, parse_statement
+from repro.errors import ParseError
+
+
+class TestCreateType:
+    def test_plain(self):
+        statement = parse_statement("create type item;")
+        assert statement == ast.CreateType("item")
+
+    def test_under(self):
+        statement = parse_statement("create type gadget under item, thing;")
+        assert statement == ast.CreateType("gadget", ("item", "thing"))
+
+
+class TestCreateFunction:
+    def test_stored(self):
+        statement = parse_statement("create function quantity(item) -> integer;")
+        assert statement.name == "quantity"
+        assert statement.params == (ast.FunctionParam("item", None),)
+        assert statement.result_type == "integer"
+        assert statement.body is None
+
+    def test_two_arguments(self):
+        statement = parse_statement(
+            "create function delivery_time(item, supplier) -> integer;"
+        )
+        assert [p.type_name for p in statement.params] == ["item", "supplier"]
+
+    def test_derived_with_for_each(self):
+        statement = parse_statement(
+            """create function threshold(item i) -> integer as
+               select consume_freq(i) * delivery_time(i, s) + min_stock(i)
+               for each supplier s where supplies(s) = i;"""
+        )
+        assert statement.params == (ast.FunctionParam("item", "i"),)
+        body = statement.body
+        assert body.decls == (ast.VarDecl("supplier", "s"),)
+        assert isinstance(body.pred, ast.Cmp)
+        assert isinstance(body.exprs[0], ast.BinOp)
+
+    def test_operator_precedence_in_body(self):
+        statement = parse_statement(
+            "create function f(item i) -> integer as select a(i) + b(i) * 2;"
+        )
+        expr = statement.body.exprs[0]
+        assert expr.op == "+"
+        assert isinstance(expr.right, ast.BinOp) and expr.right.op == "*"
+
+
+class TestCreateRule:
+    def test_paper_monitor_items(self):
+        statement = parse_statement(
+            """create rule monitor_items() as
+               when for each item i where quantity(i) < threshold(i)
+               do order(i, max_stock(i) - quantity(i));"""
+        )
+        assert statement.name == "monitor_items"
+        assert statement.params == ()
+        assert statement.condition.decls == (ast.VarDecl("item", "i"),)
+        assert isinstance(statement.condition.pred, ast.Cmp)
+        assert isinstance(statement.actions[0], ast.ProcedureCall)
+
+    def test_parameterized_rule_without_for_each(self):
+        statement = parse_statement(
+            """create rule monitor_item(item i) as
+               when quantity(i) < threshold(i)
+               do order(i, max_stock(i) - quantity(i));"""
+        )
+        assert statement.params == (ast.VarDecl("item", "i"),)
+        assert statement.condition.decls == ()
+
+    def test_semantics_and_priority_markers(self):
+        statement = parse_statement(
+            """create rule r() as when for each item i where quantity(i) < 1
+               nervous priority 5 do order(i, 1);"""
+        )
+        assert statement.semantics == "nervous"
+        assert statement.priority == 5
+
+    def test_update_action(self):
+        statement = parse_statement(
+            """create rule r() as when for each item i where quantity(i) < 1
+               do set quantity(i) = 0;"""
+        )
+        action = statement.actions[0]
+        assert isinstance(action, ast.UpdateAction)
+        assert action.kind == "set"
+
+    def test_multiple_actions(self):
+        statement = parse_statement(
+            """create rule r() as when for each item i where quantity(i) < 1
+               do order(i, 1), set quantity(i) = 5;"""
+        )
+        assert len(statement.actions) == 2
+
+
+class TestOtherStatements:
+    def test_create_instances(self):
+        statement = parse_statement("create item instances :item1, :item2;")
+        assert statement == ast.CreateInstances("item", ("item1", "item2"))
+
+    def test_updates(self):
+        assert parse_statement("set quantity(:i) = 5;").kind == "set"
+        assert parse_statement("add tags(:i) = 'new';").kind == "add"
+        assert parse_statement("remove tags(:i) = 'new';").kind == "remove"
+
+    def test_select(self):
+        statement = parse_statement(
+            "select i, quantity(i) for each item i where quantity(i) < 10;"
+        )
+        query = statement.query
+        assert len(query.exprs) == 2
+        assert query.decls == (ast.VarDecl("item", "i"),)
+
+    def test_select_without_where(self):
+        statement = parse_statement("select i for each item i;")
+        assert statement.query.pred is None
+
+    def test_activate_deactivate(self):
+        assert parse_statement("activate monitor_items();") == ast.ActivateRule(
+            "monitor_items", ()
+        )
+        statement = parse_statement("deactivate monitor_item(:item1);")
+        assert statement.name == "monitor_item"
+        assert statement.args == (ast.IfaceVar("item1"),)
+
+    def test_transaction_statements(self):
+        assert isinstance(parse_statement("begin;"), ast.BeginTransaction)
+        assert isinstance(parse_statement("commit;"), ast.CommitTransaction)
+        assert isinstance(parse_statement("rollback;"), ast.RollbackTransaction)
+
+    def test_bare_procedure_call(self):
+        statement = parse_statement("order(:item1, 10);")
+        assert isinstance(statement, ast.CallStatement)
+        assert statement.call.name == "order"
+
+
+class TestPredicates:
+    def pred_of(self, text):
+        return parse_statement(f"select i for each item i where {text};").query.pred
+
+    def test_and_or_precedence(self):
+        pred = self.pred_of("a(i) = 1 or b(i) = 2 and c(i) = 3")
+        assert isinstance(pred, ast.Or)
+        assert isinstance(pred.right, ast.And)
+
+    def test_not_binds_tightest(self):
+        pred = self.pred_of("not a(i) = 1 and b(i) = 2")
+        assert isinstance(pred, ast.And)
+        assert isinstance(pred.left, ast.Not)
+
+    def test_parenthesized_predicate(self):
+        pred = self.pred_of("(a(i) = 1 or b(i) = 2) and c(i) = 3")
+        assert isinstance(pred, ast.And)
+        assert isinstance(pred.left, ast.Or)
+
+    def test_parenthesized_expression_comparison(self):
+        pred = self.pred_of("(quantity(i) + 1) < 10")
+        assert isinstance(pred, ast.Cmp)
+
+    def test_boolean_atom(self):
+        pred = self.pred_of("trusted(i)")
+        assert isinstance(pred, ast.BoolAtom)
+
+    def test_all_comparison_operators(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            pred = self.pred_of(f"quantity(i) {op} 5")
+            assert pred.op == op
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_statement("create type item; bogus")
+
+    def test_missing_semicolon_in_script(self):
+        with pytest.raises(ParseError):
+            parse("create type item create type other;")
+
+    def test_bad_statement(self):
+        with pytest.raises(ParseError):
+            parse_statement("frobnicate everything;")
+        with pytest.raises(ParseError):
+            parse_statement("where x = 1;")
+
+    def test_script_parses_multiple_statements(self):
+        statements = parse("create type a; create type b;")
+        assert len(statements) == 2

@@ -1,0 +1,86 @@
+"""Static type checking of AMOSQL queries (typed ObjectLog, section 3.2)."""
+
+import pytest
+
+from repro.amosql.interpreter import AmosqlEngine
+from repro.errors import CompileError
+
+
+@pytest.fixture
+def engine():
+    e = AmosqlEngine()
+    e.execute(
+        """
+        create type vehicle;
+        create type truck under vehicle;
+        create type driver;
+        create function speed(vehicle) -> integer;
+        create function cargo(truck) -> integer;
+        create function licensed(driver) -> boolean;
+        create function label(vehicle) -> charstring;
+        """
+    )
+    return e
+
+
+class TestWellTyped:
+    def test_declared_var_matches(self, engine):
+        engine.query("select speed(v) for each vehicle v")
+
+    def test_subtype_var_accepted_for_supertype_param(self, engine):
+        engine.query("select speed(t) for each truck t")
+
+    def test_supertype_var_accepted_for_subtype_param(self, engine):
+        """Late binding: a vehicle variable may hold a truck at run time."""
+        engine.query("select cargo(v) for each vehicle v")
+
+    def test_numeric_widening(self, engine):
+        engine.query("select v for each vehicle v where speed(v) > 1.5")
+
+    def test_nested_call_result_checked(self, engine):
+        engine.query(
+            "select v for each vehicle v where speed(v) + 1 > 10"
+        )
+
+    def test_interface_variable_type_used(self, engine):
+        engine.execute("create truck instances :t1; set cargo(:t1) = 5;")
+        assert engine.query("select cargo(:t1)") == [(5,)]
+
+
+class TestIllTyped:
+    def test_unrelated_object_type_rejected(self, engine):
+        with pytest.raises(CompileError, match="type error"):
+            engine.query("select speed(d) for each driver d")
+
+    def test_string_literal_for_object_rejected(self, engine):
+        with pytest.raises(CompileError, match="type error"):
+            engine.query("select speed('fast')")
+
+    def test_number_for_object_rejected(self, engine):
+        with pytest.raises(CompileError, match="type error"):
+            engine.query("select speed(42)")
+
+    def test_nested_call_result_mismatch_rejected(self, engine):
+        # label(v) is a charstring; speed expects a vehicle
+        with pytest.raises(CompileError, match="type error"):
+            engine.query("select speed(label(v)) for each vehicle v")
+
+    def test_arithmetic_for_object_rejected(self, engine):
+        with pytest.raises(CompileError, match="type error"):
+            engine.query("select v for each vehicle v where speed(1 + 2) > 0")
+
+    def test_interface_variable_of_wrong_type_rejected(self, engine):
+        engine.execute("create driver instances :d1;")
+        with pytest.raises(CompileError, match="type error"):
+            engine.query("select speed(:d1)")
+
+    def test_ill_typed_rule_condition_rejected(self, engine):
+        engine.amos.create_procedure("noop", ("driver",), lambda d: None)
+        with pytest.raises(CompileError, match="type error"):
+            engine.execute(
+                """
+                create rule bad() as
+                    when for each driver d where speed(d) > 10
+                    do noop(d);
+                """
+            )

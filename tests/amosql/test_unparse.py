@@ -1,0 +1,98 @@
+"""Round-trip tests: parse(unparse(parse(text))) is a fixed point."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.amosql import ast
+from repro.amosql.parser import parse_statement
+from repro.amosql.unparse import unparse_expr, unparse_statement
+
+CORPUS = [
+    "create type item;",
+    "create type gadget under item, thing;",
+    "create function quantity(item) -> integer;",
+    "create function delivery_time(item, supplier) -> integer;",
+    """create function threshold(item i) -> integer as
+       select consume_freq(i) * delivery_time(i, s) + min_stock(i)
+       for each supplier s where supplies(s) = i;""",
+    """create rule monitor_items() as
+       when for each item i where quantity(i) < threshold(i)
+       do order(i, max_stock(i) - quantity(i));""",
+    """create rule watch(item j) as on quantity, min_stock
+       when quantity(j) < 5 nervous priority 3
+       do note(j), set quantity(j) = 100;""",
+    "create item instances :item1, :item2;",
+    "set quantity(:item1) = 5000;",
+    "add tags(:item1) = 'new';",
+    "remove tags(:item1) = 'new';",
+    "select i, quantity(i) for each item i where quantity(i) < 10;",
+    "select quantity(:a) / 4;",
+    "select -quantity(:a) + 2;",
+    "select i for each item i where a(i) = 1 or b(i) = 2 and c(i) = 3;",
+    "select i for each item i where (a(i) = 1 or b(i) = 2) and c(i) = 3;",
+    "select i for each item i where not (trusted(i) = true);",
+    "select i for each item i where trusted(i);",
+    "activate monitor_items();",
+    "deactivate monitor_item(:item1);",
+    "drop rule monitor_items;",
+    "drop function quantity;",
+    "drop type item;",
+    "begin;",
+    "commit;",
+    "rollback;",
+    "order(:item1, 10);",
+    "select 'it''s' for each item i;".replace("''", "\\'"),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", CORPUS)
+    def test_parse_unparse_parse_fixed_point(self, text):
+        first = parse_statement(text)
+        rendered = unparse_statement(first)
+        second = parse_statement(rendered)
+        assert first == second, rendered
+
+    def test_unparse_is_idempotent(self):
+        for text in CORPUS:
+            statement = parse_statement(text)
+            once = unparse_statement(statement)
+            twice = unparse_statement(parse_statement(once))
+            assert once == twice
+
+
+# -- property-based expression round trips -----------------------------------
+
+names = st.sampled_from(["f", "g", "quantity"])
+var_names = st.sampled_from(["i", "s", "x"])
+
+
+def exprs(depth=3):
+    leaf = st.one_of(
+        st.integers(0, 99).map(ast.NumberLit),
+        st.booleans().map(ast.BoolLit),
+        var_names.map(ast.VarRef),
+        var_names.map(ast.IfaceVar),
+        st.sampled_from(["abc", "x y", "it's"]).map(ast.StringLit),
+    )
+    if depth == 0:
+        return leaf
+    sub = exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.builds(
+            ast.BinOp, st.sampled_from(["+", "-", "*", "/"]), sub, sub
+        ),
+        st.builds(ast.UnaryMinus, sub),
+        st.builds(
+            ast.FunCall, names, st.lists(sub, max_size=2).map(tuple)
+        ),
+    )
+
+
+class TestExpressionProperty:
+    @given(expr=exprs())
+    def test_expression_round_trip(self, expr):
+        text = unparse_expr(expr)
+        statement = parse_statement(f"select {text};")
+        assert statement.query.exprs[0] == expr, text

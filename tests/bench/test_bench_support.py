@@ -1,0 +1,217 @@
+"""Tests for the benchmark support library (harness + workload).
+
+The benchmark numbers feed EXPERIMENTS.md, so the measurement
+machinery itself deserves tests: sweep bookkeeping, table rendering,
+the regression fit the shape assertions rely on, and the inventory
+workload builder used by every macro benchmark.
+"""
+
+import pytest
+
+from repro.bench.harness import Measurement, Sweep, fit_linear, measure
+from repro.bench.workload import INVENTORY_SCHEMA_AMOSQL, build_inventory
+
+
+class TestMeasurement:
+    def test_seconds_per_transaction(self):
+        cell = Measurement("m", 10, seconds=2.0, transactions=4)
+        assert cell.seconds_per_transaction == 0.5
+
+    def test_zero_transactions_guarded(self):
+        cell = Measurement("m", 10, seconds=2.0, transactions=0)
+        assert cell.seconds_per_transaction == 2.0
+
+    def test_measure_times_callable(self):
+        cell = measure("series", 5, lambda: sum(range(1000)), transactions=2)
+        assert cell.series == "series"
+        assert cell.x == 5
+        assert cell.seconds >= 0
+
+    def test_measure_keeps_best_of_repeats(self):
+        durations = iter([0.0, 0.0, 0.0])
+
+        cell = measure("s", 1, lambda: next(durations, None), repeats=3)
+        assert cell.seconds >= 0
+
+
+class TestSweep:
+    def make_sweep(self):
+        sweep = Sweep("title", x_label="n")
+        sweep.add(Measurement("a", 10, 0.1, 1))
+        sweep.add(Measurement("a", 100, 0.2, 1))
+        sweep.add(Measurement("b", 10, 0.4, 1))
+        sweep.add(Measurement("b", 100, 4.0, 1))
+        return sweep
+
+    def test_series_and_xs(self):
+        sweep = self.make_sweep()
+        assert sweep.series_names() == ["a", "b"]
+        assert sweep.xs() == [10, 100]
+        assert sweep.series("a") == [(10, 0.1), (100, 0.2)]
+
+    def test_cell_and_ratio(self):
+        sweep = self.make_sweep()
+        assert sweep.cell("a", 10).seconds == 0.1
+        assert sweep.cell("a", 999) is None
+        assert sweep.ratio("b", "a", 10) == pytest.approx(4.0)
+        assert sweep.ratio("b", "ghost", 10) is None
+
+    def test_format_table_complete(self):
+        table = self.make_sweep().format_table()
+        assert "title" in table
+        assert "a (ms)" in table and "b (ms)" in table
+        assert "a/b" in table  # ratio column for two series
+        assert "100.000" in table  # 0.1 s -> 100 ms
+
+    def test_format_table_with_missing_cells(self):
+        sweep = self.make_sweep()
+        sweep.add(Measurement("a", 1000, 0.3, 1))  # no matching "b" cell
+        table = sweep.format_table()
+        assert "-" in table  # the hole renders, no crash
+
+    def test_format_table_single_series_has_no_ratio(self):
+        sweep = Sweep("t")
+        sweep.add(Measurement("only", 1, 0.1, 1))
+        assert "/" not in sweep.format_table().splitlines()[2]
+
+
+class TestFitLinear:
+    def test_perfect_line(self):
+        slope, intercept = fit_linear([(0, 1.0), (10, 21.0), (20, 41.0)])
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(1.0)
+
+    def test_flat_series(self):
+        slope, _ = fit_linear([(1, 5.0), (100, 5.0), (10000, 5.0)])
+        assert slope == pytest.approx(0.0)
+
+    def test_degenerate_x_variance(self):
+        slope, intercept = fit_linear([(5, 1.0), (5, 3.0)])
+        assert slope == 0.0
+        assert intercept == pytest.approx(2.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_linear([(1, 1.0)])
+
+
+class TestInventoryWorkload:
+    def test_build_populates_consistently(self):
+        workload = build_inventory(5, mode="incremental")
+        amos = workload.amos
+        assert len(workload.items) == 5
+        assert len(workload.suppliers) == 5
+        for item in workload.items:
+            assert amos.value("threshold", item) == 140
+            assert amos.value("quantity", item) >= 5000
+
+    def test_rule_created_but_inactive(self):
+        workload = build_inventory(2)
+        assert not workload.amos.rules.is_active("monitor_items")
+        workload.activate()
+        assert workload.amos.rules.is_active("monitor_items")
+        workload.deactivate()
+        assert not workload.amos.rules.is_active("monitor_items")
+
+    def test_touch_one_item_changes_exactly_one_quantity(self):
+        workload = build_inventory(4)
+        before = {
+            item: workload.amos.value("quantity", item)
+            for item in workload.items
+        }
+        workload.touch_one_item(2)
+        changed = [
+            item
+            for item in workload.items
+            if workload.amos.value("quantity", item) != before[item]
+        ]
+        assert changed == [workload.items[2]]
+
+    def test_touch_below_triggers_order(self):
+        workload = build_inventory(3)
+        workload.activate()
+        workload.touch_one_item(0, below=True)
+        assert len(workload.orders) == 1
+        item, amount = workload.orders[0]
+        assert item == workload.items[0]
+        assert amount == 5000 - 139
+
+    def test_massive_change_touches_three_functions(self):
+        workload = build_inventory(3)
+        amos = workload.amos
+        item = workload.items[0]
+        supplier = workload.suppliers[0]
+        before = (
+            amos.value("quantity", item),
+            amos.value("delivery_time", item, supplier),
+            amos.value("consume_freq", item),
+        )
+        workload.massive_change()
+        after = (
+            amos.value("quantity", item),
+            amos.value("delivery_time", item, supplier),
+            amos.value("consume_freq", item),
+        )
+        assert all(a != b for a, b in zip(before, after))
+
+    def test_schema_script_is_self_contained(self):
+        from repro.amosql.interpreter import AmosqlEngine
+
+        engine = AmosqlEngine()
+        engine.amos.create_procedure("order", ("item", "integer"),
+                                     lambda *args: None)
+        engine.execute(INVENTORY_SCHEMA_AMOSQL)
+        assert engine.amos.program.has("cnd_monitor_items")
+
+    def test_seed_reproducibility(self):
+        first = build_inventory(4, seed=11)
+        second = build_inventory(4, seed=11)
+        quantities_first = [
+            first.amos.value("quantity", item) for item in first.items
+        ]
+        quantities_second = [
+            second.amos.value("quantity", item) for item in second.items
+        ]
+        assert quantities_first == quantities_second
+
+
+class TestSweepExport:
+    def test_to_rows(self):
+        sweep = Sweep("t", x_label="n")
+        sweep.add(Measurement("a", 10, 0.5, 5))
+        rows = sweep.to_rows()
+        assert rows == [
+            {
+                "series": "a",
+                "n": 10,
+                "seconds": 0.5,
+                "transactions": 5,
+                "ms_per_transaction": 100.0,
+            }
+        ]
+
+    def test_csv_roundtrip(self, tmp_path):
+        import csv
+
+        sweep = Sweep("t")
+        sweep.add(Measurement("a", 1, 0.1, 1))
+        sweep.add(Measurement("b", 2, 0.2, 2))
+        path = tmp_path / "sweep.csv"
+        sweep.write_csv(str(path))
+        rows = list(csv.DictReader(open(path)))
+        assert [row["series"] for row in rows] == ["a", "b"]
+
+    def test_json_export(self, tmp_path):
+        import json
+
+        sweep = Sweep("my title")
+        sweep.add(Measurement("a", 1, 0.1, 1))
+        path = tmp_path / "sweep.json"
+        sweep.write_json(str(path))
+        data = json.load(open(path))
+        assert data["title"] == "my title"
+        assert len(data["rows"]) == 1
+
+    def test_empty_sweep_csv_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            Sweep("t").write_csv(str(tmp_path / "empty.csv"))

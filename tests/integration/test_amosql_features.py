@@ -1,0 +1,209 @@
+"""Integration: broader AMOSQL surface coverage.
+
+Multi-variable conditions (joins in the rule head), subtyping through
+the extent machinery, foreign functions inside conditions, string
+values, the REPL's script entry point, and assorted runtime behaviours.
+"""
+
+import io
+
+import pytest
+
+from repro.amosql.interpreter import AmosqlEngine
+from repro.amosql.repl import main as repl_main
+from repro.errors import AmosError, RuleActivationError
+
+
+class TestMultiVariableConditions:
+    def test_join_condition_rows_carry_all_variables(self):
+        """`for each item i, supplier s where ...` — condition rows are
+        (i, s) pairs, and the action sees both (shared query variables)."""
+        engine = AmosqlEngine()
+        pairs = []
+        engine.amos.create_procedure(
+            "pair", ("item", "supplier"), lambda i, s: pairs.append((i, s))
+        )
+        engine.execute(
+            """
+            create type item;
+            create type supplier;
+            create function supplies(supplier) -> item;
+            create function delivery_time(item, supplier) -> integer;
+            create rule slow_supplier() as
+                when for each item i, supplier s
+                where supplies(s) = i and delivery_time(i, s) > 10
+                do pair(i, s);
+            create item instances :i1;
+            create supplier instances :s1, :s2;
+            set supplies(:s1) = :i1;
+            set supplies(:s2) = :i1;
+            set delivery_time(:i1, :s1) = 5;
+            set delivery_time(:i1, :s2) = 5;
+            activate slow_supplier();
+            """
+        )
+        engine.execute("set delivery_time(:i1, :s2) = 20;")
+        assert pairs == [(engine.get("i1"), engine.get("s2"))]
+        # the other supplier of the same item is unaffected
+        engine.execute("set delivery_time(:i1, :s2) = 21;")
+        assert len(pairs) == 1  # strict: still true, no refire
+
+
+class TestSubtyping:
+    def test_supertype_rules_see_subtype_objects(self):
+        engine = AmosqlEngine()
+        hits = []
+        engine.amos.create_procedure("note", ("vehicle",), hits.append)
+        engine.execute(
+            """
+            create type vehicle;
+            create type truck under vehicle;
+            create function speed(vehicle) -> integer;
+            create rule speeding() as
+                when for each vehicle v where speed(v) > 100 do note(v);
+            create truck instances :t1;
+            activate speeding();
+            set speed(:t1) = 130;
+            """
+        )
+        assert hits == [engine.get("t1")]
+        assert engine.get("t1").type_name == "truck"
+
+    def test_subtype_extent_is_narrower(self):
+        engine = AmosqlEngine()
+        engine.execute(
+            """
+            create type vehicle;
+            create type truck under vehicle;
+            create vehicle instances :v1;
+            create truck instances :t1;
+            """
+        )
+        vehicles = engine.query("select v for each vehicle v")
+        trucks = engine.query("select t for each truck t")
+        assert len(vehicles) == 2
+        assert trucks == [(engine.get("t1"),)]
+
+
+class TestForeignFunctionsInConditions:
+    def test_python_function_as_influent_computation(self):
+        engine = AmosqlEngine()
+        hits = []
+        engine.amos.create_procedure("note", ("sensor",), hits.append)
+        engine.amos.create_foreign_function(
+            "celsius", ["integer"], ["real"], lambda f: [((f - 32) * 5 / 9,)]
+        )
+        engine.execute(
+            """
+            create type sensor;
+            create function fahrenheit(sensor) -> integer;
+            create rule hot() as
+                when for each sensor s where celsius(fahrenheit(s)) > 35
+                do note(s);
+            create sensor instances :s1;
+            set fahrenheit(:s1) = 80;
+            activate hot();
+            set fahrenheit(:s1) = 100;
+            """
+        )
+        assert hits == [engine.get("s1")]  # 100F = 37.8C
+
+
+class TestValuesAndExpressions:
+    def test_string_values_roundtrip(self):
+        engine = AmosqlEngine()
+        engine.execute(
+            """
+            create type person;
+            create function nickname(person) -> charstring;
+            create person instances :p;
+            set nickname(:p) = 'the captain';
+            """
+        )
+        assert engine.query("select nickname(:p)") == [("the captain",)]
+        rows = engine.query(
+            "select p for each person p where nickname(p) = 'the captain'"
+        )
+        assert rows == [(engine.get("p"),)]
+
+    def test_division_and_unary_minus(self):
+        engine = AmosqlEngine()
+        engine.execute(
+            """
+            create type thing;
+            create function weight(thing) -> integer;
+            create thing instances :t;
+            set weight(:t) = 12;
+            """
+        )
+        assert engine.query("select weight(:t) / 4") == [(3.0,)]
+        assert engine.query("select -weight(:t) + 2") == [(-10,)]
+
+    def test_comparison_of_two_function_calls(self):
+        engine = AmosqlEngine()
+        engine.execute(
+            """
+            create type thing;
+            create function a(thing) -> integer;
+            create function b(thing) -> integer;
+            create thing instances :t1, :t2;
+            set a(:t1) = 1;  set b(:t1) = 2;
+            set a(:t2) = 5;  set b(:t2) = 2;
+            """
+        )
+        rows = engine.query("select t for each thing t where a(t) >= b(t)")
+        assert rows == [(engine.get("t2"),)]
+
+
+class TestActivationErrors:
+    def test_double_activation_via_amosql(self):
+        engine = AmosqlEngine()
+        engine.amos.create_procedure("noop", ("item",), lambda i: None)
+        engine.execute(
+            """
+            create type item;
+            create function quantity(item) -> integer;
+            create rule r() as
+                when for each item i where quantity(i) < 1 do noop(i);
+            activate r();
+            """
+        )
+        with pytest.raises(RuleActivationError):
+            engine.execute("activate r();")
+        engine.execute("deactivate r();")
+        with pytest.raises(RuleActivationError):
+            engine.execute("deactivate r();")
+
+
+class TestReplScriptMode:
+    def test_main_executes_script_file(self, tmp_path, capsys):
+        script = tmp_path / "demo.amosql"
+        script.write_text(
+            "create type item;\n"
+            "create function quantity(item) -> integer;\n"
+            "create item instances :a;\n"
+            "set quantity(:a) = 5;\n"
+            "select quantity(i) for each item i;\n"
+        )
+        exit_code = repl_main([str(script)])
+        assert exit_code == 0
+        assert "(5,)" in capsys.readouterr().out
+
+    def test_main_mode_flag(self, tmp_path, capsys):
+        script = tmp_path / "demo.amosql"
+        script.write_text("create type item;\n")
+        assert repl_main(["--mode", "naive", str(script)]) == 0
+
+
+class TestShippedPaperScript:
+    def test_inventory_script_runs_and_orders(self, capsys):
+        """examples/inventory.amosql is the paper's section-3.1 script."""
+        import os
+
+        script = os.path.join(
+            os.path.dirname(__file__), "..", "..", "examples", "inventory.amosql"
+        )
+        assert repl_main([script]) == 0
+        output = capsys.readouterr().out
+        assert "4880" in output          # the paper's reorder amount
+        assert "140" in output and "290" in output  # the thresholds

@@ -1,0 +1,178 @@
+"""Integration: drop statements and action-time firing context."""
+
+import pytest
+
+from repro.amosql.interpreter import AmosqlEngine
+from repro.errors import AmosError, ParseError, UnknownRuleError
+
+
+@pytest.fixture
+def engine():
+    e = AmosqlEngine(explain=True)
+    e.amos.create_procedure("noop", ("item",), lambda item: None)
+    e.execute(
+        """
+        create type item;
+        create function quantity(item) -> integer;
+        create rule low() as
+            when for each item i where quantity(i) < 10 do noop(i);
+        create item instances :a;
+        set quantity(:a) = 100;
+        """
+    )
+    return e
+
+
+class TestDropRule:
+    def test_drop_removes_rule_and_condition(self, engine):
+        engine.execute("drop rule low;")
+        with pytest.raises(UnknownRuleError):
+            engine.amos.rules.rule("low")
+        assert not engine.amos.program.has("cnd_low")
+
+    def test_drop_active_rule_deactivates_and_unmonitors(self, engine):
+        engine.execute("activate low();")
+        assert engine.amos.storage.is_monitored("quantity")
+        engine.execute("drop rule low;")
+        assert not engine.amos.storage.is_monitored("quantity")
+        engine.execute("set quantity(:a) = 1;")  # no crash, no firing
+
+    def test_drop_cleans_not_predicates(self, engine):
+        engine.execute(
+            """
+            create function trusted(item) -> boolean;
+            create rule neg() as
+                when for each item i
+                where quantity(i) < 10 and not (trusted(i) = true)
+                do noop(i);
+            """
+        )
+        aux = [n for n in engine.amos.program.names() if n.startswith("_not_")]
+        assert aux
+        engine.execute("drop rule neg;")
+        for name in aux:
+            assert not engine.amos.program.has(name)
+
+    def test_rule_name_reusable_after_drop(self, engine):
+        engine.execute("drop rule low;")
+        engine.execute(
+            """
+            create rule low() as
+                when for each item i where quantity(i) < 5 do noop(i);
+            activate low();
+            """
+        )
+        assert engine.amos.rules.is_active("low")
+
+
+class TestDropFunction:
+    def test_drop_stored_function(self, engine):
+        engine.execute("drop rule low;")
+        engine.execute("drop function quantity;")
+        assert "quantity" not in engine.amos.functions
+        assert not engine.amos.storage.has_relation("quantity")
+
+    def test_drop_rejected_while_referenced(self, engine):
+        # cnd_low references quantity
+        with pytest.raises(AmosError):
+            engine.execute("drop function quantity;")
+
+    def test_drop_rejected_while_aggregate_uses_it(self, engine):
+        engine.execute("drop rule low;")
+        engine.execute(
+            "create function total() -> integer as "
+            "select sum(quantity(i)) for each item i;"
+        )
+        with pytest.raises(AmosError):
+            engine.execute("drop function _src_total;")
+
+
+class TestDropType:
+    def test_drop_empty_unused_type(self, engine):
+        engine.execute("create type scratch;")
+        engine.execute("drop type scratch;")
+        assert not engine.amos.types.exists("scratch")
+        assert not engine.amos.storage.has_relation("scratch")
+
+    def test_drop_rejected_with_instances(self, engine):
+        engine.execute("drop rule low;")
+        engine.execute("drop function quantity;")
+        with pytest.raises(AmosError):
+            engine.execute("drop type item;")  # :a still exists
+
+    def test_drop_rejected_when_function_uses_it(self, engine):
+        engine.execute("create type scratch;")
+        engine.execute("create function w(scratch) -> integer;")
+        with pytest.raises(AmosError):
+            engine.execute("drop type scratch;")
+
+    def test_drop_rejected_with_subtypes(self, engine):
+        engine.execute("create type base_t; create type sub_t under base_t;")
+        with pytest.raises(AmosError):
+            engine.execute("drop type base_t;")
+        engine.execute("drop type sub_t; drop type base_t;")
+
+    def test_drop_garbage_kind_rejected(self, engine):
+        with pytest.raises(ParseError):
+            engine.execute("drop procedure noop;")
+
+
+class TestCurrentFiring:
+    def test_action_sees_its_firing_context(self):
+        engine = AmosqlEngine(explain=True)
+        observed = []
+
+        def action_probe(item):
+            firing = engine.amos.rules.current_firing
+            observed.append(
+                (
+                    firing.rule,
+                    sorted(firing.rows, key=repr),
+                    firing.influents_for((item,)),
+                )
+            )
+
+        engine.amos.create_procedure("probe", ("item",), action_probe)
+        engine.execute(
+            """
+            create type item;
+            create function quantity(item) -> integer;
+            create rule low() as
+                when for each item i where quantity(i) < 10 do probe(i);
+            create item instances :a;
+            set quantity(:a) = 100;
+            activate low();
+            set quantity(:a) = 5;
+            """
+        )
+        assert len(observed) == 1
+        rule_name, rows, influents = observed[0]
+        assert rule_name == "low"
+        assert rows == [(engine.get("a"),)]
+        assert influents == {"quantity"}
+
+    def test_current_firing_cleared_outside_actions(self):
+        engine = AmosqlEngine()
+        assert engine.amos.rules.current_firing is None
+
+    def test_current_firing_without_explain_has_rows(self):
+        """Even without tracing, the action can see WHICH rows fired."""
+        engine = AmosqlEngine(explain=False)
+        seen = []
+        engine.amos.create_procedure(
+            "probe",
+            ("item",),
+            lambda item: seen.append(engine.amos.rules.current_firing.rows),
+        )
+        engine.execute(
+            """
+            create type item;
+            create function quantity(item) -> integer;
+            create rule low() as
+                when for each item i where quantity(i) < 10 do probe(i);
+            create item instances :a;
+            activate low();
+            set quantity(:a) = 5;
+            """
+        )
+        assert seen == [frozenset({(engine.get("a"),)})]

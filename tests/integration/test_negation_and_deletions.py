@@ -1,0 +1,129 @@
+"""Integration: deletions and negation through the full stack.
+
+These scenarios exercise the machinery the inventory example does not:
+negative differentials (old-state evaluation by logical rollback),
+negation (inverted delta propagation), and multi-valued functions.
+"""
+
+import pytest
+
+from repro.amosql.interpreter import AmosqlEngine
+
+
+@pytest.fixture
+def engine():
+    e = AmosqlEngine(explain=True)
+    e.amos.create_procedure(
+        "alert", ("account", "integer"), lambda a, x: e_alerts.append((a, x))
+    )
+    global e_alerts
+    e_alerts = []
+    e.execute(
+        """
+        create type account;
+        create function transfer_amount(account) -> integer;
+        create function trusted(account) -> boolean;
+        create rule fraud() as
+            when for each account a
+            where transfer_amount(a) > 1000 and not (trusted(a) = true)
+            do alert(a, transfer_amount(a));
+        create account instances :u, :v;
+        set transfer_amount(:u) = 50;
+        set transfer_amount(:v) = 2000;
+        set trusted(:u) = false;
+        set trusted(:v) = true;
+        activate fraud();
+        """
+    )
+    return e
+
+
+class TestNegationScenarios:
+    def test_untrusting_fires_for_existing_transfer(self, engine):
+        engine.execute("set trusted(:v) = false;")
+        assert e_alerts == [(engine.get("v"), 2000)]
+
+    def test_trusting_prevents_future_alerts(self, engine):
+        engine.execute("set trusted(:u) = true;")
+        engine.execute("set transfer_amount(:u) = 9999;")
+        assert e_alerts == []
+
+    def test_simultaneous_transfer_and_trust_change(self, engine):
+        """Both influents change in ONE transaction; net semantics decide."""
+        engine.execute(
+            "begin; set transfer_amount(:u) = 5000; set trusted(:u) = true; commit;"
+        )
+        assert e_alerts == []
+        engine.execute(
+            "begin; set transfer_amount(:u) = 6000; set trusted(:u) = false; commit;"
+        )
+        assert e_alerts == [(engine.get("u"), 6000)]
+
+    def test_transfer_dropping_below_limit_untriggers(self, engine):
+        engine.execute("set trusted(:v) = false;")
+        assert len(e_alerts) == 1
+        # drop and re-raise within one transaction: condition stays true,
+        # strict semantics stays silent
+        engine.execute(
+            "begin; set transfer_amount(:v) = 1; set transfer_amount(:v) = 3000; commit;"
+        )
+        assert len(e_alerts) == 1
+
+    def test_explanation_shows_negated_influent(self, engine):
+        engine.execute("set trusted(:v) = false;")
+        fired = engine.amos.rules.last_report.fired_rules()[0]
+        row = next(iter(fired.rows))
+        # the cause chain bottoms out in the auxiliary NOT-predicate
+        assert any(name.startswith("_not_") for name in fired.influents_for(row))
+
+
+class TestMultiValuedDeletions:
+    def test_remove_value_triggers_negative_path(self):
+        engine = AmosqlEngine()
+        hits = []
+        engine.amos.create_procedure(
+            "note", ("person", "charstring"), lambda p, b: hits.append((p, b))
+        )
+        engine.execute(
+            """
+            create type person;
+            create function badge(person) -> charstring;
+            create rule solo_badge() as
+                when for each person p
+                where badge(p) = 'vip' and not (badge(p) = 'banned')
+                do note(p, 'vip-ok');
+            create person instances :p1;
+            activate solo_badge();
+            add badge(:p1) = 'vip';
+            """
+        )
+        assert hits == [(engine.get("p1"), "vip-ok")]
+        # banning cancels; un-banning re-triggers through a DELETION
+        engine.execute("add badge(:p1) = 'banned';")
+        engine.execute("remove badge(:p1) = 'banned';")
+        assert hits == [
+            (engine.get("p1"), "vip-ok"),
+            (engine.get("p1"), "vip-ok"),
+        ]
+
+    def test_object_deletion_cascade_untriggers(self):
+        engine = AmosqlEngine()
+        hits = []
+        engine.amos.create_procedure("note", ("person",), hits.append)
+        engine.execute(
+            """
+            create type person;
+            create function score(person) -> integer;
+            create rule high() as
+                when for each person p where score(p) > 10 do note(p);
+            create person instances :p1;
+            activate high();
+            set score(:p1) = 50;
+            """
+        )
+        assert hits == [engine.get("p1")]
+        # delete the object entirely: no crash, no ghost firings
+        engine.amos.delete_object(engine.get("p1"))
+        assert engine.amos.extension("cnd_high") == frozenset()
+        engine.execute("create person instances :p2; set score(:p2) = 99;")
+        assert len(hits) == 2

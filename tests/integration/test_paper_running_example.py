@@ -1,0 +1,116 @@
+"""Integration: the paper's complete running example (section 3.1).
+
+Everything here follows the paper's text: the schema, the population,
+the thresholds (item1 reorders below 140, item2 below 290), and the
+deferred, strict, set-oriented rule semantics.
+"""
+
+import pytest
+
+from tests.conftest import make_inventory_engine
+
+
+@pytest.fixture
+def setup():
+    engine, orders = make_inventory_engine(explain=True)
+    engine.execute("activate monitor_items();")
+    return engine, orders
+
+
+class TestPaperScenario:
+    def test_thresholds_match_paper(self, setup):
+        engine, _ = setup
+        rows = dict(engine.query("select i, threshold(i) for each item i"))
+        assert rows[engine.get("item1")] == 140
+        assert rows[engine.get("item2")] == 290
+
+    def test_population_counts(self, setup):
+        engine, _ = setup
+        assert len(engine.amos.objects_of("item")) == 2
+        assert len(engine.amos.objects_of("supplier")) == 2
+
+    def test_order_fired_with_restock_amount(self, setup):
+        """'new items will be delivered if the quantity drops below 140'"""
+        engine, orders = setup
+        engine.execute("set quantity(:item1) = 120;")
+        assert orders == [(engine.get("item1"), 5000 - 120)]
+
+    def test_no_order_above_threshold(self, setup):
+        engine, orders = setup
+        engine.execute("set quantity(:item1) = 140;")  # not BELOW
+        assert orders == []
+        engine.execute("set quantity(:item1) = 139;")
+        assert len(orders) == 1
+
+    def test_both_items_fire_in_one_transaction(self, setup):
+        engine, orders = setup
+        engine.execute(
+            "begin; set quantity(:item1) = 100; set quantity(:item2) = 100; commit;"
+        )
+        assert sorted(orders, key=lambda pair: pair[0].id) == [
+            (engine.get("item1"), 4900),
+            (engine.get("item2"), 7400),
+        ]
+
+    def test_strict_semantics_orders_once(self, setup):
+        """'strict semantics is preferable since we only want to order an
+        item once when it becomes low in stock'"""
+        engine, orders = setup
+        engine.execute("set quantity(:item1) = 120;")
+        engine.execute("set quantity(:item1) = 110;")
+        engine.execute("set quantity(:item1) = 130;")
+        assert len(orders) == 1
+
+    def test_logical_events_only(self, setup):
+        """'we only react to net changes, i.e. logical events'"""
+        engine, orders = setup
+        engine.execute(
+            "begin; set quantity(:item1) = 10; set quantity(:item1) = 5000; commit;"
+        )
+        assert orders == []
+
+    def test_threshold_change_can_trigger(self, setup):
+        engine, orders = setup
+        engine.execute("set quantity(:item1) = 150;")
+        assert orders == []
+        # slower deliveries: threshold = 20*10+100 = 300 > 150
+        engine.execute("set delivery_time(:item1, :sup1) = 10;")
+        assert orders == [(engine.get("item1"), 4850)]
+
+    def test_deactivation_stops_monitoring(self, setup):
+        engine, orders = setup
+        engine.execute("deactivate monitor_items();")
+        engine.execute("set quantity(:item1) = 1;")
+        assert orders == []
+        assert engine.amos.rules.monitored_relations() == frozenset()
+
+    def test_rollback_never_reaches_rule(self, setup):
+        engine, orders = setup
+        engine.execute("begin; set quantity(:item1) = 1; rollback;")
+        assert orders == []
+        assert engine.amos.value("quantity", engine.get("item1")) == 5000
+
+
+class TestConditionFunction:
+    def test_cnd_function_generated(self, setup):
+        engine, _ = setup
+        assert engine.amos.program.has("cnd_monitor_items")
+        # empty while everything is above threshold
+        assert engine.amos.extension("cnd_monitor_items") == frozenset()
+
+    def test_cnd_extension_after_drop(self, setup):
+        engine, _ = setup
+        engine.execute("set quantity(:item1) = 120;")
+        assert engine.amos.extension("cnd_monitor_items") == {
+            (engine.get("item1"),)
+        }
+
+    def test_influents_are_the_five_stored_functions(self, setup):
+        engine, _ = setup
+        assert engine.amos.program.base_influents("cnd_monitor_items") == {
+            "quantity",
+            "consume_freq",
+            "delivery_time",
+            "supplies",
+            "min_stock",
+        }

@@ -1,0 +1,117 @@
+"""Tests for dependency networks (paper Fig. 1)."""
+
+import pytest
+
+from repro.errors import RecursionNotSupportedError
+from repro.objectlog.clause import HornClause
+from repro.objectlog.dependency import DependencyNetwork
+from repro.objectlog.literals import PredLiteral
+from repro.objectlog.program import Program
+from repro.objectlog.terms import Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+def clause(head, *body):
+    return HornClause(head, list(body))
+
+
+@pytest.fixture
+def program():
+    """The paper's Fig.-1 shape: cnd depends on quantity and threshold;
+    threshold depends on four stored functions."""
+    p = Program()
+    for name in ("quantity", "consume_freq", "min_stock"):
+        p.declare_base(name, 2)
+    p.declare_base("delivery_time", 3)
+    p.declare_base("supplies", 2)
+    p.declare_derived("threshold", 2)
+    T, G1, G2, G3 = (Variable(n) for n in ("T", "G1", "G2", "G3"))
+    p.add_clause(clause(
+        PredLiteral("threshold", (X, T)),
+        PredLiteral("consume_freq", (X, G1)),
+        PredLiteral("delivery_time", (X, G2, G3)),
+        PredLiteral("supplies", (X, G2)),
+        PredLiteral("min_stock", (X, T)),
+    ))
+    p.declare_derived("cnd", 1)
+    p.add_clause(clause(
+        PredLiteral("cnd", (X,)),
+        PredLiteral("quantity", (X, Y)),
+        PredLiteral("threshold", (X, Z)),
+    ))
+    return p
+
+
+class TestDependencyNetwork:
+    def test_bushy_network_keeps_threshold(self, program):
+        network = DependencyNetwork(program)
+        network.add_root("cnd", keep=frozenset({"threshold"}))
+        assert network.influents_of("cnd") == {"quantity", "threshold"}
+        assert network.influents_of("threshold") == {
+            "consume_freq",
+            "delivery_time",
+            "supplies",
+            "min_stock",
+        }
+
+    def test_flat_network_has_five_influents(self, program):
+        """Full expansion: exactly the paper's five partial differentials."""
+        network = DependencyNetwork(program)
+        network.add_root("cnd")
+        assert network.influents_of("cnd") == {
+            "quantity",
+            "consume_freq",
+            "delivery_time",
+            "supplies",
+            "min_stock",
+        }
+        assert "threshold" not in network.nodes()
+
+    def test_levels(self, program):
+        network = DependencyNetwork(program)
+        network.add_root("cnd", keep=frozenset({"threshold"}))
+        levels = network.levels()
+        assert levels["quantity"] == 0
+        assert levels["threshold"] == 1
+        assert levels["cnd"] == 2
+
+    def test_bottom_up_order(self, program):
+        network = DependencyNetwork(program)
+        network.add_root("cnd", keep=frozenset({"threshold"}))
+        order = network.bottom_up_order()
+        assert order.index("threshold") < order.index("cnd")
+        assert all(order.index(base) < order.index("threshold")
+                   for base in network.base_nodes() if base != "quantity")
+
+    def test_base_nodes_and_roots(self, program):
+        network = DependencyNetwork(program)
+        network.add_root("cnd")
+        assert network.roots() == {"cnd"}
+        assert network.base_nodes() == network.nodes() - {"cnd"}
+
+    def test_dependents(self, program):
+        network = DependencyNetwork(program)
+        network.add_root("cnd")
+        assert network.dependents_of("quantity") == {"cnd"}
+
+    def test_to_dot_mentions_every_node(self, program):
+        network = DependencyNetwork(program)
+        network.add_root("cnd", keep=frozenset({"threshold"}))
+        dot = network.to_dot()
+        for node in network.nodes():
+            assert node in dot
+        assert dot.startswith("digraph")
+
+    def test_recursion_rejected(self):
+        program = Program()
+        program.declare_base("e", 2)
+        program.declare_derived("t", 2)
+        program.add_clause(clause(
+            PredLiteral("t", (X, Z)),
+            PredLiteral("e", (X, Y)),
+            PredLiteral("t", (Y, Z)),
+        ))
+        network = DependencyNetwork(program)
+        with pytest.raises(RecursionNotSupportedError):
+            network.add_root("t")

@@ -1,0 +1,298 @@
+"""Tests for the ObjectLog evaluation engine."""
+
+import pytest
+
+from repro.algebra.delta import DeltaSet
+from repro.algebra.oldstate import NewStateView, OldStateView
+from repro.errors import (
+    RecursionNotSupportedError,
+    UnknownPredicateError,
+    UnsafeClauseError,
+)
+from repro.objectlog.clause import HornClause
+from repro.objectlog.evaluate import Evaluator
+from repro.objectlog.literals import Assignment, Comparison, PredLiteral
+from repro.objectlog.program import Program
+from repro.objectlog.terms import Arith, Variable
+from repro.storage.database import Database
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+@pytest.fixture
+def setup():
+    db = Database()
+    q = db.create_relation("q", 2)
+    r = db.create_relation("r", 2)
+    q.bulk_insert([(1, 1), (1, 2), (2, 3)])
+    r.bulk_insert([(1, 10), (2, 20), (3, 30)])
+    program = Program()
+    program.declare_base("q", 2)
+    program.declare_base("r", 2)
+    return db, program
+
+
+def evaluator(db, program, deltas=None):
+    return Evaluator(program, NewStateView(db), deltas=deltas)
+
+
+class TestBaseEvaluation:
+    def test_full_scan(self, setup):
+        db, program = setup
+        rows = {tuple(env[v] for v in (X, Y))
+                for env in evaluator(db, program).query("q", (X, Y))}
+        assert rows == {(1, 1), (1, 2), (2, 3)}
+
+    def test_bound_argument_probes(self, setup):
+        db, program = setup
+        envs = list(evaluator(db, program).query("q", (1, Y)))
+        assert {env[Y] for env in envs} == {1, 2}
+
+    def test_constant_mismatch_fails(self, setup):
+        db, program = setup
+        assert list(evaluator(db, program).query("q", (9, Y))) == []
+
+    def test_join_via_shared_variable(self, setup):
+        db, program = setup
+        body = [PredLiteral("q", (X, Y)), PredLiteral("r", (Y, Z))]
+        solutions = {
+            (env[X], env[Y], env[Z])
+            for env in evaluator(db, program).solve_body(body)
+        }
+        assert solutions == {(1, 1, 10), (1, 2, 20), (2, 3, 30)}
+
+    def test_repeated_variable_is_selection(self, setup):
+        db, program = setup
+        envs = list(evaluator(db, program).query("q", (X, X)))
+        assert [env[X] for env in envs] == [1]
+
+
+class TestBuiltins:
+    def test_comparison_filters(self, setup):
+        db, program = setup
+        body = [PredLiteral("q", (X, Y)), Comparison("<", X, Y)]
+        solutions = {(env[X], env[Y])
+                     for env in evaluator(db, program).solve_body(body)}
+        assert solutions == {(1, 2), (2, 3)}
+
+    def test_assignment_binds(self, setup):
+        db, program = setup
+        body = [
+            PredLiteral("q", (X, Y)),
+            Assignment(Z, Arith("*", Y, 10)),
+            Comparison(">", Z, 15),
+        ]
+        solutions = {(env[X], env[Z])
+                     for env in evaluator(db, program).solve_body(body)}
+        assert solutions == {(1, 20), (2, 30)}
+
+    def test_assignment_checks_when_bound(self, setup):
+        db, program = setup
+        body = [PredLiteral("q", (X, Y)), Assignment(Y, Arith("+", X, 1))]
+        solutions = {(env[X], env[Y])
+                     for env in evaluator(db, program).solve_body(body)}
+        assert solutions == {(1, 2), (2, 3)}
+
+    def test_builtins_scheduled_after_binding(self, setup):
+        """Comparison written FIRST still runs once its inputs are bound."""
+        db, program = setup
+        body = [Comparison("<", X, Y), PredLiteral("q", (X, Y))]
+        solutions = {(env[X], env[Y])
+                     for env in evaluator(db, program).solve_body(body)}
+        assert solutions == {(1, 2), (2, 3)}
+
+    def test_unbindable_comparison_is_unsafe(self, setup):
+        db, program = setup
+        with pytest.raises(UnsafeClauseError):
+            list(evaluator(db, program).solve_body([Comparison("<", X, Y)]))
+
+
+class TestNegation:
+    def test_negation_as_absence(self, setup):
+        db, program = setup
+        body = [PredLiteral("r", (X, Y)), PredLiteral("q", (X, X), negated=True)]
+        solutions = {env[X] for env in evaluator(db, program).solve_body(body)}
+        assert solutions == {2, 3}  # q(1,1) exists, q(2,2)/q(3,3) don't
+
+    def test_negation_waits_for_bindings(self, setup):
+        db, program = setup
+        body = [PredLiteral("q", (X, X), negated=True), PredLiteral("r", (X, Y))]
+        solutions = {env[X] for env in evaluator(db, program).solve_body(body)}
+        assert solutions == {2, 3}
+
+    def test_unbound_negation_is_unsafe(self, setup):
+        db, program = setup
+        with pytest.raises(UnsafeClauseError):
+            list(
+                evaluator(db, program).solve_body(
+                    [PredLiteral("q", (X, Y), negated=True)]
+                )
+            )
+
+
+class TestDerived:
+    def test_derived_predicate(self, setup):
+        db, program = setup
+        program.declare_derived("p", 2)
+        program.add_clause(
+            HornClause(
+                PredLiteral("p", (X, Z)),
+                [PredLiteral("q", (X, Y)), PredLiteral("r", (Y, Z))],
+            )
+        )
+        assert evaluator(db, program).extension("p") == {
+            (1, 10),
+            (1, 20),
+            (2, 30),
+        }
+
+    def test_derived_with_bound_argument(self, setup):
+        db, program = setup
+        program.declare_derived("p", 2)
+        program.add_clause(
+            HornClause(
+                PredLiteral("p", (X, Z)),
+                [PredLiteral("q", (X, Y)), PredLiteral("r", (Y, Z))],
+            )
+        )
+        envs = list(evaluator(db, program).query("p", (2, Z)))
+        assert [env[Z] for env in envs] == [30]
+
+    def test_multiple_clauses_union(self, setup):
+        db, program = setup
+        program.declare_derived("u", 1)
+        program.add_clause(HornClause(PredLiteral("u", (X,)), [PredLiteral("q", (X, X))]))
+        program.add_clause(HornClause(PredLiteral("u", (X,)), [PredLiteral("r", (X, 30))]))
+        assert evaluator(db, program).extension("u") == {(1,), (3,)}
+
+    def test_set_semantics_dedup_across_clauses(self, setup):
+        db, program = setup
+        program.declare_derived("d", 1)
+        # both clauses derive (1,)
+        program.add_clause(HornClause(PredLiteral("d", (X,)), [PredLiteral("q", (X, 1))]))
+        program.add_clause(HornClause(PredLiteral("d", (X,)), [PredLiteral("q", (X, 2))]))
+        envs = list(evaluator(db, program).query("d", (X,)))
+        assert [env[X] for env in envs] == [1]
+
+    def test_recursion_detected(self, setup):
+        db, program = setup
+        program.declare_derived("t", 2)
+        program.add_clause(HornClause(PredLiteral("t", (X, Y)), [PredLiteral("q", (X, Y))]))
+        program.add_clause(
+            HornClause(
+                PredLiteral("t", (X, Z)),
+                [PredLiteral("q", (X, Y)), PredLiteral("t", (Y, Z))],
+            )
+        )
+        with pytest.raises(RecursionNotSupportedError):
+            evaluator(db, program).extension("t")
+
+    def test_holds_membership(self, setup):
+        db, program = setup
+        program.declare_derived("p", 2)
+        program.add_clause(
+            HornClause(
+                PredLiteral("p", (X, Z)),
+                [PredLiteral("q", (X, Y)), PredLiteral("r", (Y, Z))],
+            )
+        )
+        ev = evaluator(db, program)
+        assert ev.holds("p", (1, 10))
+        assert not ev.holds("p", (1, 30))
+
+    def test_memoization_caches_extensions(self, setup):
+        db, program = setup
+        program.declare_derived("p", 1)
+        program.add_clause(HornClause(PredLiteral("p", (X,)), [PredLiteral("q", (X, X))]))
+        ev = evaluator(db, program)
+        first = ev.extension("p")
+        db.relation("q").insert((5, 5))  # memo must NOT see this
+        assert ev.extension("p") == first
+
+    def test_unknown_predicate(self, setup):
+        db, program = setup
+        with pytest.raises(UnknownPredicateError):
+            list(evaluator(db, program).query("nope", (X,)))
+
+
+class TestForeign:
+    def test_foreign_function(self, setup):
+        db, program = setup
+        program.declare_foreign("double", 2, 1, lambda x: [(x * 2,)])
+        body = [PredLiteral("q", (X, Y)), PredLiteral("double", (Y, Z))]
+        solutions = {(env[Y], env[Z])
+                     for env in evaluator(db, program).solve_body(body)}
+        assert solutions == {(1, 2), (2, 4), (3, 6)}
+
+    def test_foreign_scalar_results(self, setup):
+        db, program = setup
+        program.declare_foreign("inc", 2, 1, lambda x: [x + 1])
+        envs = list(evaluator(db, program).query("inc", (4, Z)))
+        assert [env[Z] for env in envs] == [5]
+
+    def test_foreign_test_only(self, setup):
+        db, program = setup
+        program.declare_foreign("is_even", 1, 1, lambda x: x % 2 == 0)
+        body = [PredLiteral("q", (X, Y)), PredLiteral("is_even", (Y,))]
+        solutions = {env[Y] for env in evaluator(db, program).solve_body(body)}
+        assert solutions == {2}
+
+    def test_foreign_waits_for_inputs(self, setup):
+        db, program = setup
+        program.declare_foreign("double", 2, 1, lambda x: [(x * 2,)])
+        body = [PredLiteral("double", (Y, Z)), PredLiteral("q", (X, Y))]
+        solutions = {env[Z] for env in evaluator(db, program).solve_body(body)}
+        assert solutions == {2, 4, 6}
+
+    def test_foreign_unbound_inputs_unsafe(self, setup):
+        db, program = setup
+        program.declare_foreign("double", 2, 1, lambda x: [(x * 2,)])
+        with pytest.raises(UnsafeClauseError):
+            list(evaluator(db, program).solve_body([PredLiteral("double", (Y, Z))]))
+
+
+class TestDeltaLiterals:
+    def test_delta_literal_reads_delta_env(self, setup):
+        db, program = setup
+        deltas = {"q": DeltaSet({(7, 8)}, {(1, 1)})}
+        ev = evaluator(db, program, deltas=deltas)
+        plus = {(env[X], env[Y])
+                for env in ev.solve_body([PredLiteral("q", (X, Y), delta="+")])}
+        minus = {(env[X], env[Y])
+                 for env in ev.solve_body([PredLiteral("q", (X, Y), delta="-")])}
+        assert plus == {(7, 8)}
+        assert minus == {(1, 1)}
+
+    def test_missing_delta_is_empty(self, setup):
+        db, program = setup
+        ev = evaluator(db, program)
+        assert list(ev.solve_body([PredLiteral("q", (X, Y), delta="+")])) == []
+
+    def test_delta_literal_scheduled_first(self, setup):
+        """The delta read must drive the join (it is the small side)."""
+        db, program = setup
+        deltas = {"q": DeltaSet({(1, 2)}, set())}
+        ev = evaluator(db, program, deltas=deltas)
+        body = [PredLiteral("r", (Y, Z)), PredLiteral("q", (X, Y), delta="+")]
+        solutions = {(env[X], env[Z]) for env in ev.solve_body(body)}
+        assert solutions == {(1, 20)}
+
+
+class TestOldStateEvaluation:
+    def test_same_engine_evaluates_old_state(self, setup):
+        db, program = setup
+        db.relation("q").insert((9, 9))
+        db.relation("q").delete((1, 1))
+        deltas = {"q": DeltaSet({(9, 9)}, {(1, 1)})}
+        old_ev = Evaluator(program, OldStateView(db, deltas))
+        rows = {(env[X], env[Y]) for env in old_ev.query("q", (X, Y))}
+        assert rows == {(1, 1), (1, 2), (2, 3)}
+
+    def test_solve_clause_yields_head_rows(self, setup):
+        db, program = setup
+        clause = HornClause(
+            PredLiteral("p", (X, Z)),
+            [PredLiteral("q", (X, Y)), PredLiteral("r", (Y, Z))],
+        )
+        rows = set(evaluator(db, program).solve_clause(clause))
+        assert rows == {(1, 10), (1, 20), (2, 30)}

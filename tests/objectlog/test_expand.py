@@ -1,0 +1,158 @@
+"""Tests for full expansion of derived predicates (the AMOS compiler step)."""
+
+import pytest
+
+from repro.errors import RecursionNotSupportedError
+from repro.objectlog.clause import HornClause
+from repro.objectlog.expand import expand_predicate, substitute_literal
+from repro.objectlog.literals import Assignment, Comparison, PredLiteral
+from repro.objectlog.program import Program
+from repro.objectlog.terms import Arith, Variable
+
+X, Y, Z, T = Variable("X"), Variable("Y"), Variable("Z"), Variable("T")
+
+
+def clause(head, *body):
+    return HornClause(head, list(body))
+
+
+@pytest.fixture
+def program():
+    p = Program()
+    p.declare_base("q", 2)
+    p.declare_base("r", 2)
+    p.declare_base("s", 2)
+    return p
+
+
+def body_preds(horn_clause):
+    return sorted(l.pred for l in horn_clause.pred_literals())
+
+
+class TestExpansion:
+    def test_single_level_inlining(self, program):
+        program.declare_derived("mid", 2)
+        program.add_clause(clause(PredLiteral("mid", (X, Y)),
+                                  PredLiteral("q", (X, Y))))
+        program.declare_derived("p", 2)
+        program.add_clause(clause(PredLiteral("p", (X, Z)),
+                                  PredLiteral("mid", (X, Y)),
+                                  PredLiteral("r", (Y, Z))))
+        expanded = expand_predicate(program, "p")
+        assert len(expanded) == 1
+        assert body_preds(expanded[0]) == ["q", "r"]
+
+    def test_nested_inlining_with_builtins(self, program):
+        """threshold-style: an arithmetic body survives expansion."""
+        program.declare_derived("thresh", 2)
+        program.add_clause(clause(
+            PredLiteral("thresh", (X, T)),
+            PredLiteral("q", (X, Y)),
+            Assignment(T, Arith("*", Y, 2)),
+        ))
+        program.declare_derived("cond", 1)
+        program.add_clause(clause(
+            PredLiteral("cond", (X,)),
+            PredLiteral("r", (X, Z)),
+            PredLiteral("thresh", (X, T)),
+            Comparison("<", Z, T),
+        ))
+        expanded = expand_predicate(program, "cond")
+        assert len(expanded) == 1
+        assert body_preds(expanded[0]) == ["q", "r"]
+        kinds = [type(l).__name__ for l in expanded[0].body]
+        assert "Assignment" in kinds and "Comparison" in kinds
+
+    def test_disjunction_multiplies_clauses(self, program):
+        program.declare_derived("either", 2)
+        program.add_clause(clause(PredLiteral("either", (X, Y)), PredLiteral("q", (X, Y))))
+        program.add_clause(clause(PredLiteral("either", (X, Y)), PredLiteral("r", (X, Y))))
+        program.declare_derived("p", 2)
+        program.add_clause(clause(PredLiteral("p", (X, Z)),
+                                  PredLiteral("either", (X, Y)),
+                                  PredLiteral("either", (Y, Z))))
+        expanded = expand_predicate(program, "p")
+        assert len(expanded) == 4  # 2 x 2 DNF
+
+    def test_keep_stops_expansion(self, program):
+        program.declare_derived("mid", 2)
+        program.add_clause(clause(PredLiteral("mid", (X, Y)), PredLiteral("q", (X, Y))))
+        program.declare_derived("p", 2)
+        program.add_clause(clause(PredLiteral("p", (X, Y)), PredLiteral("mid", (X, Y))))
+        expanded = expand_predicate(program, "p", keep=frozenset({"mid"}))
+        assert body_preds(expanded[0]) == ["mid"]
+
+    def test_negated_literal_never_expanded(self, program):
+        program.declare_derived("bad", 1)
+        program.add_clause(clause(PredLiteral("bad", (X,)), PredLiteral("q", (X, X))))
+        program.declare_derived("p", 2)
+        program.add_clause(clause(PredLiteral("p", (X, Y)),
+                                  PredLiteral("r", (X, Y)),
+                                  PredLiteral("bad", (X,), negated=True)))
+        expanded = expand_predicate(program, "p")
+        negated = [l for l in expanded[0].pred_literals() if l.negated]
+        assert [l.pred for l in negated] == ["bad"]
+
+    def test_variables_standardized_apart(self, program):
+        """Two calls to the same derived pred must not share inner vars."""
+        program.declare_derived("mid", 2)
+        program.add_clause(clause(PredLiteral("mid", (X, Z)),
+                                  PredLiteral("q", (X, Y)),
+                                  PredLiteral("r", (Y, Z))))
+        program.declare_derived("p", 2)
+        A, B, C = Variable("A"), Variable("B"), Variable("C")
+        program.add_clause(clause(PredLiteral("p", (A, C)),
+                                  PredLiteral("mid", (A, B)),
+                                  PredLiteral("mid", (B, C))))
+        expanded = expand_predicate(program, "p")
+        assert len(expanded) == 1
+        q_literals = [l for l in expanded[0].pred_literals() if l.pred == "q"]
+        assert len(q_literals) == 2
+        # the two q-literal second args are the two DISTINCT join variables
+        assert q_literals[0].args[1] != q_literals[1].args[1]
+
+    def test_constant_head_arg_unification(self, program):
+        program.declare_derived("one", 1)
+        program.add_clause(clause(PredLiteral("one", (1,)), PredLiteral("q", (1, 1))))
+        program.declare_derived("p", 1)
+        program.add_clause(clause(PredLiteral("p", (X,)), PredLiteral("one", (X,))))
+        expanded = expand_predicate(program, "p")
+        # X must be bound to the constant 1 via an assignment
+        assert len(expanded) == 1
+        assert any(
+            isinstance(l, Assignment) and l.var == X for l in expanded[0].body
+        )
+
+    def test_constant_conflict_drops_clause(self, program):
+        program.declare_derived("one", 1)
+        program.add_clause(clause(PredLiteral("one", (1,)), PredLiteral("q", (1, 1))))
+        program.declare_derived("p", 1)
+        program.add_clause(clause(PredLiteral("p", (2,)), PredLiteral("one", (2,))))
+        assert expand_predicate(program, "p") == []
+
+    def test_recursion_rejected(self, program):
+        program.declare_derived("p", 2)
+        program.add_clause(clause(PredLiteral("p", (X, Z)),
+                                  PredLiteral("q", (X, Y)),
+                                  PredLiteral("p", (Y, Z))))
+        with pytest.raises(RecursionNotSupportedError):
+            expand_predicate(program, "p")
+
+    def test_base_predicate_expands_to_nothing(self, program):
+        assert expand_predicate(program, "q") == []
+
+
+class TestSubstituteLiteral:
+    def test_pred_literal(self):
+        lit = substitute_literal(PredLiteral("q", (X, Y)), {X: 5})
+        assert lit.args == (5, Y)
+
+    def test_comparison(self):
+        lit = substitute_literal(Comparison("<", X, Arith("+", Y, 1)), {Y: 2})
+        assert lit.holds({X: 2})
+
+    def test_assignment_to_constant_becomes_check(self):
+        lit = substitute_literal(Assignment(X, Y), {X: 5})
+        assert isinstance(lit, Comparison)
+        assert lit.holds({Y: 5})
+        assert not lit.holds({Y: 6})

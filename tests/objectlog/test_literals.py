@@ -1,0 +1,86 @@
+"""Tests for ObjectLog body literals."""
+
+import pytest
+
+from repro.errors import ObjectLogError
+from repro.objectlog.literals import Assignment, Comparison, PredLiteral
+from repro.objectlog.terms import Arith, Variable
+
+X = Variable("X")
+Y = Variable("Y")
+
+
+class TestPredLiteral:
+    def test_basic(self):
+        literal = PredLiteral("q", (X, 3))
+        assert literal.arity == 2
+        assert literal.variables() == {X}
+        assert repr(literal) == "q(X, 3)"
+
+    def test_negated_repr(self):
+        assert repr(PredLiteral("q", (X,), negated=True)) == "~q(X)"
+
+    def test_delta_marker(self):
+        literal = PredLiteral("q", (X,)).with_delta("+")
+        assert literal.delta == "+"
+        assert repr(literal) == "Δ+q(X)"
+        with pytest.raises(ObjectLogError):
+            PredLiteral("q", (X,), delta="?")
+
+    def test_delta_and_negation_exclusive(self):
+        with pytest.raises(ObjectLogError):
+            PredLiteral("q", (X,), negated=True, delta="+")
+
+    def test_rename(self):
+        renamed = PredLiteral("q", (X, Y, 5)).rename({X: Variable("Z")})
+        assert renamed.args == (Variable("Z"), Y, 5)
+
+    def test_substitute(self):
+        literal = PredLiteral("q", (X, Y)).substitute({X: 7})
+        assert literal.args == (7, Y)
+
+    def test_equality(self):
+        assert PredLiteral("q", (X,)) == PredLiteral("q", (X,))
+        assert PredLiteral("q", (X,)) != PredLiteral("q", (X,), negated=True)
+        assert PredLiteral("q", (X,)) != PredLiteral("q", (X,), delta="+")
+
+
+class TestComparison:
+    def test_holds(self):
+        assert Comparison("<", X, 5).holds({X: 3})
+        assert not Comparison("<", X, 5).holds({X: 7})
+        assert Comparison("=", Arith("+", X, 1), 4).holds({X: 3})
+        assert Comparison("!=", X, Y).holds({X: 1, Y: 2})
+        assert Comparison(">=", X, X).holds({X: 1})
+
+    def test_unknown_operator(self):
+        with pytest.raises(ObjectLogError):
+            Comparison("~", X, Y)
+
+    def test_variables_and_rename(self):
+        comparison = Comparison("<", Arith("*", X, 2), Y)
+        assert comparison.variables() == {X, Y}
+        renamed = comparison.rename({Y: Variable("Z")})
+        assert Variable("Z") in renamed.variables()
+
+    def test_repr(self):
+        assert repr(Comparison("<", X, 5)) == "X < 5"
+
+
+class TestAssignment:
+    def test_target_must_be_variable(self):
+        with pytest.raises(ObjectLogError):
+            Assignment(5, X)
+
+    def test_variables_split(self):
+        assignment = Assignment(X, Arith("*", Y, 3))
+        assert assignment.variables() == {X, Y}
+        assert assignment.input_variables() == {Y}
+
+    def test_rename(self):
+        renamed = Assignment(X, Y).rename({X: Variable("A"), Y: Variable("B")})
+        assert renamed.var == Variable("A")
+        assert renamed.input_variables() == {Variable("B")}
+
+    def test_repr(self):
+        assert repr(Assignment(X, Arith("+", Y, 1))) == "X = (Y + 1)"

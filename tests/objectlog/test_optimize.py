@@ -1,0 +1,161 @@
+"""Tests for static clause-body ordering (the differential optimizer)."""
+
+import pytest
+
+from repro.algebra.delta import DeltaSet
+from repro.algebra.oldstate import NewStateView
+from repro.errors import UnsafeClauseError
+from repro.objectlog.clause import HornClause
+from repro.objectlog.evaluate import Evaluator
+from repro.objectlog.literals import Assignment, Comparison, PredLiteral
+from repro.objectlog.optimize import order_body, order_clause
+from repro.objectlog.program import Program
+from repro.objectlog.terms import Arith, Variable
+from repro.storage.database import Database
+
+X, Y, Z, W = Variable("X"), Variable("Y"), Variable("Z"), Variable("W")
+
+
+@pytest.fixture
+def program():
+    p = Program()
+    p.declare_base("q", 2)
+    p.declare_base("r", 2)
+    p.declare_derived("d", 2)
+    p.add_clause(HornClause(PredLiteral("d", (X, Y)), [PredLiteral("q", (X, Y))]))
+    p.declare_foreign("f", 2, 1, lambda x: [(x,)])
+    return p
+
+
+class TestOrderBody:
+    def test_delta_literal_first(self, program):
+        body = [
+            PredLiteral("r", (Y, Z)),
+            Comparison("<", Y, Z),
+            PredLiteral("q", (X, Y), delta="+"),
+        ]
+        ordered = order_body(body, program)
+        assert ordered[0].delta == "+"
+
+    def test_ready_builtins_run_as_soon_as_bound(self, program):
+        body = [
+            PredLiteral("q", (X, Y)),
+            PredLiteral("r", (Y, Z)),
+            Comparison("<", X, Y),
+        ]
+        ordered = order_body(body, program)
+        # the comparison must come right after q binds X and Y,
+        # before the r read fans out
+        assert isinstance(ordered[1], Comparison)
+
+    def test_probes_before_scans(self, program):
+        """After the delta binds Y, the r literal (probe on Y) should
+        beat the q literal (full scan)."""
+        body = [
+            PredLiteral("q", (W, Z)),
+            PredLiteral("r", (Y, Z)),
+            PredLiteral("q", (X, Y), delta="+"),
+        ]
+        ordered = order_body(body, program)
+        assert ordered[0].delta == "+"
+        assert ordered[1].pred == "r"  # Y bound: probe
+        assert ordered[2].pred == "q"  # scan last
+
+    def test_base_preferred_over_derived_on_ties(self, program):
+        body = [PredLiteral("d", (X, Y)), PredLiteral("q", (X, Y))]
+        ordered = order_body(body, program)
+        assert ordered[0].pred == "q"
+
+    def test_negation_waits_for_bindings(self, program):
+        body = [
+            PredLiteral("q", (X, Y), negated=True),
+            PredLiteral("r", (X, Y)),
+        ]
+        ordered = order_body(body, program)
+        assert ordered[0].pred == "r"
+        assert ordered[1].negated
+
+    def test_foreign_waits_for_inputs(self, program):
+        body = [PredLiteral("f", (Y, Z)), PredLiteral("q", (X, Y))]
+        ordered = order_body(body, program)
+        assert ordered[0].pred == "q"
+
+    def test_assignment_chain(self, program):
+        body = [
+            Comparison("<", Z, 100),
+            Assignment(Z, Arith("*", Y, 2)),
+            PredLiteral("q", (X, Y)),
+        ]
+        ordered = order_body(body, program)
+        assert [type(l).__name__ for l in ordered] == [
+            "PredLiteral",
+            "Assignment",
+            "Comparison",
+        ]
+
+    def test_bound_vars_seed_the_order(self, program):
+        body = [PredLiteral("q", (X, Y), negated=True)]
+        with pytest.raises(UnsafeClauseError):
+            order_body(body, program)
+        ordered = order_body(body, program, bound_vars=(X, Y))
+        assert ordered[0].negated
+
+    def test_unsafe_body_rejected(self, program):
+        with pytest.raises(UnsafeClauseError):
+            order_body([Comparison("<", X, Y)], program)
+
+    def test_cardinality_estimator_breaks_scan_ties(self, program):
+        sizes = {"q": 10, "r": 100000}
+        body = [PredLiteral("r", (Y, Z)), PredLiteral("q", (X, W))]
+        ordered = order_body(body, program, cardinality=sizes.get)
+        assert ordered[0].pred == "q"  # the small scan drives the join
+
+
+class TestOrderedEvaluation:
+    def test_static_and_dynamic_agree(self, program):
+        db = Database()
+        db.create_relation("q", 2).bulk_insert([(1, 1), (1, 2), (2, 3)])
+        db.create_relation("r", 2).bulk_insert([(1, 10), (2, 20), (3, 30)])
+        clause = HornClause(
+            PredLiteral("p", (X, Z)),
+            [
+                Comparison("<", X, 2),
+                PredLiteral("r", (Y, Z)),
+                PredLiteral("q", (X, Y)),
+            ],
+        )
+        ordered = order_clause(clause, program)
+        evaluator = Evaluator(program, NewStateView(db))
+        dynamic = set(evaluator.solve_clause(clause))
+        static = set(evaluator.solve_clause(ordered, static=True))
+        assert dynamic == static == {(1, 10), (1, 20)}
+
+    def test_network_marks_differentials_static(self, program):
+        from repro.rules.network import PropagationNetwork
+
+        program.declare_derived("cond", 2)
+        program.add_clause(HornClause(
+            PredLiteral("cond", (X, Z)),
+            [PredLiteral("q", (X, Y)), PredLiteral("r", (Y, Z))],
+        ))
+        network = PropagationNetwork(program)
+        network.add_condition("cond")
+        for edge in network.edges():
+            for differential in edge.differentials():
+                assert differential.static
+                # the delta read leads the ordered body
+                assert differential.clause.body[0].delta is not None
+
+    def test_network_optimization_can_be_disabled(self, program):
+        from repro.rules.network import PropagationNetwork
+
+        program.declare_derived("cond", 2)
+        program.add_clause(HornClause(
+            PredLiteral("cond", (X, Z)),
+            [PredLiteral("q", (X, Y)), PredLiteral("r", (Y, Z))],
+        ))
+        network = PropagationNetwork(program, optimize=False)
+        network.add_condition("cond")
+        for edge in network.edges():
+            for differential in edge.differentials():
+                assert not differential.static

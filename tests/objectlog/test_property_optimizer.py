@@ -1,0 +1,101 @@
+"""Property: static ordering never changes query results.
+
+Hypothesis generates random conjunctive bodies (relation reads, delta
+reads, comparisons, negation) over random data and asserts that the
+statically ordered body evaluates to exactly the same solutions as the
+dynamically scheduled one — the optimizer is a pure performance
+transformation.
+"""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.algebra.delta import DeltaSet
+from repro.algebra.oldstate import NewStateView
+from repro.errors import UnsafeClauseError
+from repro.objectlog.evaluate import Evaluator
+from repro.objectlog.literals import Comparison, PredLiteral
+from repro.objectlog.optimize import order_body
+from repro.objectlog.program import Program
+from repro.objectlog.terms import Variable
+from repro.storage.database import Database
+
+VARS = [Variable(name) for name in "ABCD"]
+
+relation_contents = st.frozensets(
+    st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=8
+)
+
+
+@st.composite
+def bodies(draw):
+    """A random body over q/2, r/2, plus builtins and delta reads."""
+    literals = []
+    n_reads = draw(st.integers(1, 3))
+    for _ in range(n_reads):
+        pred = draw(st.sampled_from(["q", "r"]))
+        args = tuple(draw(st.sampled_from(VARS)) for _ in range(2))
+        delta = draw(st.sampled_from([None, None, None, "+", "-"]))
+        literals.append(PredLiteral(pred, args, delta=delta))
+    bound_vars = set()
+    for literal in literals:
+        bound_vars |= literal.variables()
+    if bound_vars and draw(st.booleans()):
+        left = draw(st.sampled_from(sorted(bound_vars, key=repr)))
+        right = draw(st.one_of(
+            st.integers(0, 3),
+            st.sampled_from(sorted(bound_vars, key=repr)),
+        ))
+        op = draw(st.sampled_from(["<", "<=", "=", "!="]))
+        literals.append(Comparison(op, left, right))
+    if bound_vars and draw(st.booleans()):
+        args = tuple(
+            draw(st.sampled_from(sorted(bound_vars, key=repr)))
+            for _ in range(2)
+        )
+        literals.append(PredLiteral(draw(st.sampled_from(["q", "r"])), args,
+                                    negated=True))
+    return draw(st.permutations(literals))
+
+
+class TestOptimizerProperty:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        body=bodies(),
+        q_rows=relation_contents,
+        r_rows=relation_contents,
+        delta_plus=relation_contents,
+        delta_minus=relation_contents,
+    )
+    def test_static_order_preserves_solutions(
+        self, body, q_rows, r_rows, delta_plus, delta_minus
+    ):
+        db = Database()
+        db.create_relation("q", 2).bulk_insert(q_rows)
+        db.create_relation("r", 2).bulk_insert(r_rows)
+        program = Program()
+        program.declare_base("q", 2)
+        program.declare_base("r", 2)
+        deltas = {
+            "q": DeltaSet(delta_plus - delta_minus, delta_minus - delta_plus),
+            "r": DeltaSet(delta_plus - delta_minus, delta_minus - delta_plus),
+        }
+        try:
+            ordered = order_body(body, program)
+        except UnsafeClauseError:
+            assume(False)  # no safe order: nothing to compare
+            return
+        evaluator = Evaluator(program, NewStateView(db), deltas=deltas)
+
+        def solutions(literals, static):
+            out = set()
+            for env in evaluator.solve_body(literals, static=static):
+                out.add(tuple(sorted((v.name, env[v]) for v in env)))
+            return out
+
+        try:
+            dynamic = solutions(body, static=False)
+        except UnsafeClauseError:
+            assume(False)
+            return
+        static = solutions(ordered, static=True)
+        assert static == dynamic

@@ -1,0 +1,107 @@
+"""Tests for ObjectLog terms, environments, and arithmetic expressions."""
+
+import pytest
+
+from repro.errors import ObjectLogError
+from repro.objectlog.terms import (
+    Arith,
+    Variable,
+    bind_row,
+    eval_expr,
+    expr_variables,
+    fresh_variable,
+    is_bound,
+    is_variable,
+    rename_expr,
+    resolve,
+)
+
+X = Variable("X")
+Y = Variable("Y")
+
+
+class TestVariable:
+    def test_identity_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+        assert hash(Variable("X")) == hash(Variable("X"))
+
+    def test_fresh_variables_are_distinct(self):
+        assert fresh_variable() != fresh_variable()
+
+    def test_is_variable(self):
+        assert is_variable(X)
+        assert not is_variable(3)
+        assert not is_variable("X")
+
+    def test_resolve_and_is_bound(self):
+        env = {X: 7}
+        assert resolve(X, env) == 7
+        assert resolve(Y, env) == Y
+        assert resolve(42, env) == 42
+        assert is_bound(X, env)
+        assert not is_bound(Y, env)
+        assert is_bound("constant", env)
+
+
+class TestBindRow:
+    def test_binds_new_variables(self):
+        env = bind_row((X, Y), (1, 2), {})
+        assert env == {X: 1, Y: 2}
+
+    def test_respects_existing_bindings(self):
+        assert bind_row((X,), (1,), {X: 1}) == {X: 1}
+        assert bind_row((X,), (2,), {X: 1}) is None
+
+    def test_constants_must_match(self):
+        assert bind_row((1, Y), (1, 2), {}) == {Y: 2}
+        assert bind_row((1, Y), (9, 2), {}) is None
+
+    def test_repeated_variable_join_semantics(self):
+        assert bind_row((X, X), (1, 1), {}) == {X: 1}
+        assert bind_row((X, X), (1, 2), {}) is None
+
+    def test_original_env_not_mutated(self):
+        env = {X: 1}
+        bind_row((X, Y), (1, 2), env)
+        assert env == {X: 1}
+
+
+class TestArith:
+    def test_evaluate(self):
+        expr = Arith("+", Arith("*", X, 3), Y)
+        assert expr.evaluate({X: 2, Y: 4}) == 10
+
+    def test_all_operators(self):
+        env = {X: 7, Y: 2}
+        assert Arith("-", X, Y).evaluate(env) == 5
+        assert Arith("/", X, Y).evaluate(env) == 3.5
+        assert Arith("//", X, Y).evaluate(env) == 3
+        assert Arith("%", X, Y).evaluate(env) == 1
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ObjectLogError):
+            Arith("**", X, Y)
+
+    def test_variables(self):
+        expr = Arith("+", Arith("*", X, 3), Y)
+        assert expr.variables() == {X, Y}
+        assert expr_variables(5) == frozenset()
+        assert expr_variables(X) == {X}
+
+    def test_eval_expr_unbound_raises(self):
+        with pytest.raises(ObjectLogError):
+            eval_expr(X, {})
+
+    def test_eval_expr_constants_and_vars(self):
+        assert eval_expr(5, {}) == 5
+        assert eval_expr(X, {X: 3}) == 3
+
+    def test_rename(self):
+        renamed = rename_expr(Arith("+", X, Y), {X: Variable("Z")})
+        assert renamed.variables() == {Variable("Z"), Y}
+
+    def test_equality_and_hash(self):
+        assert Arith("+", X, 1) == Arith("+", X, 1)
+        assert Arith("+", X, 1) != Arith("-", X, 1)
+        assert hash(Arith("+", X, 1)) == hash(Arith("+", X, 1))

@@ -1,0 +1,158 @@
+"""Tests for the three monitoring engines and their agreement."""
+
+import pytest
+
+from repro.algebra.delta import DeltaSet
+from repro.objectlog.clause import HornClause
+from repro.objectlog.literals import Comparison, PredLiteral
+from repro.objectlog.program import Program
+from repro.objectlog.terms import Variable
+from repro.rules.engines import HybridEngine, IncrementalEngine, NaiveEngine
+from repro.storage.database import Database
+
+X, Y = Variable("X"), Variable("Y")
+
+
+def make_setup():
+    db = Database()
+    db.create_relation("value", 2)
+    program = Program()
+    program.declare_base("value", 2)
+    program.declare_derived("low", 1)
+    program.add_clause(HornClause(
+        PredLiteral("low", (X,)),
+        [PredLiteral("value", (X, Y)), Comparison("<", Y, 10)],
+    ))
+    conditions = {"low": frozenset({"value"})}
+    return db, program, conditions
+
+
+def apply_and_delta(db, plus=(), minus=()):
+    for row in minus:
+        db.relation("value").delete(row)
+    for row in plus:
+        db.relation("value").insert(row)
+    return {"value": DeltaSet(frozenset(plus), frozenset(minus))}
+
+
+class TestIncrementalEngine:
+    def test_process(self):
+        db, program, conditions = make_setup()
+        engine = IncrementalEngine(db, program)
+        engine.rebuild(conditions)
+        deltas = apply_and_delta(db, plus=[("a", 5)])
+        assert engine.process(deltas) == {"low": DeltaSet({("a",)}, set())}
+
+    def test_trace_available(self):
+        db, program, conditions = make_setup()
+        engine = IncrementalEngine(db, program)
+        engine.rebuild(conditions)
+        deltas = apply_and_delta(db, plus=[("a", 5)])
+        engine.process(deltas, trace=True)
+        assert engine.last_trace is not None
+        assert engine.last_trace.executed_labels() == ["Δlow/Δ+value"]
+
+    def test_rebuild_replaces_network(self):
+        db, program, conditions = make_setup()
+        engine = IncrementalEngine(db, program)
+        engine.rebuild(conditions)
+        engine.rebuild({})
+        deltas = apply_and_delta(db, plus=[("a", 5)])
+        assert engine.process(deltas) == {}
+
+
+class TestNaiveEngine:
+    def test_process_diffs_against_materialized_previous(self):
+        db, program, conditions = make_setup()
+        db.relation("value").insert(("old", 1))
+        engine = NaiveEngine(db, program)
+        engine.rebuild(conditions)  # previous = {old}
+        deltas = apply_and_delta(db, plus=[("a", 5)], minus=[("old", 1)])
+        result = engine.process(deltas)
+        assert result == {"low": DeltaSet({("a",)}, {("old",)})}
+
+    def test_untouched_condition_not_recomputed(self):
+        db, program, conditions = make_setup()
+        db.create_relation("other", 1)
+        engine = NaiveEngine(db, program)
+        engine.rebuild(conditions)
+        db.relation("other").insert((1,))
+        result = engine.process({"other": DeltaSet({(1,)}, set())})
+        assert result == {}
+
+    def test_no_change_yields_nothing(self):
+        db, program, conditions = make_setup()
+        engine = NaiveEngine(db, program)
+        engine.rebuild(conditions)
+        deltas = apply_and_delta(db, plus=[("a", 99)])  # not low
+        assert engine.process(deltas) == {}
+
+    def test_resync_with_pending_deltas_restores_old_view(self):
+        db, program, conditions = make_setup()
+        engine = NaiveEngine(db, program)
+        engine.rebuild(conditions)
+        # simulate: a transaction inserted ("a",5) and the engine state
+        # got stale; resync must rebuild previous WITHOUT ("a",5)
+        deltas = apply_and_delta(db, plus=[("a", 5)])
+        engine.resync(deltas)
+        assert engine.process(deltas) == {"low": DeltaSet({("a",)}, set())}
+
+
+class TestHybridEngine:
+    def test_small_delta_goes_incremental(self):
+        db, program, conditions = make_setup()
+        db.relation("value").bulk_insert([(f"k{i}", 100 + i) for i in range(50)])
+        engine = HybridEngine(db, program, switch_ratio=0.2)
+        engine.rebuild(conditions)
+        deltas = apply_and_delta(db, plus=[("a", 5)])
+        result = engine.process(deltas)
+        assert engine.last_decisions == {"low": "incremental"}
+        assert result == {"low": DeltaSet({("a",)}, set())}
+
+    def test_massive_delta_goes_naive(self):
+        db, program, conditions = make_setup()
+        db.relation("value").bulk_insert([(f"k{i}", 100 + i) for i in range(10)])
+        engine = HybridEngine(db, program, switch_ratio=0.2)
+        engine.rebuild(conditions)
+        plus = [(f"n{i}", 5) for i in range(10)]
+        deltas = apply_and_delta(db, plus=plus)
+        result = engine.process(deltas)
+        assert engine.last_decisions == {"low": "naive"}
+        assert result["low"].plus == {(f"n{i}",) for i in range(10)}
+
+    def test_hybrid_agrees_with_incremental_either_way(self):
+        for ratio in (0.0, 100.0):  # force naive / force incremental
+            db, program, conditions = make_setup()
+            db.relation("value").bulk_insert([("x", 3), ("y", 50)])
+            engine = HybridEngine(db, program, switch_ratio=ratio)
+            engine.rebuild(conditions)
+            deltas = apply_and_delta(db, plus=[("z", 4)], minus=[("x", 3)])
+            result = engine.process(deltas)
+            assert result == {"low": DeltaSet({("z",)}, {("x",)})}, ratio
+
+
+class TestEngineAgreement:
+    @pytest.mark.parametrize("step", range(5))
+    def test_all_three_engines_agree(self, step):
+        """Randomized-ish update batches give identical condition deltas."""
+        import random
+
+        rng = random.Random(step)
+        base = [(f"k{i}", rng.randrange(0, 20)) for i in range(10)]
+        plus = [(f"p{step}{i}", rng.randrange(0, 20)) for i in range(3)]
+        minus = [base[rng.randrange(0, len(base))]]
+
+        def fresh(engine_cls, **kw):
+            db, program, conditions = make_setup()
+            db.relation("value").bulk_insert(base)
+            engine = engine_cls(db, program, **kw)
+            engine.rebuild(conditions)
+            deltas = apply_and_delta(db, plus=plus, minus=minus)
+            return engine.process(deltas)
+
+        results = [
+            fresh(IncrementalEngine),
+            fresh(NaiveEngine),
+            fresh(HybridEngine, switch_ratio=0.2),
+        ]
+        assert results[0] == results[1] == results[2]

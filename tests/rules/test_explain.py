@@ -1,0 +1,77 @@
+"""Tests for the explainability machinery (check-phase reports)."""
+
+import pytest
+
+from tests.conftest import make_inventory_engine
+
+
+@pytest.fixture
+def engine_orders():
+    engine, orders = make_inventory_engine(explain=True)
+    engine.execute("activate monitor_items();")
+    return engine, orders
+
+
+class TestCheckPhaseReport:
+    def test_report_present_after_commit(self, engine_orders):
+        engine, _ = engine_orders
+        engine.execute("set quantity(:item1) = 120;")
+        report = engine.amos.rules.last_report
+        assert report is not None
+        assert len(report.iterations) >= 1
+
+    def test_executed_differentials_listed(self, engine_orders):
+        engine, _ = engine_orders
+        engine.execute("set quantity(:item1) = 120;")
+        labels = engine.amos.rules.last_report.executed_differentials()
+        assert "Δcnd_monitor_items/Δ+quantity" in labels
+        # only quantity changed: no other influent's differential ran
+        assert all("quantity" in label for label in labels)
+
+    def test_fired_rule_with_causes(self, engine_orders):
+        engine, orders = engine_orders
+        engine.execute("set quantity(:item1) = 120;")
+        report = engine.amos.rules.last_report
+        fired = report.fired_rules()
+        assert len(fired) == 1
+        assert fired[0].rule == "monitor_items"
+        row = next(iter(fired[0].rows))
+        assert fired[0].influents_for(row) == {"quantity"}
+        assert fired[0].signs_for(row) == {"+"}
+        assert report.causes_of("monitor_items", row) == {"quantity"}
+
+    def test_different_influent_attributed(self, engine_orders):
+        engine, _ = engine_orders
+        # raising min_stock pushes the threshold above the quantity
+        engine.execute("set quantity(:item1) = 150;")
+        engine.execute("set min_stock(:item1) = 200;")
+        report = engine.amos.rules.last_report
+        fired = report.fired_rules()
+        assert len(fired) == 1
+        row = next(iter(fired[0].rows))
+        assert fired[0].influents_for(row) == {"min_stock"}
+
+    def test_quiet_transaction_produces_empty_report(self, engine_orders):
+        engine, _ = engine_orders
+        engine.execute("set max_stock(:item1) = 5000;")  # no-op value
+        report = engine.amos.rules.last_report
+        assert report.fired_rules() == []
+
+    def test_summary_is_readable(self, engine_orders):
+        engine, _ = engine_orders
+        engine.execute("set quantity(:item1) = 120;")
+        summary = engine.amos.rules.last_report.summary()
+        assert "quantity" in summary
+        assert "fired monitor_items" in summary
+
+    def test_causes_of_unknown_row_is_empty(self, engine_orders):
+        engine, _ = engine_orders
+        engine.execute("set quantity(:item1) = 120;")
+        report = engine.amos.rules.last_report
+        assert report.causes_of("monitor_items", ("nonsense",)) == frozenset()
+
+    def test_no_report_without_explain_flag(self):
+        engine, _ = make_inventory_engine(explain=False)
+        engine.execute("activate monitor_items();")
+        engine.execute("set quantity(:item1) = 120;")
+        assert engine.amos.rules.last_report is None

@@ -1,0 +1,59 @@
+"""Unit tests for the undo/redo log."""
+
+from repro.storage.log import EventKind, PhysicalEvent, UndoRedoLog
+
+
+class TestEventKind:
+    def test_inversion(self):
+        assert EventKind.INSERT.inverted() is EventKind.DELETE
+        assert EventKind.DELETE.inverted() is EventKind.INSERT
+
+
+class TestPhysicalEvent:
+    def test_inverted_keeps_payload(self):
+        event = PhysicalEvent(EventKind.INSERT, "r", (1, 2), 7)
+        inverted = event.inverted()
+        assert inverted.kind is EventKind.DELETE
+        assert inverted.relation == "r"
+        assert inverted.row == (1, 2)
+
+    def test_str_matches_paper_notation(self):
+        event = PhysicalEvent(EventKind.DELETE, "min_stock", ("item1", 100), 0)
+        assert str(event) == "-(min_stock, ('item1', 100))"
+
+
+class TestUndoRedoLog:
+    def test_append_assigns_increasing_sequence(self):
+        log = UndoRedoLog()
+        first = log.append(EventKind.INSERT, "r", (1,))
+        second = log.append(EventKind.DELETE, "r", (1,))
+        assert second.sequence == first.sequence + 1
+        assert len(log) == 2
+
+    def test_events_since_savepoint(self):
+        log = UndoRedoLog()
+        log.append(EventKind.INSERT, "r", (1,))
+        savepoint = log.savepoint()
+        log.append(EventKind.INSERT, "r", (2,))
+        events = log.events_since(savepoint)
+        assert [event.row for event in events] == [(2,)]
+
+    def test_undo_events_reversed_and_inverted(self):
+        log = UndoRedoLog()
+        savepoint = log.savepoint()
+        log.append(EventKind.INSERT, "r", (1,))
+        log.append(EventKind.DELETE, "r", (2,))
+        undo = log.undo_events(savepoint)
+        assert [(event.kind, event.row) for event in undo] == [
+            (EventKind.INSERT, (2,)),
+            (EventKind.DELETE, (1,)),
+        ]
+
+    def test_truncate(self):
+        log = UndoRedoLog()
+        log.append(EventKind.INSERT, "r", (1,))
+        savepoint = log.savepoint()
+        log.append(EventKind.INSERT, "r", (2,))
+        log.truncate(savepoint)
+        assert len(log) == 1
+        assert [event.row for event in log] == [(1,)]

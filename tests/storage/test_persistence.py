@@ -1,0 +1,181 @@
+"""Tests for savepoints and data persistence."""
+
+import pytest
+
+from repro.amos.oid import OID
+from repro.errors import StorageError, TransactionError
+from repro.storage import persistence
+from repro.storage.database import Database
+
+
+class TestSavepoints:
+    @pytest.fixture
+    def db(self):
+        database = Database()
+        database.create_relation("r", 2)
+        database.insert("r", (0, 0))
+        return database
+
+    def test_rollback_to_savepoint(self, db):
+        db.begin()
+        db.insert("r", (1, 1))
+        savepoint = db.savepoint()
+        db.insert("r", (2, 2))
+        db.delete("r", (0, 0))
+        db.rollback_to(savepoint)
+        assert db.relation("r").rows() == {(0, 0), (1, 1)}
+        db.commit()
+        assert db.relation("r").rows() == {(0, 0), (1, 1)}
+
+    def test_deltas_corrected_by_partial_rollback(self, db):
+        db.monitor("r")
+        db.begin()
+        db.insert("r", (1, 1))
+        savepoint = db.savepoint()
+        db.insert("r", (2, 2))
+        db.rollback_to(savepoint)
+        assert db.delta_of("r").plus == {(1, 1)}
+        db.commit()
+
+    def test_savepoint_outside_transaction_rejected(self, db):
+        with pytest.raises(TransactionError):
+            db.savepoint()
+        with pytest.raises(TransactionError):
+            db.rollback_to(0)
+
+    def test_invalid_savepoint_rejected(self, db):
+        db.begin()
+        with pytest.raises(TransactionError):
+            db.rollback_to(99)
+        db.rollback()
+
+    def test_nested_savepoints(self, db):
+        db.begin()
+        first = db.savepoint()
+        db.insert("r", (1, 1))
+        second = db.savepoint()
+        db.insert("r", (2, 2))
+        db.rollback_to(second)
+        assert (1, 1) in db.relation("r")
+        db.rollback_to(first)
+        assert (1, 1) not in db.relation("r")
+        db.commit()
+
+
+class TestStoragePersistence:
+    def make_db(self):
+        db = Database()
+        db.create_relation("q", 2, ["key", "value"])
+        db.create_relation("tagged", 2)
+        db.insert("q", (1, "one"))
+        db.insert("q", (2, "two"))
+        db.insert("tagged", (OID(3, "item"), True))
+        return db
+
+    def test_dump_restore_roundtrip(self):
+        source = self.make_db()
+        snapshot = persistence.dump(source)
+        target = Database()
+        target.create_relation("q", 2, ["key", "value"])
+        target.create_relation("tagged", 2)
+        loaded = persistence.restore(target, snapshot)
+        assert loaded == 3
+        assert target.relation("q").rows() == source.relation("q").rows()
+        assert target.relation("tagged").rows() == source.relation("tagged").rows()
+
+    def test_oids_preserved(self):
+        snapshot = persistence.dump(self.make_db())
+        target = Database()
+        target.create_relation("q", 2)
+        target.create_relation("tagged", 2)
+        persistence.restore(target, snapshot)
+        (row,) = target.relation("tagged").rows()
+        assert isinstance(row[0], OID)
+        assert row[0].id == 3 and row[0].type_name == "item"
+
+    def test_restore_replaces_existing_rows(self):
+        snapshot = persistence.dump(self.make_db())
+        target = self.make_db()
+        target.insert("q", (99, "stale"))
+        persistence.restore(target, snapshot)
+        assert (99, "stale") not in target.relation("q")
+
+    def test_unknown_relation_rejected_unless_created(self):
+        snapshot = persistence.dump(self.make_db())
+        target = Database()
+        with pytest.raises(StorageError):
+            persistence.restore(target, snapshot)
+        persistence.restore(target, snapshot, create_missing=True)
+        assert target.relation("q").column_names == ("key", "value")
+
+    def test_arity_mismatch_rejected(self):
+        snapshot = persistence.dump(self.make_db())
+        target = Database()
+        target.create_relation("q", 3)
+        target.create_relation("tagged", 2)
+        with pytest.raises(StorageError):
+            persistence.restore(target, snapshot)
+
+    def test_unsupported_value_rejected(self):
+        db = Database()
+        db.create_relation("r", 1)
+        db.insert("r", (object(),))
+        with pytest.raises(StorageError):
+            persistence.dump(db)
+
+    def test_bad_format_version_rejected(self):
+        target = Database()
+        with pytest.raises(StorageError):
+            persistence.restore(target, {"format": 99, "relations": {}})
+
+    def test_file_roundtrip(self, tmp_path):
+        source = self.make_db()
+        path = str(tmp_path / "dump.json")
+        persistence.save(source, path)
+        target = Database()
+        loaded = persistence.load(target, path, create_missing=True)
+        assert loaded == 3
+        assert target.relation("q").rows() == source.relation("q").rows()
+
+
+class TestAmosPersistence:
+    def test_save_load_with_schema_recreation(self, tmp_path):
+        from tests.conftest import make_inventory_engine
+
+        engine, _ = make_inventory_engine()
+        engine.execute("set quantity(:item1) = 777;")
+        path = str(tmp_path / "inventory.json")
+        engine.amos.save_data(path)
+
+        fresh, orders = make_inventory_engine()
+        fresh.amos.load_data(path)
+        item1 = engine.get("item1")
+        assert fresh.amos.value("quantity", item1) == 777
+        assert fresh.amos.value("threshold", item1) == 140
+
+    def test_oid_counter_advances_past_loaded(self, tmp_path):
+        from tests.conftest import make_inventory_engine
+
+        engine, _ = make_inventory_engine()
+        path = str(tmp_path / "inventory.json")
+        engine.amos.save_data(path)
+
+        fresh, _ = make_inventory_engine()
+        fresh.amos.load_data(path)
+        loaded_max = max(oid.id for oid in fresh.amos.objects_of("item"))
+        new_object = fresh.amos.create_object("item")
+        assert new_object.id > loaded_max
+
+    def test_rules_fire_on_reloaded_data(self, tmp_path):
+        from tests.conftest import make_inventory_engine
+
+        engine, _ = make_inventory_engine()
+        path = str(tmp_path / "inventory.json")
+        engine.amos.save_data(path)
+
+        fresh, orders = make_inventory_engine()
+        fresh.amos.load_data(path)
+        fresh.execute("activate monitor_items();")
+        item1 = engine.get("item1")
+        fresh.amos.set_value("quantity", (item1,), 100)
+        assert orders == [(item1, 4900)]

@@ -1,0 +1,160 @@
+"""Targeted tests for code paths the main suites touch lightly."""
+
+import pytest
+
+from repro.algebra import operators as ops
+from repro.algebra.delta import DeltaSet
+from repro.algebra.oldstate import OldStateView
+from repro.objectlog.clause import HornClause
+from repro.objectlog.evaluate import Evaluator
+from repro.objectlog.literals import PredLiteral
+from repro.objectlog.program import Program
+from repro.objectlog.terms import Variable
+from repro.algebra.oldstate import NewStateView
+from repro.storage.database import Database
+
+X, Y = Variable("X"), Variable("Y")
+
+
+class TestOperatorsComplement:
+    def test_complement_relative_to_domain(self):
+        rows = {(1,), (2,)}
+        domain = {(1,), (2,), (3,), (4,)}
+        assert ops.complement(rows, domain) == {(3,), (4,)}
+
+    def test_equijoin_empty_pairs_is_product(self):
+        left = {(1,)}
+        right = {(2,), (3,)}
+        assert ops.equijoin(left, right, []) == {(1, 2), (1, 3)}
+
+    def test_project_deduplicates(self):
+        assert ops.project({(1, "a"), (1, "b")}, (0,)) == {(1,)}
+
+
+class TestClauseHelpers:
+    def test_rename_apart_freshens_every_variable(self):
+        clause = HornClause(
+            PredLiteral("p", (X, Y)), [PredLiteral("q", (X, Y))]
+        )
+        renamed = clause.rename_apart()
+        assert renamed.variables().isdisjoint(clause.variables())
+        # structure preserved: head vars appear in body identically
+        assert renamed.head.args == renamed.body[0].args
+
+    def test_replace_body_literal_bounds_checked(self):
+        from repro.errors import ObjectLogError
+
+        clause = HornClause(PredLiteral("p", (X,)), [PredLiteral("q", (X, X))])
+        with pytest.raises(ObjectLogError):
+            clause.replace_body_literal(5, PredLiteral("r", (X,)))
+
+    def test_head_must_be_plain(self):
+        from repro.errors import ObjectLogError
+
+        with pytest.raises(ObjectLogError):
+            HornClause(PredLiteral("p", (X,), negated=True), [])
+        with pytest.raises(ObjectLogError):
+            HornClause(PredLiteral("p", (X,), delta="+"), [])
+
+
+class TestEvaluatorWithoutMemo:
+    def test_memo_disabled_sees_fresh_data(self):
+        db = Database()
+        db.create_relation("q", 2).bulk_insert([(1, 1)])
+        program = Program()
+        program.declare_base("q", 2)
+        program.declare_derived("p", 1)
+        program.add_clause(
+            HornClause(PredLiteral("p", (X,)), [PredLiteral("q", (X, X))])
+        )
+        evaluator = Evaluator(program, NewStateView(db), memoize=False)
+        assert evaluator.extension("p") == {(1,)}
+        db.relation("q").insert((2, 2))
+        assert evaluator.extension("p") == {(1,), (2,)}
+
+
+class TestOldStateLookupBranches:
+    def test_plus_only_delta_lookup(self):
+        """The branch where nothing was deleted under this key but an
+        insertion must be filtered out of the old view."""
+        db = Database()
+        relation = db.create_relation("r", 2)
+        relation.bulk_insert([(1, "old")])
+        relation.insert((1, "new"))
+        view = OldStateView(db, {"r": DeltaSet({(1, "new")}, frozenset())})
+        assert view.lookup("r", (0,), (1,)) == {(1, "old")}
+
+    def test_untouched_key_fast_path(self):
+        db = Database()
+        relation = db.create_relation("r", 2)
+        relation.bulk_insert([(1, "a"), (2, "b")])
+        relation.insert((3, "c"))
+        view = OldStateView(db, {"r": DeltaSet({(3, "c")}, frozenset())})
+        assert view.lookup("r", (0,), (2,)) == {(2, "b")}
+        assert view.lookup("r", (0,), (3,)) == frozenset()
+
+
+class TestNetworkDotWithAggregates:
+    def test_aggregate_node_rendered(self):
+        from repro.rules.network import PropagationNetwork
+
+        program = Program()
+        program.declare_base("sales", 2)
+        program.declare_aggregate("total", "sales", 1, "sum")
+        network = PropagationNetwork(program)
+        network.add_condition("total")
+        dot = network.to_dot()
+        assert '"sales" -> "total"' in dot
+
+    def test_aggregate_node_level(self):
+        from repro.rules.network import PropagationNetwork
+
+        program = Program()
+        program.declare_base("sales", 2)
+        program.declare_aggregate("total", "sales", 1, "sum")
+        network = PropagationNetwork(program)
+        node = network.add_condition("total")
+        assert node.kind == "aggregate"
+        assert node.level == 1
+
+
+class TestReplNetworkCommand:
+    def test_network_rendered_with_active_rule(self):
+        import io
+
+        from repro.amosql.repl import Repl
+
+        out = io.StringIO()
+        repl = Repl(out=out)
+        for line in [
+            "create type item;",
+            "create function quantity(item) -> integer;",
+            "create rule low() as when for each item i "
+            "where quantity(i) < 10 do print_(i);",
+            "activate low();",
+            ".network",
+        ]:
+            repl.handle_line(line + "\n")
+        output = out.getvalue()
+        assert "digraph propagation_network" in output
+        assert "Δcnd_low/Δ+quantity" in output
+
+
+class TestTransactionStatisticsAndRepr:
+    def test_reprs_are_informative(self):
+        db = Database()
+        db.create_relation("r", 1)
+        assert "relations=1" in repr(db)
+        from repro.amos.database import AmosDatabase
+
+        amos = AmosDatabase()
+        assert "mode='incremental'" in repr(amos)
+        assert "RuleManager" in repr(amos.rules)
+
+    def test_rollback_counted(self):
+        db = Database()
+        db.create_relation("r", 1)
+        db.begin()
+        db.insert("r", (1,))
+        db.rollback()
+        assert db.statistics["rollbacks"] == 1

@@ -1,0 +1,57 @@
+"""The exception hierarchy: every library error is a ReproError."""
+
+import inspect
+
+import pytest
+
+import repro.errors as errors_module
+from repro.errors import (
+    DeltaError,
+    DuplicateRelationError,
+    LexError,
+    ReproError,
+    RuleError,
+    StorageError,
+    UnknownFunctionError,
+    UnknownPredicateError,
+    UnknownRelationError,
+    UnknownRuleError,
+    UnknownTypeError,
+)
+
+
+class TestHierarchy:
+    def test_every_exported_error_derives_from_repro_error(self):
+        for name, obj in vars(errors_module).items():
+            if inspect.isclass(obj) and issubclass(obj, Exception):
+                assert issubclass(obj, ReproError), name
+
+    def test_one_except_clause_catches_everything(self):
+        with pytest.raises(ReproError):
+            raise DeltaError("boom")
+        with pytest.raises(ReproError):
+            raise RuleError("boom")
+
+    def test_subsystem_bases(self):
+        assert issubclass(DuplicateRelationError, StorageError)
+        assert issubclass(UnknownRelationError, StorageError)
+
+
+class TestNamedErrors:
+    def test_unknown_errors_carry_the_name(self):
+        for error_class in (
+            UnknownRelationError,
+            UnknownPredicateError,
+            UnknownTypeError,
+            UnknownFunctionError,
+            UnknownRuleError,
+        ):
+            error = error_class("widget")
+            assert error.name == "widget"
+            assert "widget" in str(error)
+
+    def test_lex_error_carries_position(self):
+        error = LexError("bad char", position=17, line=3)
+        assert error.position == 17
+        assert error.line == 3
+        assert "line 3" in str(error)

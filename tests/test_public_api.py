@@ -1,0 +1,64 @@
+"""The public API surface: everything README advertises must import."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_headline_classes(self):
+        from repro import (
+            AmosDatabase,
+            AmosqlEngine,
+            Database,
+            DeltaSet,
+            Rule,
+            RuleManager,
+        )
+
+        assert AmosDatabase and AmosqlEngine and Database
+        assert DeltaSet and Rule and RuleManager
+
+
+SUBPACKAGES = [
+    "repro.storage",
+    "repro.algebra",
+    "repro.objectlog",
+    "repro.amos",
+    "repro.amosql",
+    "repro.rules",
+    "repro.bench",
+]
+
+
+class TestSubpackages:
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_all_exports_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_main_module_importable(self):
+        importlib.import_module("repro.__main__")
+
+    def test_every_public_callable_has_a_docstring(self):
+        import inspect
+
+        missing = []
+        for module_name in SUBPACKAGES + ["repro"]:
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                obj = getattr(module, name)
+                if inspect.isclass(obj) or inspect.isfunction(obj):
+                    if not inspect.getdoc(obj):
+                        missing.append(f"{module_name}.{name}")
+        assert not missing, missing
