@@ -67,6 +67,10 @@ def sweep():
         )
     print()
     print(result.format_table())
+    artifact = result.persist(
+        "fig6", meta={"transactions_per_cell": TRANSACTIONS}
+    )
+    print(f"wrote {artifact}")
     return result
 
 

@@ -1,0 +1,112 @@
+"""Observability smoke benchmark — a tiny Fig. 6-style run with metrics.
+
+Small and fast enough for CI: drives one-item transactions against a
+modest inventory three ways — uninstrumented, with the registry enabled,
+and with registry + tracer — then persists a ``BENCH_obs_smoke.json``
+artifact combining the timings with the collected metrics.  A generous
+overhead bound guards against the observability layer ever becoming
+expensive enough to distort the real benchmarks.
+
+Run:  pytest benchmarks/test_bench_obs_smoke.py -s
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.harness import Sweep, measure
+from repro.bench.workload import build_inventory
+from repro.obs import metrics, tracing
+from repro.obs.export import write_bench_artifact
+
+N_ITEMS = 50
+TRANSACTIONS = 25
+
+
+def drive(workload, transactions=TRANSACTIONS):
+    for step in range(transactions):
+        workload.touch_one_item(step, below=(step % 5 == 0))
+
+
+def timed_cell(series, observe, collect):
+    workload = build_inventory(N_ITEMS, mode="incremental", observe=observe)
+    workload.activate()
+    drive(workload, 3)  # warm up
+    registry = metrics.Registry() if collect else None
+    if collect:
+        metrics.install(registry)
+    try:
+        cell = measure(
+            series,
+            N_ITEMS,
+            lambda: drive(workload),
+            transactions=TRANSACTIONS,
+            repeats=3,
+        )
+    finally:
+        if collect:
+            metrics.uninstall()
+    return workload, registry, cell
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    sweep = Sweep("obs smoke — one-item txns at 50 items (ms/transaction)")
+    _, _, plain = timed_cell("disabled", observe=False, collect=False)
+    workload, registry, observed = timed_cell(
+        "observed", observe=True, collect=True
+    )
+    sweep.add(plain)
+    sweep.add(observed)
+    print()
+    print(sweep.format_table())
+    return sweep, workload, registry
+
+
+class TestObsSmoke:
+    def test_run_collects_real_counters(self, smoke):
+        _, workload, registry = smoke
+        derived = workload.amos.last_check_stats()["derived"]
+        assert derived["edges_fired"] > 0
+        # the registry spans the whole measured run, not just the last
+        # commit — rule firings accumulated there
+        assert registry.value("check.rules_fired") > 0
+        assert registry.value("propagation.edges_fired") > 0
+        assert registry.value("index.probes") > 0
+
+    def test_observed_overhead_is_bounded(self, smoke):
+        sweep, _, _ = smoke
+        ratio = sweep.ratio("observed", "disabled", N_ITEMS)
+        # collecting full metrics may cost something, but never enough
+        # to distort the figures (generous bound: CI machines are noisy)
+        assert ratio is not None and ratio < 3.0, ratio
+
+    def test_persists_combined_artifact(self, smoke):
+        sweep, workload, registry = smoke
+        payload = {
+            "title": sweep.title,
+            "rows": sweep.to_rows(),
+            "metrics": registry.as_dict(),
+            "last_check": workload.amos.last_check_stats()["derived"],
+        }
+        path = write_bench_artifact("obs_smoke", payload)
+        assert os.path.basename(path) == "BENCH_obs_smoke.json"
+        with open(path) as handle:
+            on_disk = json.load(handle)
+        assert on_disk["metrics"]["counters"]["propagation.edges_fired"] > 0
+        assert on_disk["last_check"]["edges_fired"] > 0
+
+
+def test_trace_renders_for_a_single_transaction(capsys):
+    """The README's tour, executed: stats + a rendered trace."""
+    workload = build_inventory(10, mode="incremental", observe=True)
+    workload.activate()
+    with tracing.recording():
+        workload.touch_one_item(4, below=True)
+    from repro.obs import render_trace
+
+    text = render_trace(workload.amos.last_check_trace())
+    print(text)
+    assert "check_phase" in text
+    assert "edge:" in text

@@ -16,6 +16,8 @@ The package layers, bottom-up:
   strict/nervous semantics, plus the naive baseline and a hybrid engine
 * :mod:`repro.bench`    — workload generators and measurement harness for
   the paper's performance figures
+* :mod:`repro.obs`      — zero-dependency metrics + tracing: delta-size,
+  probe/scan, and wave-front accounting behind an opt-in registry
 
 Quickstart::
 
@@ -30,6 +32,7 @@ from repro.algebra import DeltaSet, MutableDelta, delta_union
 from repro.amos import AmosDatabase, OID
 from repro.amosql import AmosqlEngine
 from repro.errors import ReproError
+from repro.obs import Registry, Tracer, collecting, render_trace
 from repro.rules import (
     CheckPhaseReport,
     PropagationNetwork,
@@ -55,5 +58,9 @@ __all__ = [
     "Rule",
     "RuleManager",
     "Database",
+    "Registry",
+    "Tracer",
+    "collecting",
+    "render_trace",
     "__version__",
 ]

@@ -157,26 +157,38 @@ class MutableDelta:
 
     # -- event accumulation -------------------------------------------------
 
-    def add_insert(self, row: Row) -> None:
-        """Record physical event ``+row`` (cancels a pending deletion)."""
+    def add_insert(self, row: Row) -> bool:
+        """Record physical event ``+row``; True iff it cancelled a pending
+        deletion (the insert/delete pair nets to nothing)."""
         if row in self._minus:
             self._minus.discard(row)
-        else:
-            self._plus.add(row)
+            return True
+        self._plus.add(row)
+        return False
 
-    def add_delete(self, row: Row) -> None:
-        """Record physical event ``-row`` (cancels a pending insertion)."""
+    def add_delete(self, row: Row) -> bool:
+        """Record physical event ``-row``; True iff it cancelled a pending
+        insertion."""
         if row in self._plus:
             self._plus.discard(row)
-        else:
-            self._minus.add(row)
+            return True
+        self._minus.add(row)
+        return False
 
-    def merge(self, later: DeltaSet) -> None:
-        """Delta-union a later change into this accumulator, in place."""
+    def merge(self, later: DeltaSet) -> int:
+        """Delta-union a later change into this accumulator, in place.
+
+        Returns the number of cancelled insert/delete pairs — the rows
+        delta-union removed from both sides.  The observability layer
+        reports this as ``propagation.cancellations``; callers that do
+        not care may ignore the return value.
+        """
+        cancelled = len(self._plus & later.minus) + len(self._minus & later.plus)
         new_plus = (self._plus - later.minus) | (later.plus - self._minus)
         new_minus = (self._minus - later.plus) | (later.minus - self._plus)
         self._plus = set(new_plus)
         self._minus = set(new_minus)
+        return cancelled
 
     # -- views ---------------------------------------------------------------
 
@@ -194,6 +206,10 @@ class MutableDelta:
 
     def __bool__(self) -> bool:
         return not self.empty
+
+    def __len__(self) -> int:
+        """Total live rows (plus + minus) — the accumulator's footprint."""
+        return len(self._plus) + len(self._minus)
 
     def freeze(self) -> DeltaSet:
         """Snapshot the current content as an immutable :class:`DeltaSet`."""

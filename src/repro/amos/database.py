@@ -48,6 +48,11 @@ class AmosDatabase:
         propagation network (section 7.1).
     explain:
         Record check-phase reports (see :mod:`repro.rules.explain`).
+    observe:
+        (via ``manager_options``) collect per-commit metrics and span
+        traces; read them with :meth:`last_check_stats` and
+        :meth:`last_check_trace` (see :mod:`repro.obs` and
+        ``docs/OBSERVABILITY.md``).
     """
 
     def __init__(
@@ -485,6 +490,26 @@ class AmosDatabase:
                         highest = max(highest, value.id)
         self._oid_counter = itertools.count(highest + 1)
         return loaded
+
+    # -- observability ----------------------------------------------------------------------
+
+    def last_check_stats(self):
+        """Metrics of the most recent commit's check phase.
+
+        Requires ``AmosDatabase(observe=True)``; returns a dict with
+        ``counters`` / ``gauges`` / ``histograms`` plus a ``derived``
+        summary (edges fired, tuple flow, probe/scan ratio, wave-front
+        peak), or None before the first observed check phase.
+        """
+        return self.rules.last_check_stats()
+
+    def last_check_trace(self):
+        """The ``check_phase`` span tree of the most recent commit.
+
+        Requires ``observe=True`` (or an externally installed tracer);
+        render it with :func:`repro.obs.render_trace`.
+        """
+        return self.rules.last_check_trace
 
     # -- transactions -----------------------------------------------------------------------
 

@@ -139,6 +139,31 @@ class Sweep:
                 {"title": self.title, "rows": self.to_rows()}, handle, indent=1
             )
 
+    def persist(
+        self,
+        name: str,
+        meta: Optional[Dict[str, object]] = None,
+        directory: Optional[str] = None,
+    ) -> str:
+        """Write the sweep as a ``BENCH_<name>.json`` artifact.
+
+        The file lands at the repository root by default (see
+        :func:`repro.obs.export.bench_artifact_dir`; override with the
+        ``REPRO_BENCH_DIR`` environment variable) so benchmark runs
+        leave a machine-readable record next to the human-readable
+        table.  Returns the path written.
+        """
+        from repro.obs.export import write_bench_artifact
+
+        payload: Dict[str, object] = {
+            "title": self.title,
+            "x_label": self.x_label,
+            "rows": self.to_rows(),
+        }
+        if meta:
+            payload["meta"] = dict(meta)
+        return write_bench_artifact(name, payload, directory=directory)
+
 
 def measure(
     series: str,

@@ -39,6 +39,7 @@ from repro.objectlog.program import (
     Program,
 )
 from repro.objectlog.terms import Env, Variable, bind_row, eval_expr, fresh_variable
+from repro.obs import metrics
 
 Row = Tuple
 _EMPTY_DELTA = DeltaSet()
@@ -252,17 +253,40 @@ class Evaluator:
             rows = self.view.lookup(literal.pred, tuple(bound_cols), tuple(key))
         else:
             rows = self.view.rows(literal.pred)
+        reg = metrics.ACTIVE
+        if reg is None:
+            for row in rows:
+                extended = bind_row(literal.args, row, env)
+                if extended is not None:
+                    yield extended
+            return
+        reg.counter(
+            "evaluate.base_lookups" if bound_cols else "evaluate.base_scans"
+        ).inc()
+        extensions = reg.counter("evaluate.env_extensions")
         for row in rows:
             extended = bind_row(literal.args, row, env)
             if extended is not None:
+                extensions.inc()
                 yield extended
 
     def _eval_delta(self, literal: PredLiteral, env: Env) -> Iterator[Env]:
         delta = self.deltas.get(literal.pred, _EMPTY_DELTA)
         rows = delta.plus if literal.delta == "+" else delta.minus
+        reg = metrics.ACTIVE
+        if reg is None:
+            for row in rows:
+                extended = bind_row(literal.args, row, env)
+                if extended is not None:
+                    yield extended
+            return
+        reg.counter("evaluate.delta_reads").inc()
+        reg.counter("evaluate.delta_rows").inc(len(rows))
+        extensions = reg.counter("evaluate.env_extensions")
         for row in rows:
             extended = bind_row(literal.args, row, env)
             if extended is not None:
+                extensions.inc()
                 yield extended
 
     def _eval_foreign(
@@ -356,6 +380,9 @@ class Evaluator:
                 bound.append((position, arg))
         memo_key = (definition.name, tuple(bound)) if self.memoize else None
         if memo_key is not None and memo_key in self._memo:
+            reg = metrics.ACTIVE
+            if reg is not None:
+                reg.counter("evaluate.memo_hits").inc()
             return self._memo[memo_key]
         self._stack.add(definition.name)
         try:

@@ -1,0 +1,44 @@
+"""repro.obs — zero-dependency metrics and tracing for the engine.
+
+The observability layer the performance claims stand on: counters /
+gauges / histograms (:mod:`repro.obs.metrics`), nestable spans with
+tuple-count attribution (:mod:`repro.obs.tracing`), and JSON export of
+a run (:mod:`repro.obs.export`).  All instrumentation across storage,
+evaluation, and propagation is a no-op until a registry or tracer is
+installed; see ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.export import (
+    bench_artifact_dir,
+    export_run,
+    registry_to_dict,
+    trace_to_dict,
+    write_bench_artifact,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    Tee,
+    collecting,
+)
+from repro.obs.tracing import Span, Tracer, recording, render_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "Tee",
+    "collecting",
+    "Span",
+    "Tracer",
+    "recording",
+    "render_trace",
+    "export_run",
+    "registry_to_dict",
+    "trace_to_dict",
+    "bench_artifact_dir",
+    "write_bench_artifact",
+]

@@ -1,0 +1,323 @@
+"""Process-local metrics: counters, gauges, histograms behind a registry.
+
+The observability contract of the whole package is:
+
+* **zero cost when off** — every instrumentation site starts with
+  ``reg = metrics.ACTIVE`` and bails on ``None``, so a disabled build
+  pays one module-attribute load and an ``is None`` branch;
+* **side-effect free when on** — instruments only ever *count*; they
+  never touch engine state, so enabling a registry must not change any
+  engine result (the property tests in ``tests/obs`` lock this down);
+* **no dependencies** — :mod:`repro.obs` imports nothing from the rest
+  of the package, so every layer (storage, algebra, objectlog, rules)
+  may instrument itself without import cycles.
+
+Usage::
+
+    from repro.obs import metrics
+
+    with metrics.collecting() as reg:
+        ...  # run monitored transactions
+    print(reg.value("propagation.edges_fired"))
+
+Nested ``collecting()`` scopes *tee*: writes land in the inner and all
+outer registries, which is how the rule manager can keep a per-commit
+registry (``db.last_check_stats()``) while a benchmark keeps a global
+one.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "Tee",
+    "ACTIVE",
+    "active",
+    "install",
+    "uninstall",
+    "collecting",
+]
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A sampled value that also tracks its high-water mark."""
+
+    __slots__ = ("name", "value", "max_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self.max_value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def set_max(self, value) -> None:
+        """Record ``value`` only as a high-water-mark candidate."""
+        if value > self.max_value:
+            self.max_value = value
+            self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value}, max={self.max_value})"
+
+
+class Histogram:
+    """Streaming distribution summary with power-of-two buckets.
+
+    Keeps count/sum/min/max exactly plus a coarse shape: bucket ``k``
+    counts observations with ``2**(k-1) < v <= 2**k - 1`` style binning
+    via ``int(v).bit_length()`` (bucket 0 holds zeros and negatives).
+    Enough to see "index probes hit 1-tuple buckets, scans hit
+    1000-tuple buckets" without storing samples.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bucket = int(value).bit_length() if value > 0 else 0
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name!r}, count={self.count}, mean={self.mean:.2f}, "
+            f"min={self.min}, max={self.max})"
+        )
+
+
+class Registry:
+    """A process-local namespace of instruments, created on first use."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instruments ------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    # -- reading ----------------------------------------------------------------
+
+    def value(self, name: str, default: int = 0) -> int:
+        """The current value of counter ``name`` (``default`` if absent)."""
+        instrument = self._counters.get(name)
+        return instrument.value if instrument is not None else default
+
+    def counters(self) -> Dict[str, int]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def gauges(self) -> Dict[str, Dict[str, object]]:
+        return {
+            name: {"value": g.value, "max": g.max_value}
+            for name, g in sorted(self._gauges.items())
+        }
+
+    def histograms(self) -> Dict[str, Dict[str, object]]:
+        return {name: h.as_dict() for name, h in sorted(self._histograms.items())}
+
+    def as_dict(self) -> Dict[str, object]:
+        """Everything recorded so far, JSON-serializable."""
+        return {
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "histograms": self.histograms(),
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"Registry(counters={len(self._counters)}, gauges={len(self._gauges)}, "
+            f"histograms={len(self._histograms)})"
+        )
+
+
+class _TeeCounter:
+    __slots__ = ("_parts",)
+
+    def __init__(self, parts: List[Counter]) -> None:
+        self._parts = parts
+
+    def inc(self, n: int = 1) -> None:
+        for part in self._parts:
+            part.inc(n)
+
+
+class _TeeGauge:
+    __slots__ = ("_parts",)
+
+    def __init__(self, parts: List[Gauge]) -> None:
+        self._parts = parts
+
+    def set(self, value) -> None:
+        for part in self._parts:
+            part.set(value)
+
+    def set_max(self, value) -> None:
+        for part in self._parts:
+            part.set_max(value)
+
+
+class _TeeHistogram:
+    __slots__ = ("_parts",)
+
+    def __init__(self, parts: List[Histogram]) -> None:
+        self._parts = parts
+
+    def observe(self, value) -> None:
+        for part in self._parts:
+            part.observe(value)
+
+
+class Tee:
+    """Duck-typed registry that fans every write out to several registries.
+
+    Installed as ``ACTIVE`` when observability scopes nest: the rule
+    manager's per-commit registry and an outer benchmark registry both
+    see every event.  Instruments are cached per name so the fan-out
+    costs one dict lookup, same as a plain registry.
+    """
+
+    __slots__ = ("registries", "_counters", "_gauges", "_histograms")
+
+    def __init__(self, *registries: Registry) -> None:
+        self.registries = registries
+        self._counters: Dict[str, _TeeCounter] = {}
+        self._gauges: Dict[str, _TeeGauge] = {}
+        self._histograms: Dict[str, _TeeHistogram] = {}
+
+    def counter(self, name: str) -> _TeeCounter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = _TeeCounter(
+                [r.counter(name) for r in self.registries]
+            )
+        return instrument
+
+    def gauge(self, name: str) -> _TeeGauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = _TeeGauge(
+                [r.gauge(name) for r in self.registries]
+            )
+        return instrument
+
+    def histogram(self, name: str) -> _TeeHistogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = _TeeHistogram(
+                [r.histogram(name) for r in self.registries]
+            )
+        return instrument
+
+
+#: The currently installed registry (or Tee), read by every
+#: instrumentation site.  ``None`` means observability is off.
+ACTIVE = None
+
+
+def active():
+    """The installed registry, or None when metrics are disabled."""
+    return ACTIVE
+
+
+def install(registry) -> None:
+    """Make ``registry`` (a Registry, Tee, or None) the active sink."""
+    global ACTIVE
+    ACTIVE = registry
+
+
+def uninstall() -> None:
+    """Disable metrics collection."""
+    install(None)
+
+
+@contextlib.contextmanager
+def collecting(registry: Optional[Registry] = None) -> Iterator[Registry]:
+    """Collect metrics into a (fresh) registry for the scope's duration.
+
+    Nesting tees: the inner scope's registry *and* every outer one
+    receive all writes.  The previous sink is restored on exit even if
+    the body raises.
+    """
+    local = registry if registry is not None else Registry()
+    previous = ACTIVE
+    install(local if previous is None else Tee(previous, local))
+    try:
+        yield local
+    finally:
+        install(previous)

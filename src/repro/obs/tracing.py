@@ -1,0 +1,202 @@
+"""Nestable spans with wall-time and tuple-count attribution.
+
+A :class:`Span` is one timed region of work; spans nest, producing a
+tree whose shape mirrors the engine's call structure::
+
+    check_phase
+      iteration:0
+        propagate
+          edge:Δcnd_monitor_items/Δ+quantity
+          edge:Δcnd_monitor_items/Δ-quantity
+        action:monitor_items
+
+Numeric attributes are attached per span (``in``/``out``/``guarded``
+tuple counts for edges, row counts for iterations), so the trace is
+both a profiler and an accounting document: the obs test suite checks
+that the tuple counts in the trace agree with an independent recount
+from :class:`repro.rules.propagation.PropagationTrace`.
+
+Like :mod:`repro.obs.metrics`, the module keeps one process-local
+``ACTIVE`` tracer; instrumentation sites read it once and skip all work
+when it is None.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "ACTIVE",
+    "active",
+    "install",
+    "uninstall",
+    "recording",
+    "render_trace",
+]
+
+
+class Span:
+    """One timed, attributed region; children are sub-regions."""
+
+    __slots__ = ("name", "attributes", "children", "start", "end")
+
+    def __init__(self, name: str, **attributes) -> None:
+        self.name = name
+        self.attributes: Dict[str, object] = dict(attributes)
+        self.children: List["Span"] = []
+        self.start = time.perf_counter()
+        self.end: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds (up to now while the span is still open)."""
+        return (self.end if self.end is not None else time.perf_counter()) - self.start
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    def annotate(self, **attributes) -> None:
+        self.attributes.update(attributes)
+
+    def add(self, key: str, n) -> None:
+        """Accumulate a numeric attribute (missing counts as 0)."""
+        self.attributes[key] = self.attributes.get(key, 0) + n
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and all descendants, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> List["Span"]:
+        """All descendants (including self) with the given name."""
+        return [span for span in self.walk() if span.name == name]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "duration_ms": self.duration * 1000,
+            "attributes": dict(self.attributes),
+            "children": [child.as_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, {self.duration * 1000:.3f}ms, "
+            f"children={len(self.children)})"
+        )
+
+
+class Tracer:
+    """Builds span trees; maintains the open-span stack."""
+
+    __slots__ = ("roots", "_stack")
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    def begin(self, name: str, **attributes) -> Span:
+        """Open a span as a child of the innermost open span."""
+        span = Span(name, **attributes)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def finish(self, span: Span) -> None:
+        """Close ``span`` (and, defensively, anything opened under it)."""
+        while self._stack:
+            top = self._stack.pop()
+            top.end = time.perf_counter()
+            if top is span:
+                return
+
+    @contextlib.contextmanager
+    def span(self, name: str, **attributes) -> Iterator[Span]:
+        span = self.begin(name, **attributes)
+        try:
+            yield span
+        finally:
+            self.finish(span)
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def __repr__(self) -> str:
+        return f"Tracer(roots={len(self.roots)}, open={len(self._stack)})"
+
+
+#: The installed tracer; None disables all span recording.
+ACTIVE = None
+
+
+def active():
+    return ACTIVE
+
+
+def install(tracer) -> None:
+    global ACTIVE
+    ACTIVE = tracer
+
+
+def uninstall() -> None:
+    install(None)
+
+
+@contextlib.contextmanager
+def recording(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Record spans into a (fresh) tracer for the scope's duration."""
+    local = tracer if tracer is not None else Tracer()
+    previous = ACTIVE
+    install(local)
+    try:
+        yield local
+    finally:
+        install(previous)
+
+
+def _format_attributes(span: Span) -> str:
+    return " ".join(f"{key}={span.attributes[key]}" for key in sorted(span.attributes))
+
+
+def render_trace(root, indent: int = 2) -> str:
+    """A textual report of a span tree (or a whole tracer).
+
+    In the spirit of :func:`repro.rules.explain.CheckPhaseReport.summary`:
+    one line per span, indented by depth, with wall time and the span's
+    numeric attributions.
+    """
+    spans: List[Span]
+    if isinstance(root, Tracer):
+        spans = root.roots
+    elif isinstance(root, Span):
+        spans = [root]
+    else:
+        raise TypeError(
+            f"render_trace expects a Tracer or Span, got {root!r} "
+            "(no check phase has been traced yet?)"
+        )
+    lines: List[str] = []
+
+    def emit(span: Span, depth: int) -> None:
+        attrs = _format_attributes(span)
+        pad = " " * (indent * depth)
+        line = f"{pad}{span.name}  {span.duration * 1000:.3f}ms"
+        if attrs:
+            line += f"  [{attrs}]"
+        lines.append(line)
+        for child in span.children:
+            emit(child, depth + 1)
+
+    for span in spans:
+        emit(span, 0)
+    return "\n".join(lines)

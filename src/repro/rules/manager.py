@@ -26,6 +26,7 @@ from repro.algebra.oldstate import OldStateView
 from repro.errors import RuleActivationError, RuleError, UnknownRuleError
 from repro.objectlog.evaluate import Evaluator
 from repro.objectlog.program import Program
+from repro.obs import metrics, tracing
 from repro.rules.engines import (
     HybridEngine,
     IncrementalEngine,
@@ -62,6 +63,12 @@ class RuleManager:
         statement, inside the transaction.  Immediate firings cannot be
         un-done by a later statement of the same transaction — that is
         the semantic difference, not an implementation limit.
+    observe:
+        Collect a per-commit observability window (:mod:`repro.obs`):
+        a fresh metrics registry plus a ``check_phase`` span tree per
+        check phase, exposed via :meth:`last_check_stats` and
+        ``last_check_trace``.  Tees into any globally installed
+        registry, so benchmarks can aggregate across commits.
     """
 
     def __init__(
@@ -76,6 +83,7 @@ class RuleManager:
         negatives: bool = True,
         hybrid_switch_ratio: float = 0.2,
         processing: str = "deferred",
+        observe: bool = False,
     ) -> None:
         if processing not in ("deferred", "immediate"):
             raise RuleError(f"unknown processing mode {processing!r}")
@@ -84,6 +92,11 @@ class RuleManager:
         self.mode = mode
         self.processing = processing
         self.explain = explain
+        #: collect per-commit metrics/spans (see repro.obs); read the
+        #: results via last_check_stats / last_check_trace
+        self.observe = observe
+        self.last_check_registry: Optional[metrics.Registry] = None
+        self.last_check_trace: Optional[tracing.Span] = None
         self.max_iterations = max_iterations
         self.conflict_resolver = conflict_resolver
         self._rules: Dict[str, Rule] = {}
@@ -203,6 +216,23 @@ class RuleManager:
             return
         self._in_check_phase = True
         report = CheckPhaseReport() if self.explain else None
+        # observability window: a per-commit registry (teed into any
+        # outer one) plus a check_phase span under the active tracer
+        local_registry: Optional[metrics.Registry] = None
+        own_tracer: Optional[tracing.Tracer] = None
+        outer_registry = metrics.ACTIVE
+        if self.observe:
+            local_registry = metrics.Registry()
+            metrics.install(
+                local_registry
+                if outer_registry is None
+                else metrics.Tee(outer_registry, local_registry)
+            )
+            if tracing.ACTIVE is None:
+                own_tracer = tracing.Tracer()
+                tracing.install(own_tracer)
+        tracer = tracing.ACTIVE
+        phase_span = tracer.begin("check_phase") if tracer is not None else None
         try:
             self._run_check_loop(db, report)
         except Exception:
@@ -211,6 +241,14 @@ class RuleManager:
             self._dirty = True
             raise
         finally:
+            if phase_span is not None:
+                tracer.finish(phase_span)
+                self.last_check_trace = phase_span
+            if self.observe:
+                metrics.install(outer_registry)
+                if own_tracer is not None:
+                    tracing.uninstall()
+                self.last_check_registry = local_registry
             self._in_check_phase = False
             # pending net changes are per-transaction: a condition that
             # went false and stayed false must not cancel changes of a
@@ -228,6 +266,9 @@ class RuleManager:
             self._dirty = False
         iterations = 0
         while True:
+            reg = metrics.ACTIVE
+            if reg is not None:
+                reg.counter("check.iterations").inc()
             base_deltas = db.take_deltas()
             if base_deltas:
                 condition_deltas = self.engine.process(
@@ -262,9 +303,20 @@ class RuleManager:
                 rows=frozenset(rows),
                 causes={},
             )
+            if reg is not None:
+                reg.counter("check.rules_fired").inc()
+                reg.counter("check.action_rows").inc(len(rows))
+            tr = tracing.ACTIVE
+            action_span = (
+                tr.begin(f"action:{chosen.rule.name}", rows=len(rows))
+                if tr is not None
+                else None
+            )
             try:
                 self._execute_action(chosen, rows)
             finally:
+                if action_span is not None:
+                    tr.finish(action_span)
                 self.current_firing = None
             iterations += 1
             if iterations > self.max_iterations:
@@ -353,6 +405,42 @@ class RuleManager:
 
     def monitored_relations(self) -> FrozenSet[str]:
         return self._monitored
+
+    def last_check_stats(self) -> Optional[Dict[str, object]]:
+        """The last check phase's metrics (requires ``observe=True``).
+
+        Returns the full registry dump plus a ``derived`` section with
+        the headline numbers: edges fired, tuple flow through the
+        differentials, the index-probe/scan split, and the wave-front
+        peak.  None until the first observed check phase.
+        """
+        registry = self.last_check_registry
+        if registry is None:
+            return None
+        counters = registry.counters()
+        probes = counters.get("index.probes", 0)
+        scans = counters.get("relation.scans", 0) + counters.get(
+            "relation.snapshots", 0
+        )
+        gauges = registry.gauges()
+        stats = registry.as_dict()
+        stats["derived"] = {
+            "iterations": counters.get("check.iterations", 0),
+            "rules_fired": counters.get("check.rules_fired", 0),
+            "edges_fired": counters.get("propagation.edges_fired", 0),
+            "tuples_in": counters.get("propagation.tuples_in", 0),
+            "tuples_out": counters.get("propagation.tuples_out", 0),
+            "tuples_guarded": counters.get("propagation.tuples_guarded", 0),
+            "cancellations": counters.get("propagation.cancellations", 0),
+            "discarded_rows": counters.get("propagation.discarded_rows", 0),
+            "index_probes": probes,
+            "scans": scans,
+            "probe_ratio": probes / (probes + scans) if probes + scans else None,
+            "wavefront_peak": gauges.get("propagation.wavefront_peak", {}).get(
+                "max", 0
+            ),
+        }
+        return stats
 
     def __repr__(self) -> str:
         return (

@@ -33,6 +33,7 @@ from repro.algebra.delta import DeltaSet
 from repro.algebra.oldstate import NewStateView, OldStateView
 from repro.objectlog.evaluate import Evaluator
 from repro.objectlog.program import Program
+from repro.obs import metrics, tracing
 from repro.rules.differentials import PartialDifferentialClause
 from repro.rules.network import NetworkNode, PropagationNetwork
 from repro.storage.database import Database
@@ -108,40 +109,66 @@ class Propagator:
         new_view = NewStateView(self.db)
         old_view = OldStateView(self.db, base_deltas)
         guard_eval = Evaluator(self.program, new_view)
+        reg = metrics.ACTIVE
+        tr = tracing.ACTIVE
+        run_span = tr.begin("propagate") if tr is not None else None
+        if reg is not None:
+            reg.counter("propagation.runs").inc()
 
-        self._reset()
-        for name, delta in base_deltas.items():
-            node = self.network.nodes.get(name)
-            if node is not None and not delta.empty:
-                node.delta.merge(delta)
+        try:
+            self._reset()
+            for name, delta in base_deltas.items():
+                node = self.network.nodes.get(name)
+                if node is not None and not delta.empty:
+                    node.delta.merge(delta)
+            self._note_wavefront(reg)
 
-        results: Dict[str, DeltaSet] = {}
-        for node in self.network.bottom_up_nodes():
-            if node.delta.empty:
-                continue
-            frozen = node.delta.freeze()
-            if node.is_root:
-                results[node.name] = frozen
-            for edge in node.out_edges:
-                if edge.aggregate is not None:
-                    self._execute_aggregate(
-                        edge, frozen, new_view, old_view, tracer
-                    )
+            results: Dict[str, DeltaSet] = {}
+            for node in self.network.bottom_up_nodes():
+                if node.delta.empty:
                     continue
-                if frozen.plus:
-                    for differential in edge.positive:
-                        self._execute(
-                            differential, frozen, new_view, old_view,
-                            guard_eval, edge.target, tracer,
+                frozen = node.delta.freeze()
+                if node.is_root:
+                    results[node.name] = frozen
+                for edge in node.out_edges:
+                    if edge.aggregate is not None:
+                        self._execute_aggregate(
+                            edge, frozen, new_view, old_view, tracer, reg, tr
                         )
-                if frozen.minus:
-                    for differential in edge.negative:
-                        self._execute(
-                            differential, frozen, new_view, old_view,
-                            guard_eval, edge.target, tracer,
-                        )
-            # the wave front has passed: discard the temporary materialization
-            node.delta.clear()
+                        continue
+                    if frozen.plus:
+                        for differential in edge.positive:
+                            self._execute(
+                                differential, frozen, new_view, old_view,
+                                guard_eval, edge.target, tracer, reg, tr,
+                            )
+                    if frozen.minus:
+                        for differential in edge.negative:
+                            self._execute(
+                                differential, frozen, new_view, old_view,
+                                guard_eval, edge.target, tracer, reg, tr,
+                            )
+                # the wave-front peak is right now: this node's delta is
+                # still materialized and its out-edges have already
+                # merged their results upward
+                self._note_wavefront(reg)
+                # the wave front has passed: discard the temporary
+                # materialization (the paper's section-6 space claim)
+                if reg is not None:
+                    discarded = len(node.delta)
+                    if discarded:
+                        reg.counter("propagation.discarded_rows").inc(discarded)
+                        reg.counter("propagation.discards").inc()
+                node.delta.clear()
+
+            if run_span is not None:
+                run_span.annotate(
+                    nodes_changed=len([n for n in base_deltas if n in self.network.nodes]),
+                    roots=len(results),
+                )
+        finally:
+            if run_span is not None:
+                tr.finish(run_span)
 
         self.last_trace = tracer
         return results
@@ -152,6 +179,14 @@ class Propagator:
         for node in self.network.nodes.values():
             node.delta.clear()
 
+    def _note_wavefront(self, reg) -> None:
+        """Record the live wave-front footprint (rows materialized in
+        node delta-sets right now) as a high-water-mark gauge."""
+        if reg is None:
+            return
+        live = sum(len(node.delta) for node in self.network.nodes.values())
+        reg.gauge("propagation.wavefront_peak").set_max(live)
+
     def _execute_aggregate(
         self,
         edge,
@@ -159,6 +194,8 @@ class Propagator:
         new_view: NewStateView,
         old_view: OldStateView,
         tracer: Optional[PropagationTrace],
+        reg=None,
+        tr=None,
     ) -> None:
         """Per-group incremental maintenance of an aggregate node.
 
@@ -174,6 +211,8 @@ class Propagator:
         }
         if not touched:
             return
+        label = f"Δ{definition.name}/Δ{edge.source.name} [groups]"
+        span = tr.begin(f"edge:{label}") if tr is not None else None
         new_eval = Evaluator(self.program, new_view)
         old_eval = Evaluator(self.program, old_view)
         plus: set = set()
@@ -194,12 +233,29 @@ class Propagator:
             minus |= old_rows - new_rows
         delta = DeltaSet(frozenset(plus) - frozenset(minus),
                          frozenset(minus) - frozenset(plus))
+        cancelled = 0
         if delta:
-            edge.target.delta.merge(delta)
+            cancelled = edge.target.delta.merge(delta)
+        if reg is not None:
+            reg.counter("propagation.edges_fired").inc()
+            reg.counter("propagation.tuples_in").inc(len(touched))
+            reg.counter("propagation.tuples_out").inc(len(plus) + len(minus))
+            if cancelled:
+                reg.counter("propagation.cancellations").inc(cancelled)
+        if span is not None:
+            span.annotate(
+                target=definition.name,
+                influent=edge.source.name,
+                sign="*",
+                groups=len(touched),
+                out=len(plus) + len(minus),
+                cancelled=cancelled,
+            )
+            tr.finish(span)
         if tracer is not None:
             tracer.executions.append(
                 DifferentialExecution(
-                    label=f"Δ{definition.name}/Δ{edge.source.name} [groups]",
+                    label=label,
                     target=definition.name,
                     influent=edge.source.name,
                     input_sign="*",
@@ -219,7 +275,10 @@ class Propagator:
         guard_eval: Evaluator,
         target: NetworkNode,
         tracer: Optional[PropagationTrace],
+        reg=None,
+        tr=None,
     ) -> None:
+        span = tr.begin(f"edge:{differential.label()}") if tr is not None else None
         view = new_view if differential.state == "new" else old_view
         evaluator = Evaluator(
             self.program, view, deltas={differential.influent: source_delta}
@@ -229,22 +288,45 @@ class Propagator:
         )
         guarded_away: FrozenSet[Row] = frozenset()
         if produced and differential.output_sign == "-" and self.guard_negatives:
+            if reg is not None:
+                reg.counter("propagation.guard_checks").inc(len(produced))
             still_present = frozenset(
                 row for row in produced if guard_eval.holds(differential.target, row)
             )
             guarded_away = still_present
             produced = produced - still_present
+        cancelled = 0
         if produced:
             if differential.output_sign == "+":
-                target.delta.merge(DeltaSet(produced, ()))
+                cancelled = target.delta.merge(DeltaSet(produced, ()))
             else:
-                target.delta.merge(DeltaSet((), produced))
-        if tracer is not None:
-            input_rows = (
-                source_delta.plus
-                if differential.input_sign == "+"
-                else source_delta.minus
+                cancelled = target.delta.merge(DeltaSet((), produced))
+        input_rows = (
+            source_delta.plus
+            if differential.input_sign == "+"
+            else source_delta.minus
+        )
+        if reg is not None:
+            reg.counter("propagation.edges_fired").inc()
+            reg.counter("propagation.tuples_in").inc(len(input_rows))
+            reg.counter("propagation.tuples_out").inc(len(produced))
+            if guarded_away:
+                reg.counter("propagation.tuples_guarded").inc(len(guarded_away))
+            if cancelled:
+                reg.counter("propagation.cancellations").inc(cancelled)
+        if span is not None:
+            span.annotate(
+                target=differential.target,
+                influent=differential.influent,
+                sign=f"{differential.input_sign}->{differential.output_sign}",
+                state=differential.state,
+                **{"in": len(input_rows)},
+                out=len(produced),
+                guarded=len(guarded_away),
+                cancelled=cancelled,
             )
+            tr.finish(span)
+        if tracer is not None:
             tracer.executions.append(
                 DifferentialExecution(
                     label=differential.label(),

@@ -28,6 +28,7 @@ from repro.errors import (
     TransactionError,
     UnknownRelationError,
 )
+from repro.obs import metrics
 from repro.storage.log import EventKind, UndoRedoLog
 from repro.storage.relation import BaseRelation
 
@@ -123,6 +124,11 @@ class Database:
             if accumulator:
                 taken[name] = accumulator.freeze()
                 accumulator.clear()
+        reg = metrics.ACTIVE
+        if reg is not None and taken:
+            net = sum(len(d.plus) + len(d.minus) for d in taken.values())
+            reg.counter("delta.takes").inc()
+            reg.counter("delta.net_rows").inc(net)
         return taken
 
     def peek_deltas(self) -> Dict[str, DeltaSet]:
@@ -137,6 +143,11 @@ class Database:
         return any(self._deltas.values())
 
     def _clear_deltas(self) -> None:
+        reg = metrics.ACTIVE
+        if reg is not None:
+            dropped = sum(len(a) for a in self._deltas.values())
+            if dropped:
+                reg.counter("delta.dropped_rows").inc(dropped)
         for accumulator in self._deltas.values():
             accumulator.clear()
 
@@ -161,12 +172,23 @@ class Database:
         if not changed:
             return False
         self._statistics["events"] += 1
+        reg = metrics.ACTIVE
         if name in self._monitored:
             accumulator = self._deltas[name]
             if kind is EventKind.INSERT:
-                accumulator.add_insert(row)
+                cancelled = accumulator.add_insert(row)
             else:
-                accumulator.add_delete(row)
+                cancelled = accumulator.add_delete(row)
+            if reg is not None:
+                reg.counter(
+                    "delta.raw_plus"
+                    if kind is EventKind.INSERT
+                    else "delta.raw_minus"
+                ).inc()
+                if cancelled:
+                    reg.counter("delta.cancellations").inc()
+        if reg is not None:
+            reg.counter("storage.events").inc()
         if log_event:
             self.log.append(kind, name, row)
         return True

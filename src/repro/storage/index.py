@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, Iterator, Set, Tuple
 
 from repro.errors import SchemaError
+from repro.obs import metrics
 
 Row = Tuple
 
@@ -47,7 +48,13 @@ class HashIndex:
 
     def probe(self, key: Tuple) -> FrozenSet[Row]:
         """All rows whose indexed columns equal ``key`` (possibly empty)."""
-        return frozenset(self._buckets.get(tuple(key), ()))
+        result = frozenset(self._buckets.get(tuple(key), ()))
+        reg = metrics.ACTIVE
+        if reg is not None:
+            reg.counter("index.probes").inc()
+            reg.counter("index.rows_touched").inc(len(result))
+            reg.histogram("index.bucket_size").observe(len(result))
+        return result
 
     def keys(self) -> Iterator[Tuple]:
         return iter(self._buckets)

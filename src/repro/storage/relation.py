@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Sequence, Tuple
 
 from repro.errors import ArityError, SchemaError
+from repro.obs import metrics
 from repro.storage.index import HashIndex
 
 Row = Tuple
@@ -130,6 +131,10 @@ class BaseRelation:
 
     def rows(self) -> FrozenSet[Row]:
         """A snapshot of the current content."""
+        reg = metrics.ACTIVE
+        if reg is not None:
+            reg.counter("relation.snapshots").inc()
+            reg.counter("relation.rows_touched").inc(len(self._rows))
         return frozenset(self._rows)
 
     def lookup(self, columns: Sequence[int], key: Sequence) -> FrozenSet[Row]:
@@ -144,6 +149,11 @@ class BaseRelation:
             return index.probe(tuple(key))
         key = tuple(key)
         cols = tuple(columns)
+        reg = metrics.ACTIVE
+        if reg is not None:
+            reg.counter("relation.scans").inc()
+            reg.counter("relation.rows_touched").inc(len(self._rows))
+            reg.histogram("relation.scan_size").observe(len(self._rows))
         return frozenset(
             row for row in self._rows if tuple(row[c] for c in cols) == key
         )

@@ -17,6 +17,7 @@ import random
 import pytest
 
 from repro.bench.workload import build_inventory
+from repro.obs import metrics
 
 STEPS = 150
 
@@ -101,6 +102,13 @@ class TestSoak:
         naive = run_soak("naive", seed)
         assert incremental == naive
 
+    def test_invariants_hold_with_metrics_enabled(self):
+        """The instrumentation is passive: the full invariant check must
+        hold just as well while a registry is collecting."""
+        with metrics.collecting():
+            incremental = run_soak("incremental", seed=7)
+        assert incremental == run_soak("incremental", seed=7)
+
     def test_condition_truth_consistent_after_soak(self):
         workload = build_inventory(10, mode="incremental", seed=5)
         workload.activate()
@@ -118,3 +126,50 @@ class TestSoak:
             if amos.value("quantity", item) < amos.value("threshold", item)
         )
         assert truth == expected
+
+
+def run_observed_soak(n_items: int, steps: int = 60):
+    """A steady stream of one-item updates with metrics collecting."""
+    workload = build_inventory(n_items, mode="incremental", seed=11, observe=True)
+    workload.activate()
+    rng = random.Random(17)
+    with metrics.collecting() as registry:
+        for _ in range(steps):
+            workload.touch_one_item(
+                rng.randrange(n_items), below=rng.random() < 0.3
+            )
+    return workload, registry
+
+
+class TestObservedSoak:
+    """Section 6's space claim, soak-tested: intermediate deltas are a
+    transient wave front, so peak delta memory tracks the *change* size,
+    not the database size — and everything materialized is discarded."""
+
+    def test_wavefront_peak_bounded_and_database_size_independent(self):
+        peaks = {}
+        for n_items in (15, 60):
+            workload, registry = run_observed_soak(n_items)
+            peaks[n_items] = registry.gauge(
+                "propagation.wavefront_peak"
+            ).max_value
+            # nothing leaked past the check phases: every transient row
+            # was discarded and the network is quiescent again
+            network = workload.amos.rules.engine.network
+            assert all(node.delta.empty for node in network.nodes.values())
+            assert registry.value("propagation.discards") > 0
+            assert registry.value("propagation.discarded_rows") > 0
+        # a one-item update keeps a tiny wave front at any database size
+        assert 0 < peaks[15] <= 50
+        assert peaks[60] <= peaks[15] + 10
+
+    def test_soak_results_unchanged_by_observation(self):
+        observed, _ = run_observed_soak(15)
+        plain = build_inventory(15, mode="incremental", seed=11)
+        plain.activate()
+        rng = random.Random(17)
+        for _ in range(60):
+            plain.touch_one_item(rng.randrange(15), below=rng.random() < 0.3)
+        assert [amount for _, amount in observed.orders] == [
+            amount for _, amount in plain.orders
+        ]

@@ -1,0 +1,186 @@
+"""Accounting consistency: metrics/trace vs. an independent recount.
+
+The observability layer reports edges fired, per-edge tuple counts, and
+probe/scan splits.  These tests verify that three *independent* sources
+agree on the paper's ``monitor_items`` running example:
+
+1. the metrics counters (``propagation.edges_fired`` etc.),
+2. the span trace (``edge:<differential>`` attributes),
+3. :class:`repro.rules.propagation.PropagationTrace` — the engine's own
+   explainability record — and a naive delta-union recount of it.
+
+If the instruments drifted from what the engine actually does, the
+whole bench trajectory would silently lie; this suite is what makes the
+numbers trustworthy.
+"""
+
+import pytest
+
+from repro.algebra.delta import DeltaSet, MutableDelta
+from repro.bench.workload import build_inventory
+from repro.obs import metrics
+
+
+def observed_workload(n_items=12, **options):
+    workload = build_inventory(
+        n_items, mode="incremental", explain=True, observe=True, **options
+    )
+    workload.activate()
+    return workload
+
+
+def executed(report):
+    """All DifferentialExecutions of a check-phase report, in order."""
+    out = []
+    for iteration in report.iterations:
+        if iteration.trace is not None:
+            out.extend(iteration.trace.executions)
+    return out
+
+
+class TestEdgeAccounting:
+    def run_one_transaction(self, below):
+        workload = observed_workload()
+        with metrics.collecting() as registry:
+            workload.touch_one_item(3, below=below)
+        return workload, registry
+
+    @pytest.mark.parametrize("below", [False, True])
+    def test_edges_fired_matches_propagation_trace(self, below):
+        workload, registry = self.run_one_transaction(below)
+        report = workload.amos.rules.last_report
+        labels = [e.label for e in executed(report)]
+        stats = workload.amos.last_check_stats()
+        assert stats["derived"]["edges_fired"] == len(labels)
+        assert registry.value("propagation.edges_fired") == len(labels)
+
+    @pytest.mark.parametrize("below", [False, True])
+    def test_span_tuple_counts_match_propagation_trace(self, below):
+        workload, _ = self.run_one_transaction(below)
+        report = workload.amos.rules.last_report
+        trace_out = {}
+        trace_in = {}
+        for execution in executed(report):
+            trace_out[execution.label] = trace_out.get(execution.label, 0) + len(
+                execution.produced
+            )
+            trace_in[execution.label] = trace_in.get(execution.label, 0) + (
+                execution.input_size
+            )
+        root = workload.amos.last_check_trace()
+        span_out = {}
+        span_in = {}
+        for span in root.walk():
+            if not span.name.startswith("edge:"):
+                continue
+            label = span.name[len("edge:"):]
+            span_out[label] = span_out.get(label, 0) + span.attributes["out"]
+            span_in[label] = span_in.get(label, 0) + span.attributes["in"]
+        assert span_out == trace_out
+        assert span_in == trace_in
+
+    @pytest.mark.parametrize("below", [False, True])
+    def test_naive_recount_of_condition_delta(self, below):
+        """Folding the executed differentials' outputs with delta-union
+        must reproduce exactly the condition delta the engine reported."""
+        workload, _ = self.run_one_transaction(below)
+        report = workload.amos.rules.last_report
+        condition = "cnd_monitor_items"
+        for iteration in report.iterations:
+            if iteration.trace is None:
+                continue
+            recount = MutableDelta()
+            for execution in iteration.trace.executions:
+                if execution.target != condition:
+                    continue
+                if execution.output_sign == "+":
+                    recount.merge(DeltaSet(execution.produced, ()))
+                else:
+                    recount.merge(DeltaSet((), execution.produced))
+            reported = iteration.condition_deltas.get(condition, DeltaSet())
+            assert recount.freeze() == reported
+
+    def test_tuple_counters_match_trace_totals(self):
+        workload, registry = self.run_one_transaction(below=True)
+        report = workload.amos.rules.last_report
+        executions = executed(report)
+        assert registry.value("propagation.tuples_out") == sum(
+            len(e.produced) for e in executions
+        )
+        assert registry.value("propagation.tuples_in") == sum(
+            e.input_size for e in executions
+        )
+        assert registry.value("propagation.tuples_guarded") == sum(
+            len(e.guarded_away) for e in executions
+        )
+
+
+class TestProbeScanAccounting:
+    def test_incremental_check_uses_only_index_probes(self):
+        """The Fig. 6 asymmetry, as accounting: the incremental monitor
+        answers a one-item update entirely through index probes."""
+        workload = observed_workload()
+        with metrics.collecting():
+            workload.touch_one_item(1, below=True)
+        derived = workload.amos.last_check_stats()["derived"]
+        assert derived["index_probes"] > 0
+        assert derived["scans"] == 0
+        assert derived["probe_ratio"] == 1.0
+
+    def test_naive_check_scans(self):
+        """The baseline recomputes the whole condition: snapshots/scans
+        appear, and the probe ratio drops below 1."""
+        workload = build_inventory(12, mode="naive", observe=True)
+        workload.activate()
+        with metrics.collecting():
+            workload.touch_one_item(1, below=True)
+        derived = workload.amos.last_check_stats()["derived"]
+        assert derived["scans"] > 0
+        assert derived["probe_ratio"] is None or derived["probe_ratio"] < 1.0
+
+    def test_update_counter_update_nets_to_no_propagation(self):
+        """The paper's section-4.1 example: an update and its counter-
+        update cancel in the accumulator, so no differential executes."""
+        workload = observed_workload()
+        amos = workload.amos
+        item = workload.items[0]
+        original = amos.value("quantity", item)
+        with metrics.collecting() as registry:
+            with amos.transaction():
+                amos.set_value("quantity", (item,), 1)
+                amos.set_value("quantity", (item,), original)
+        assert registry.value("delta.cancellations") == 2
+        assert registry.value("propagation.edges_fired") == 0
+        assert registry.value("delta.net_rows") == 0
+
+
+class TestCheckStatsSurface:
+    def test_none_before_first_observed_commit(self):
+        workload = build_inventory(3, mode="incremental", observe=True)
+        assert workload.amos.last_check_stats() is None
+
+    def test_not_collected_without_observe(self):
+        workload = build_inventory(3, mode="incremental")
+        workload.activate()
+        workload.touch_one_item(0)
+        assert workload.amos.last_check_stats() is None
+
+    def test_stats_refresh_per_commit(self):
+        workload = observed_workload(6)
+        workload.touch_one_item(0)
+        first = workload.amos.last_check_stats()
+        workload.touch_one_item(0, below=True)
+        second = workload.amos.last_check_stats()
+        assert first is not second
+        assert second["derived"]["rules_fired"] == 1
+
+    def test_trace_is_renderable(self):
+        from repro.obs import render_trace
+
+        workload = observed_workload(6)
+        workload.touch_one_item(2, below=True)
+        text = render_trace(workload.amos.last_check_trace())
+        assert "check_phase" in text
+        assert "propagate" in text
+        assert "edge:Δcnd_monitor_items/Δ+quantity" in text
+        assert "action:monitor_items" in text

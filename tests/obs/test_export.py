@@ -1,0 +1,90 @@
+"""Tests for repro.obs.export: run export and BENCH_* artifacts."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.export import (
+    bench_artifact_dir,
+    export_run,
+    registry_to_dict,
+    trace_to_dict,
+    write_bench_artifact,
+)
+from repro.obs.metrics import Registry
+from repro.obs.tracing import Tracer
+
+
+class TestSerializers:
+    def test_registry_to_dict_none(self):
+        assert registry_to_dict(None) is None
+
+    def test_trace_to_dict_accepts_tracer_span_and_none(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            pass
+        assert trace_to_dict(None) is None
+        assert trace_to_dict(tracer)[0]["name"] == "root"
+        assert trace_to_dict(tracer.roots[0])["name"] == "root"
+
+    def test_trace_to_dict_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            trace_to_dict(42)
+
+
+class TestExportRun:
+    def test_writes_metrics_trace_and_meta(self, tmp_path):
+        registry = Registry()
+        registry.counter("edges").inc(3)
+        tracer = Tracer()
+        with tracer.span("check_phase"):
+            pass
+        path = export_run(
+            str(tmp_path / "run.json"),
+            registry=registry,
+            trace=tracer,
+            meta={"workload": "fig6"},
+        )
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["meta"] == {"workload": "fig6"}
+        assert payload["metrics"]["counters"] == {"edges": 3}
+        assert payload["trace"][0]["name"] == "check_phase"
+
+    def test_handles_missing_parts(self, tmp_path):
+        path = export_run(str(tmp_path / "empty.json"))
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["metrics"] is None
+        assert payload["trace"] is None
+
+
+class TestBenchArtifacts:
+    def test_write_bench_artifact_names_the_file(self, tmp_path):
+        path = write_bench_artifact(
+            "fig6", {"rows": [1, 2]}, directory=str(tmp_path)
+        )
+        assert os.path.basename(path) == "BENCH_fig6.json"
+        with open(path) as handle:
+            assert json.load(handle) == {"rows": [1, 2]}
+
+    def test_env_override_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+        assert bench_artifact_dir() == str(tmp_path)
+        path = write_bench_artifact("smoke", {"ok": True})
+        assert path == str(tmp_path / "BENCH_smoke.json")
+
+    def test_defaults_to_repository_root(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_DIR", raising=False)
+        repo = tmp_path / "repo"
+        nested = repo / "benchmarks"
+        nested.mkdir(parents=True)
+        (repo / "pyproject.toml").write_text("")
+        monkeypatch.chdir(nested)
+        assert bench_artifact_dir() == str(repo)
+
+    def test_falls_back_to_cwd_without_marker(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_DIR", raising=False)
+        monkeypatch.chdir(tmp_path)
+        assert bench_artifact_dir() == str(tmp_path)

@@ -1,0 +1,155 @@
+"""Unit tests for repro.obs.metrics: instruments, registry, tee, scopes."""
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import Counter, Gauge, Histogram, Registry, Tee, collecting
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_repr_names_the_counter(self):
+        assert "c" in repr(Counter("c"))
+
+
+class TestGauge:
+    def test_set_tracks_high_water_mark(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.set(3)
+        assert gauge.value == 3
+        assert gauge.max_value == 10
+
+    def test_set_max_only_keeps_maxima(self):
+        gauge = Gauge("g")
+        gauge.set_max(5)
+        gauge.set_max(2)
+        gauge.set_max(9)
+        assert gauge.max_value == 9
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        histogram = Histogram("h")
+        for value in (1, 2, 3, 10):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.total == 16
+        assert histogram.min == 1
+        assert histogram.max == 10
+        assert histogram.mean == pytest.approx(4.0)
+
+    def test_power_of_two_buckets(self):
+        histogram = Histogram("h")
+        for value in (0, 1, 2, 3, 1000):
+            histogram.observe(value)
+        # 0 -> bucket 0, 1 -> 1, 2..3 -> 2, 1000 -> 10
+        assert histogram.buckets == {0: 1, 1: 1, 2: 2, 10: 1}
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram("h").mean == 0.0
+
+    def test_as_dict_is_json_shaped(self):
+        histogram = Histogram("h")
+        histogram.observe(4)
+        data = histogram.as_dict()
+        assert data["count"] == 1
+        assert data["buckets"] == {"3": 1}
+
+
+class TestRegistry:
+    def test_instruments_are_created_once(self):
+        registry = Registry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_value_reads_counters_with_default(self):
+        registry = Registry()
+        registry.counter("hits").inc(3)
+        assert registry.value("hits") == 3
+        assert registry.value("missing") == 0
+        assert registry.value("missing", default=-1) == -1
+
+    def test_as_dict_round_trips_all_kinds(self):
+        registry = Registry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(7)
+        registry.histogram("h").observe(1)
+        data = registry.as_dict()
+        assert data["counters"] == {"c": 2}
+        assert data["gauges"]["g"] == {"value": 7, "max": 7}
+        assert data["histograms"]["h"]["count"] == 1
+
+    def test_reset_clears_everything(self):
+        registry = Registry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.as_dict() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestTee:
+    def test_writes_reach_every_registry(self):
+        first, second = Registry(), Registry()
+        tee = Tee(first, second)
+        tee.counter("c").inc(2)
+        tee.gauge("g").set(5)
+        tee.gauge("g").set_max(11)
+        tee.histogram("h").observe(3)
+        for registry in (first, second):
+            assert registry.value("c") == 2
+            assert registry.gauge("g").max_value == 11
+            assert registry.histogram("h").count == 1
+
+    def test_tee_instruments_are_cached(self):
+        tee = Tee(Registry())
+        assert tee.counter("c") is tee.counter("c")
+
+
+class TestCollectingScope:
+    def test_installs_and_restores(self):
+        assert metrics.ACTIVE is None
+        with collecting() as registry:
+            assert metrics.ACTIVE is registry
+            metrics.ACTIVE.counter("x").inc()
+        assert metrics.ACTIVE is None
+        assert registry.value("x") == 1
+
+    def test_nested_scopes_tee_to_all_levels(self):
+        with collecting() as outer:
+            with collecting() as inner:
+                metrics.ACTIVE.counter("x").inc(3)
+            # after the inner scope, writes go only to the outer registry
+            metrics.ACTIVE.counter("x").inc(1)
+        assert inner.value("x") == 3
+        assert outer.value("x") == 4
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with collecting():
+                raise RuntimeError("boom")
+        assert metrics.ACTIVE is None
+
+    def test_accepts_an_existing_registry(self):
+        mine = Registry()
+        with collecting(mine) as registry:
+            assert registry is mine
+            metrics.ACTIVE.counter("x").inc()
+        assert mine.value("x") == 1
+
+    def test_install_uninstall(self):
+        registry = Registry()
+        metrics.install(registry)
+        assert metrics.active() is registry
+        metrics.uninstall()
+        assert metrics.active() is None

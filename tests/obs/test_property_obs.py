@@ -1,0 +1,142 @@
+"""Property tests: metric invariants and side-effect freedom.
+
+Two families of properties, both over randomly generated transaction
+sequences against the ``monitor_items`` inventory:
+
+* **Accounting invariants** — the raw delta traffic reported by the
+  counters decomposes exactly into net rows, discarded rows, and
+  cancelled insert/delete pairs.  In particular the raw traffic always
+  dominates the net change (the paper's update/counter-update netting
+  can only shrink deltas, never grow them).
+
+* **Side-effect freedom** — running the same transactions with the
+  observability layer fully enabled (registry + tracer installed,
+  ``observe=True``) produces byte-identical engine results to running
+  them with everything disabled.  Monitoring must never change what is
+  monitored.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.workload import build_inventory
+from repro.obs import metrics, tracing
+
+N_ITEMS = 6
+THRESHOLD = 140  # constant by construction in build_inventory
+
+# one operation: (item index, new quantity); quantities straddle the
+# threshold so rules genuinely fire and un-fire across the sequence
+operation = st.tuples(
+    st.integers(min_value=0, max_value=N_ITEMS - 1),
+    st.integers(min_value=THRESHOLD - 30, max_value=THRESHOLD + 30),
+)
+
+# one transaction: a few operations plus a commit/rollback decision
+transaction = st.tuples(
+    st.lists(operation, min_size=1, max_size=4),
+    st.booleans(),  # True -> commit, False -> rollback
+)
+
+script = st.lists(transaction, min_size=1, max_size=6)
+
+
+def run_script(workload, txns):
+    amos = workload.amos
+    for operations, commit in txns:
+        amos.begin()
+        for index, quantity in operations:
+            amos.set_value("quantity", (workload.items[index],), quantity)
+        if commit:
+            amos.commit()
+        else:
+            amos.rollback()
+
+
+def snapshot(workload):
+    """Everything the engine computed: firings and final state."""
+    quantities = [
+        workload.amos.value("quantity", item) for item in workload.items
+    ]
+    return (list(workload.orders), quantities)
+
+
+class TestAccountingInvariants:
+    @given(txns=script)
+    @settings(max_examples=25, deadline=None)
+    def test_raw_traffic_decomposes_exactly(self, txns):
+        workload = build_inventory(N_ITEMS, mode="incremental", observe=True)
+        workload.activate()
+        with metrics.collecting() as registry:
+            run_script(workload, txns)
+        raw = registry.value("delta.raw_plus") + registry.value("delta.raw_minus")
+        net = registry.value("delta.net_rows")
+        dropped = registry.value("delta.dropped_rows")
+        cancelled = registry.value("delta.cancellations")
+        # every raw event either survives to the check phase (net), is
+        # discarded on rollback (dropped), or annihilates with its
+        # opposite — an insert AND a delete per cancellation
+        assert raw == net + dropped + 2 * cancelled
+        # corollary: raw delta traffic dominates the net change
+        assert raw >= net
+        assert cancelled == (raw - net - dropped) // 2
+
+    @given(txns=script)
+    @settings(max_examples=25, deadline=None)
+    def test_propagation_consumes_exactly_the_net_rows(self, txns):
+        """Seeded wave-front rows are either propagated then discarded
+        (section 6: intermediate deltas are transient) — nothing leaks
+        past the check phase."""
+        workload = build_inventory(N_ITEMS, mode="incremental", observe=True)
+        workload.activate()
+        with metrics.collecting() as registry:
+            run_script(workload, txns)
+        # after every commit's check phase the wave front is empty again
+        engine = workload.amos.rules
+        network = getattr(engine.engine, "network", None)
+        if network is not None:
+            assert all(
+                len(node.delta) == 0 for node in network.nodes.values()
+            )
+        # edges only fire when something actually changed
+        if registry.value("delta.net_rows") == 0:
+            assert registry.value("propagation.edges_fired") == 0
+
+
+class TestSideEffectFreedom:
+    @given(txns=script)
+    @settings(max_examples=25, deadline=None)
+    def test_observability_never_changes_engine_results(self, txns):
+        plain = build_inventory(N_ITEMS, mode="incremental")
+        plain.activate()
+        run_script(plain, txns)
+
+        observed = build_inventory(N_ITEMS, mode="incremental", observe=True)
+        observed.activate()
+        with metrics.collecting():
+            with tracing.recording():
+                run_script(observed, txns)
+
+        def comparable(workload):
+            orders, quantities = snapshot(workload)
+            # OIDs differ between databases; compare by item position
+            index_of = {item: i for i, item in enumerate(workload.items)}
+            return (
+                [(index_of[item], amount) for item, amount in orders],
+                quantities,
+            )
+
+        assert comparable(plain) == comparable(observed)
+
+    @given(txns=script)
+    @settings(max_examples=10, deadline=None)
+    def test_collecting_scope_does_not_require_observe(self, txns):
+        """A registry installed around an un-observed database still
+        gathers storage-layer counters without touching results."""
+        workload = build_inventory(N_ITEMS, mode="incremental")
+        workload.activate()
+        with metrics.collecting() as registry:
+            run_script(workload, txns)
+        committed = [ops for ops, commit in txns if commit]
+        if committed:
+            assert registry.value("storage.events") > 0

@@ -1,0 +1,136 @@
+"""Unit tests for repro.obs.tracing: span nesting, timing, rendering."""
+
+import time
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.tracing import Span, Tracer, recording, render_trace
+
+
+class TestSpan:
+    def test_duration_is_nonnegative_and_freezes_on_finish(self):
+        tracer = Tracer()
+        span = tracer.begin("work")
+        time.sleep(0.001)
+        tracer.finish(span)
+        frozen = span.duration
+        assert frozen >= 0.001
+        assert span.finished
+        time.sleep(0.001)
+        assert span.duration == frozen
+
+    def test_annotate_and_add(self):
+        span = Span("s", rows=1)
+        span.annotate(mode="fast")
+        span.add("rows", 4)
+        span.add("new_key", 2)
+        assert span.attributes == {"rows": 5, "mode": "fast", "new_key": 2}
+
+    def test_walk_and_find(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("child"):
+                pass
+        (root,) = tracer.roots
+        assert [s.name for s in root.walk()] == ["root", "child", "leaf", "child"]
+        assert len(root.find("child")) == 2
+
+    def test_as_dict_nests_children(self):
+        tracer = Tracer()
+        with tracer.span("root", n=1):
+            with tracer.span("inner"):
+                pass
+        data = tracer.roots[0].as_dict()
+        assert data["name"] == "root"
+        assert data["attributes"] == {"n": 1}
+        assert data["children"][0]["name"] == "inner"
+
+
+class TestTracer:
+    def test_nesting_follows_begin_finish_order(self):
+        tracer = Tracer()
+        outer = tracer.begin("outer")
+        inner = tracer.begin("inner")
+        assert tracer.current is inner
+        tracer.finish(inner)
+        assert tracer.current is outer
+        tracer.finish(outer)
+        assert tracer.current is None
+        assert [span.name for span in tracer.roots] == ["outer"]
+        assert [span.name for span in outer.children] == ["inner"]
+
+    def test_finishing_an_outer_span_closes_dangling_children(self):
+        tracer = Tracer()
+        outer = tracer.begin("outer")
+        inner = tracer.begin("inner")
+        tracer.finish(outer)  # inner was never finished explicitly
+        assert inner.finished
+        assert outer.finished
+        assert tracer.current is None
+
+    def test_exception_inside_span_context_still_closes(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("work"):
+                raise ValueError("boom")
+        assert tracer.roots[0].finished
+        assert tracer.current is None
+
+    def test_multiple_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [span.name for span in tracer.roots] == ["first", "second"]
+
+
+class TestRecordingScope:
+    def test_installs_and_restores(self):
+        assert tracing.ACTIVE is None
+        with recording() as tracer:
+            assert tracing.ACTIVE is tracer
+        assert tracing.ACTIVE is None
+
+    def test_restores_previous_tracer(self):
+        with recording() as outer:
+            with recording() as inner:
+                assert tracing.ACTIVE is inner
+            assert tracing.ACTIVE is outer
+
+
+class TestRenderTrace:
+    def make_trace(self):
+        tracer = Tracer()
+        with tracer.span("check_phase"):
+            with tracer.span("propagate"):
+                with tracer.span("edge:Δcnd/Δ+quantity") as edge:
+                    edge.annotate(out=3, guarded=1)
+        return tracer
+
+    def test_renders_tree_with_indentation(self):
+        text = render_trace(self.make_trace())
+        lines = text.splitlines()
+        assert lines[0].startswith("check_phase")
+        assert lines[1].startswith("  propagate")
+        assert lines[2].startswith("    edge:Δcnd/Δ+quantity")
+
+    def test_renders_attributes_and_timings(self):
+        text = render_trace(self.make_trace())
+        assert "guarded=1" in text
+        assert "out=3" in text
+        assert "ms" in text
+
+    def test_rejects_non_trace_input(self):
+        with pytest.raises(TypeError, match="Tracer or Span"):
+            render_trace(None)
+
+    def test_accepts_a_single_span(self):
+        tracer = self.make_trace()
+        edge = tracer.roots[0].find("propagate")[0]
+        text = render_trace(edge)
+        assert text.splitlines()[0].startswith("propagate")

@@ -37,6 +37,7 @@ SUBPACKAGES = [
     "repro.amosql",
     "repro.rules",
     "repro.bench",
+    "repro.obs",
 ]
 
 
