@@ -18,6 +18,8 @@ The package layers, bottom-up:
   the paper's performance figures
 * :mod:`repro.obs`      — zero-dependency metrics + tracing: delta-size,
   probe/scan, and wave-front accounting behind an opt-in registry
+* :mod:`repro.server`   — the network front end: a concurrent TCP server
+  with sessioned transactions and a blocking client library
 
 Quickstart::
 
@@ -40,6 +42,7 @@ from repro.rules import (
     Rule,
     RuleManager,
 )
+from repro.server import AmosClient, AmosServer
 from repro.storage import Database
 
 __version__ = "1.0.0"
@@ -58,6 +61,8 @@ __all__ = [
     "Rule",
     "RuleManager",
     "Database",
+    "AmosServer",
+    "AmosClient",
     "Registry",
     "Tracer",
     "collecting",

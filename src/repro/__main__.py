@@ -1,4 +1,14 @@
-"""``python -m repro`` launches the AMOSQL interactive shell."""
+"""``python -m repro`` — the AMOSQL shell, or the network server.
+
+Without flags this launches the interactive shell
+(:mod:`repro.amosql.repl`).  With ``--serve HOST:PORT`` it runs the
+concurrent AMOSQL network server (:mod:`repro.server`) instead; an
+optional script argument bootstraps the served database::
+
+    python -m repro                                     # shell
+    python -m repro --serve 127.0.0.1:4747              # empty server
+    python -m repro --serve :4747 examples/inventory.amosql
+"""
 
 import sys
 

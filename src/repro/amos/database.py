@@ -491,6 +491,19 @@ class AmosDatabase:
         self._oid_counter = itertools.count(highest + 1)
         return loaded
 
+    def snapshot_extensions(self) -> Dict[str, List[str]]:
+        """A comparable fingerprint of every base relation's extension.
+
+        Maps relation name to the sorted ``repr`` of each row — two
+        databases built the same way have byte-identical snapshots, so
+        equivalence tests (e.g. concurrent-server vs. sequential
+        in-process, ``tests/server``) can compare whole states directly.
+        """
+        return {
+            name: sorted(repr(row) for row in self.storage.relation(name).rows())
+            for name in self.storage.relation_names()
+        }
+
     # -- observability ----------------------------------------------------------------------
 
     def last_check_stats(self):

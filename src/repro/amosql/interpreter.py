@@ -45,7 +45,16 @@ class AmosqlEngine:
         DDL and updates yield ``None``; ``select`` yields a sorted list
         of result tuples; ``create ... instances`` yields the new OIDs.
         """
-        return [self._execute(statement) for statement in parse(script)]
+        return [self.execute_statement(statement) for statement in parse(script)]
+
+    def execute_statement(self, statement: ast.Statement) -> object:
+        """Execute ONE already-parsed statement.
+
+        This is the entry point the network server uses: it parses a
+        session's script up front, buffers statements inside an explicit
+        transaction, and replays them through here at commit.
+        """
+        return self._execute(statement)
 
     def query(self, select_text: str) -> List[Row]:
         """Execute a single ``select`` and return its rows."""

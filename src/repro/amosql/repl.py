@@ -41,6 +41,8 @@ _HELP = """dot-commands:
   .network           print the propagation network (GraphViz dot)
   .explain           print the last check-phase report
   .plan select ...   show the compiled, optimized ObjectLog plan
+  .save <path>       dump all stored data (extents + functions) to JSON
+  .load <path>       restore data saved by .save into this schema
 statements: any AMOSQL statement, terminated by ';' (may span lines)."""
 
 
@@ -150,6 +152,26 @@ class Repl:
                     print(self.engine.explain_query(query_text), file=self.out)
                 except ReproError as exc:
                     print(f"error: {exc}", file=self.out)
+        elif name == ".save":
+            path = command[len(".save"):].strip()
+            if not path:
+                print("usage: .save <path>", file=self.out)
+            else:
+                try:
+                    self.engine.amos.save_data(path)
+                    print(f"saved data to {path}", file=self.out)
+                except (ReproError, OSError) as exc:
+                    print(f"error: {exc}", file=self.out)
+        elif name == ".load":
+            path = command[len(".load"):].strip()
+            if not path:
+                print("usage: .load <path>", file=self.out)
+            else:
+                try:
+                    rows = self.engine.amos.load_data(path)
+                    print(f"loaded {rows} rows from {path}", file=self.out)
+                except (ReproError, OSError, ValueError) as exc:
+                    print(f"error: {exc}", file=self.out)
         elif name == ".explain":
             report = self.engine.amos.rules.last_report
             if report is None:
@@ -182,7 +204,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     import argparse
 
     parser = argparse.ArgumentParser(
-        prog="python -m repro", description="AMOSQL interactive shell"
+        prog="python -m repro",
+        description="AMOSQL interactive shell / network server",
     )
     parser.add_argument(
         "--mode",
@@ -191,11 +214,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="rule condition monitoring strategy",
     )
     parser.add_argument(
+        "--serve",
+        metavar="HOST:PORT",
+        help="run the AMOSQL network server instead of the shell "
+        "(a script argument is executed against the served database "
+        "before accepting connections)",
+    )
+    parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        help="server only: reap sessions idle for this many seconds",
+    )
+    parser.add_argument(
         "script",
         nargs="?",
         help="AMOSQL script to execute instead of the interactive loop",
     )
     options = parser.parse_args(argv)
+    if options.serve:
+        from repro.server.server import parse_hostport, serve
+
+        host, port = parse_hostport(options.serve)
+        script_text = None
+        if options.script:
+            with open(options.script) as handle:
+                script_text = handle.read()
+        return serve(
+            host,
+            port,
+            mode=options.mode,
+            script=script_text,
+            idle_timeout=options.idle_timeout,
+        )
     repl = Repl(mode=options.mode)
     if options.script:
         with open(options.script) as handle:

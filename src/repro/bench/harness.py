@@ -28,6 +28,11 @@ class Measurement:
     def seconds_per_transaction(self) -> float:
         return self.seconds / max(self.transactions, 1)
 
+    @property
+    def transactions_per_second(self) -> float:
+        """Throughput of the cell (the server benchmark's headline)."""
+        return self.transactions / self.seconds if self.seconds else 0.0
+
 
 @dataclass
 class Sweep:

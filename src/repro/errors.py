@@ -117,6 +117,29 @@ class CompileError(AmosqlError):
     """The AMOSQL-to-ObjectLog compiler rejected a semantically bad query."""
 
 
+class ServerError(ReproError):
+    """Base class for network-server (repro.server) errors."""
+
+
+class ProtocolError(ServerError):
+    """A wire frame was malformed, truncated, or oversized."""
+
+
+class RemoteError(ServerError):
+    """An error reported by the server for a client request.
+
+    ``remote_type`` preserves the server-side exception class name so
+    clients can discriminate (e.g. ``"TransactionError"``).
+    """
+
+    def __init__(self, message: str, remote_type: "str | None" = None) -> None:
+        super().__init__(
+            f"{remote_type}: {message}" if remote_type else message
+        )
+        self.remote_type = remote_type
+        self.remote_message = message
+
+
 class RuleError(ReproError):
     """Base class for rule-system errors."""
 

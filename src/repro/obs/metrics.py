@@ -82,6 +82,14 @@ class Gauge:
             self.max_value = value
             self.value = value
 
+    def inc(self, n: int = 1) -> None:
+        """Adjust the gauge by ``n`` (used for live-resource counts such
+        as open connections; the high-water mark tracks the peak)."""
+        self.set(self.value + n)
+
+    def dec(self, n: int = 1) -> None:
+        self.inc(-n)
+
     def __repr__(self) -> str:
         return f"Gauge({self.name!r}, value={self.value}, max={self.max_value})"
 
@@ -230,6 +238,14 @@ class _TeeGauge:
     def set_max(self, value) -> None:
         for part in self._parts:
             part.set_max(value)
+
+    def inc(self, n: int = 1) -> None:
+        for part in self._parts:
+            part.inc(n)
+
+    def dec(self, n: int = 1) -> None:
+        for part in self._parts:
+            part.dec(n)
 
 
 class _TeeHistogram:

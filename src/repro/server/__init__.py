@@ -1,0 +1,30 @@
+"""repro.server — the AMOSQL network front end.
+
+A zero-dependency TCP server (:mod:`repro.server.server`) that hosts
+one :class:`~repro.amos.database.AmosDatabase` behind a threaded
+accept loop and a length-prefixed JSON protocol
+(:mod:`repro.server.protocol`), with per-client sessions owning their
+own transaction scope (:mod:`repro.server.session`) and a matching
+blocking client (:mod:`repro.server.client`).  Concurrent sessions'
+transactions serialize through a single engine lock at commit, so the
+paper's per-transaction deferred semantics survive the network hop
+unchanged.  See ``docs/SERVER.md``.
+
+Run one from the command line::
+
+    python -m repro --serve 127.0.0.1:4747 [schema.amosql]
+"""
+
+from repro.server.client import BUFFERED, AmosClient
+from repro.server.server import AmosServer, parse_hostport, serve
+from repro.server.session import Session, SessionRegistry
+
+__all__ = [
+    "AmosClient",
+    "AmosServer",
+    "BUFFERED",
+    "Session",
+    "SessionRegistry",
+    "parse_hostport",
+    "serve",
+]

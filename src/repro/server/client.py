@@ -1,0 +1,220 @@
+"""AmosClient: a blocking client for the AMOSQL network server.
+
+Mirrors the in-process :class:`~repro.amosql.interpreter.AmosqlEngine`
+API over the wire: ``execute`` runs a script and returns one decoded
+result per statement (rows are real tuples, OIDs are real
+:class:`~repro.amos.oid.OID` objects), ``query`` returns a select's
+rows, and ``transaction()`` scopes a buffered server-side transaction::
+
+    from repro.server import AmosClient
+
+    with AmosClient("127.0.0.1", 4747) as client:
+        rows = client.query("select i, quantity(i) for each item i")
+        with client.transaction():
+            client.execute("set quantity(:item1) = 120;")
+        # <- the deferred check phase ran at commit, atomically
+
+Connection handling is deliberately boring: blocking sockets, a
+configurable timeout, and bounded connect retries (the server may still
+be booting).  Server-reported failures raise
+:class:`~repro.errors.RemoteError` and leave the connection usable;
+framing problems raise :class:`~repro.errors.ProtocolError`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import socket
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ProtocolError, RemoteError, ServerError
+from repro.server import codec, protocol
+from repro.server.codec import BUFFERED  # re-exported convenience
+
+__all__ = ["AmosClient", "BUFFERED"]
+
+Row = Tuple
+
+
+class AmosClient:
+    """Blocking AMOSQL client with connect retries and typed results."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 4747,
+        timeout: float = 30.0,
+        connect_retries: int = 20,
+        retry_delay: float = 0.05,
+        max_frame: int = protocol.MAX_FRAME,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.connect_retries = connect_retries
+        self.retry_delay = retry_delay
+        self.max_frame = max_frame
+        self.session_id: Optional[str] = None
+        self._sock: Optional[socket.socket] = None
+        self._seq = 0
+
+    # -- connection ---------------------------------------------------------------
+
+    def connect(self) -> str:
+        """Connect (with retries) and read the hello; returns the session id."""
+        if self._sock is not None:
+            raise ServerError("client already connected")
+        last_error: Optional[Exception] = None
+        for attempt in range(max(self.connect_retries, 0) + 1):
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+                break
+            except OSError as exc:
+                last_error = exc
+                if attempt < self.connect_retries:
+                    time.sleep(self.retry_delay)
+        if self._sock is None:
+            raise ServerError(
+                f"cannot connect to {self.host}:{self.port} after "
+                f"{self.connect_retries + 1} attempt(s): {last_error}"
+            )
+        hello = protocol.read_frame(self._sock, self.max_frame)
+        if hello is None or hello.get("event") != "hello":
+            self._drop()
+            raise ProtocolError(f"expected a hello frame, got {hello!r}")
+        self.session_id = hello.get("session")
+        return self.session_id
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    def close(self) -> None:
+        """Politely end the session (idempotent)."""
+        sock = self._sock
+        if sock is None:
+            return
+        try:
+            self._call("close")
+        except (ProtocolError, RemoteError, OSError):
+            pass
+        self._drop()
+
+    def _drop(self) -> None:
+        sock, self._sock = self._sock, None
+        self.session_id = None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "AmosClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request/response ---------------------------------------------------------
+
+    def _call(self, op: str, **fields) -> Dict:
+        if self._sock is None:
+            raise ServerError("client is not connected")
+        self._seq += 1
+        request = {"id": self._seq, "op": op}
+        request.update(fields)
+        protocol.write_frame(self._sock, request, self.max_frame)
+        response = protocol.read_frame(self._sock, self.max_frame)
+        if response is None:
+            self._drop()
+            raise ProtocolError("server closed the connection")
+        if response.get("id") not in (None, self._seq):
+            self._drop()
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {self._seq}"
+            )
+        if response.get("ok"):
+            return response
+        error = response.get("error") or {}
+        raise RemoteError(
+            error.get("message", "unknown server error"),
+            remote_type=error.get("type"),
+        )
+
+    # -- the engine API, remoted --------------------------------------------------
+
+    def execute(self, script: str) -> List[object]:
+        """Execute a script; one decoded result per statement.
+
+        Statements buffered inside an open transaction yield the
+        :data:`BUFFERED` sentinel; their real results arrive with
+        ``commit;`` (as that statement's result list).
+        """
+        response = self._call("execute", script=script)
+        return [codec.decode_result(result) for result in response["results"]]
+
+    def query(self, select_text: str) -> List[Row]:
+        """Run a single ``select`` and return its rows."""
+        script = select_text if select_text.rstrip().endswith(";") else select_text + ";"
+        results = self.execute(script)
+        if len(results) != 1 or not isinstance(results[0], list):
+            raise ServerError("query() expects exactly one select statement")
+        return results[0]
+
+    def bind(self, name: str, value) -> None:
+        """Bind a session interface variable (``:name``) to a value.
+
+        Accepts any persistable value including OIDs — this is how a
+        client addresses specific objects it learned from a query.
+        """
+        from repro.storage.persistence import encode_value
+
+        self._call("bind", name=name, value=encode_value(value))
+
+    def begin(self) -> None:
+        self.execute("begin;")
+
+    def commit(self) -> List[object]:
+        """Commit the open transaction; returns the buffered results."""
+        (results,) = self.execute("commit;")
+        return results
+
+    def rollback(self) -> None:
+        self.execute("rollback;")
+
+    @contextlib.contextmanager
+    def transaction(self) -> Iterator["AmosClient"]:
+        """Scope a server-side transaction: commit on success, roll
+        back on error (the original exception is re-raised)."""
+        self.begin()
+        try:
+            yield self
+        except BaseException:
+            try:
+                self.rollback()
+            except (RemoteError, ProtocolError, ServerError, OSError):
+                pass
+            raise
+        else:
+            self.commit()
+
+    # -- service ops --------------------------------------------------------------
+
+    def ping(self) -> float:
+        """Round-trip one frame; returns the elapsed seconds."""
+        start = time.perf_counter()
+        self._call("ping")
+        return time.perf_counter() - start
+
+    def stats(self) -> Dict[str, object]:
+        """The server's ``server.*`` counters and session table."""
+        return self._call("stats")["stats"]
+
+    def __repr__(self) -> str:
+        state = f"session={self.session_id!r}" if self.connected else "disconnected"
+        return f"AmosClient({self.host}:{self.port}, {state})"

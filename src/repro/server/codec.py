@@ -1,0 +1,105 @@
+"""Encoding of statement results for the wire.
+
+Values reuse the persistence encoding
+(:func:`repro.storage.persistence.encode_value`): OIDs travel as
+``{"$oid": id, "$type": name}`` and come back as real
+:class:`~repro.amos.oid.OID` objects, so a client sees the same typed
+rows an in-process caller would.
+
+Per-statement results are tagged by ``kind``:
+
+=============  =========================================================
+``rows``       a ``select``'s result — list of tuples
+``oids``       ``create ... instances`` — the new OIDs
+``value``      a ``call`` statement's return value
+``none``       DDL / updates / activations (no result)
+``begun``      ``begin;`` opened a session transaction
+``buffered``   statement deferred until the session's ``commit;``
+``committed``  ``commit;`` — carries the buffered statements' results
+``rolledback`` ``rollback;`` discarded the session's buffer
+=============  =========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.amos.oid import OID
+from repro.amosql import ast
+from repro.errors import ProtocolError, StorageError
+from repro.storage.persistence import decode_value, encode_value
+
+__all__ = [
+    "BUFFERED",
+    "encode_result",
+    "decode_result",
+    "encode_row",
+    "decode_row",
+]
+
+
+class _Buffered:
+    """Sentinel a client receives for statements deferred to commit."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<buffered until commit>"
+
+
+#: the decoded stand-in for a statement buffered inside a transaction
+BUFFERED = _Buffered()
+
+
+def encode_row(row) -> List:
+    return [encode_value(value) for value in row]
+
+
+def decode_row(row) -> tuple:
+    return tuple(decode_value(value) for value in row)
+
+
+def _encode_opaque(value):
+    """Best-effort encoding for procedure return values."""
+    try:
+        return encode_value(value)
+    except StorageError:
+        return {"$repr": repr(value)}
+
+
+def _decode_opaque(value):
+    if isinstance(value, dict) and set(value) == {"$repr"}:
+        return value["$repr"]
+    return decode_value(value)
+
+
+def encode_result(statement: ast.Statement, result) -> Dict:
+    """Encode one executed statement's result, tagged by kind."""
+    if isinstance(statement, ast.SelectStatement):
+        return {"kind": "rows", "rows": [encode_row(row) for row in result]}
+    if isinstance(statement, ast.CreateInstances):
+        return {"kind": "oids", "oids": [encode_value(oid) for oid in result]}
+    if isinstance(statement, ast.CallStatement):
+        return {"kind": "value", "value": _encode_opaque(result)}
+    return {"kind": "none"}
+
+
+def decode_result(payload: Dict):
+    """Decode one per-statement result into plain Python values."""
+    kind = payload.get("kind")
+    if kind == "rows":
+        return [decode_row(row) for row in payload["rows"]]
+    if kind == "oids":
+        oids = [decode_value(value) for value in payload["oids"]]
+        if not all(isinstance(oid, OID) for oid in oids):
+            raise ProtocolError(f"malformed oids result {payload!r}")
+        return oids
+    if kind == "value":
+        return _decode_opaque(payload["value"])
+    if kind == "buffered":
+        return BUFFERED
+    if kind == "committed":
+        return [decode_result(inner) for inner in payload["results"]]
+    if kind in ("none", "begun", "rolledback"):
+        return None
+    raise ProtocolError(f"unknown result kind {kind!r}")

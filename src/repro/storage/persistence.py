@@ -26,10 +26,24 @@ from repro.storage.database import Database
 
 FORMAT_VERSION = 1
 
-__all__ = ["dump", "restore", "save", "load", "FORMAT_VERSION"]
+__all__ = [
+    "dump",
+    "restore",
+    "save",
+    "load",
+    "encode_value",
+    "decode_value",
+    "FORMAT_VERSION",
+]
 
 
-def _encode_value(value):
+def encode_value(value):
+    """JSON-encode one tuple component (OIDs become tagged dicts).
+
+    This encoding doubles as the value representation of the network
+    protocol (:mod:`repro.server.codec`), so rows round-trip unchanged
+    between a snapshot file and the wire.
+    """
     if isinstance(value, OID):
         return {"$oid": value.id, "$type": value.type_name}
     if isinstance(value, (int, float, str, bool)) or value is None:
@@ -39,12 +53,32 @@ def _encode_value(value):
     )
 
 
-def _decode_value(value):
+def decode_value(value):
+    """Inverse of :func:`encode_value`."""
     if isinstance(value, dict):
         if set(value) == {"$oid", "$type"}:
             return OID(value["$oid"], value["$type"])
         raise StorageError(f"unknown encoded value {value!r}")
     return value
+
+
+# backward-compatible aliases (pre-server the helpers were private)
+_encode_value = encode_value
+_decode_value = decode_value
+
+
+def _encode_row(name: str, row) -> list:
+    encoded = []
+    for column, value in enumerate(row):
+        try:
+            encoded.append(encode_value(value))
+        except StorageError:
+            raise StorageError(
+                f"cannot persist value {value!r} of type "
+                f"{type(value).__name__} in relation {name!r} at column "
+                f"{column}"
+            ) from None
+    return encoded
 
 
 def dump(db: Database) -> Dict:
@@ -56,7 +90,7 @@ def dump(db: Database) -> Dict:
             "arity": relation.arity,
             "column_names": list(relation.column_names),
             "rows": sorted(
-                [[_encode_value(v) for v in row] for row in relation.rows()],
+                [_encode_row(name, row) for row in relation.rows()],
                 key=repr,
             ),
         }

@@ -1,0 +1,23 @@
+"""Hygiene for the server suite: no global observers may leak.
+
+The server installs tracers only transiently (inside the commit
+critical section); these assertions catch any escape, mirroring
+``tests/obs/conftest.py``.
+"""
+
+import pytest
+
+from repro.obs import metrics, tracing
+
+
+@pytest.fixture(autouse=True)
+def no_observer_leaks():
+    assert metrics.ACTIVE is None, "a metrics registry leaked into this test"
+    assert tracing.ACTIVE is None, "a tracer leaked into this test"
+    yield
+    leaked_metrics = metrics.ACTIVE is not None
+    leaked_tracing = tracing.ACTIVE is not None
+    metrics.uninstall()
+    tracing.uninstall()
+    assert not leaked_metrics, "test leaked an installed metrics registry"
+    assert not leaked_tracing, "test leaked an installed tracer"

@@ -1,0 +1,133 @@
+"""Wire protocol framing and the result codec, off the network."""
+
+import json
+import socket
+import struct
+
+import pytest
+
+from repro.amos.oid import OID
+from repro.amosql import ast
+from repro.errors import ProtocolError
+from repro.server import codec, protocol
+from repro.server.codec import BUFFERED
+
+
+@pytest.fixture()
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestFraming:
+    def test_round_trip(self, pair):
+        left, right = pair
+        payload = {"id": 1, "op": "execute", "script": "commit;"}
+        protocol.write_frame(left, payload)
+        assert protocol.read_frame(right) == payload
+
+    def test_many_frames_stay_in_order(self, pair):
+        left, right = pair
+        for n in range(5):
+            protocol.write_frame(left, {"id": n})
+        for n in range(5):
+            assert protocol.read_frame(right) == {"id": n}
+
+    def test_unicode_survives(self, pair):
+        left, right = pair
+        payload = {"script": 'set name(:i) = "sköld";'}
+        protocol.write_frame(left, payload)
+        assert protocol.read_frame(right) == payload
+
+    def test_clean_eof_is_none(self, pair):
+        left, right = pair
+        left.close()
+        assert protocol.read_frame(right) is None
+
+    def test_truncated_body_raises(self, pair):
+        left, right = pair
+        body = json.dumps({"id": 1}).encode()
+        left.sendall(struct.pack(">I", len(body) + 10) + body)
+        left.close()
+        with pytest.raises(ProtocolError, match="mid-frame|between header"):
+            protocol.read_frame(right)
+
+    def test_truncated_header_raises(self, pair):
+        left, right = pair
+        left.sendall(b"\x00\x00")
+        left.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            protocol.read_frame(right)
+
+    def test_oversize_read_rejected_before_body(self, pair):
+        left, right = pair
+        left.sendall(struct.pack(">I", 1024))
+        with pytest.raises(ProtocolError, match="exceeds"):
+            protocol.read_frame(right, max_frame=64)
+
+    def test_oversize_write_refused(self, pair):
+        left, _ = pair
+        with pytest.raises(ProtocolError, match="refusing to send"):
+            protocol.write_frame(left, {"blob": "x" * 100}, max_frame=64)
+
+    def test_non_json_body_raises(self, pair):
+        left, right = pair
+        body = b"not json at all"
+        left.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            protocol.read_frame(right)
+
+    def test_non_object_payload_raises(self, pair):
+        left, right = pair
+        body = json.dumps([1, 2, 3]).encode()
+        left.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError, match="JSON object"):
+            protocol.read_frame(right)
+
+
+class TestCodec:
+    def test_rows_round_trip_with_oids(self):
+        statement = ast.SelectStatement(query=None)
+        rows = [(OID(7, "item"), "bolts", 120), (OID(8, "item"), "nuts", 95)]
+        payload = codec.encode_result(statement, rows)
+        assert payload["kind"] == "rows"
+        decoded = codec.decode_result(payload)
+        assert decoded == rows
+        assert decoded[0][0].type_name == "item"
+
+    def test_oids_round_trip(self):
+        statement = ast.CreateInstances(type_name="item", names=("i",))
+        payload = codec.encode_result(statement, [OID(3, "item")])
+        assert codec.decode_result(payload) == [OID(3, "item")]
+
+    def test_malformed_oids_rejected(self):
+        with pytest.raises(ProtocolError, match="malformed oids"):
+            codec.decode_result({"kind": "oids", "oids": [42]})
+
+    def test_call_value_and_opaque_fallback(self):
+        statement = ast.CallStatement(call=None)
+        assert codec.decode_result(codec.encode_result(statement, 99)) == 99
+        opaque = codec.encode_result(statement, object())
+        assert "$repr" in opaque["value"]
+        assert "object" in codec.decode_result(opaque)
+
+    def test_buffered_sentinel(self):
+        assert codec.decode_result({"kind": "buffered"}) is BUFFERED
+        assert "buffered" in repr(BUFFERED)
+
+    def test_committed_nests_inner_results(self):
+        payload = {
+            "kind": "committed",
+            "results": [{"kind": "none"}, {"kind": "value", "value": 5}],
+        }
+        assert codec.decode_result(payload) == [None, 5]
+
+    def test_plain_kinds_decode_to_none(self):
+        for kind in ("none", "begun", "rolledback"):
+            assert codec.decode_result({"kind": kind}) is None
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ProtocolError, match="unknown result kind"):
+            codec.decode_result({"kind": "surprise"})

@@ -1,0 +1,115 @@
+"""Session state machine and the idle-reaping registry (no sockets)."""
+
+from repro.server.session import Session, SessionRegistry
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestSession:
+    def test_transaction_scope(self):
+        session = Session("s1")
+        assert not session.in_transaction
+        session.begin()
+        session.buffer.append("stmt-a")
+        session.buffer.append("stmt-b")
+        taken = session.take_buffer()
+        assert taken == ["stmt-a", "stmt-b"]
+        assert not session.in_transaction
+        assert session.buffer == []
+
+    def test_abort_reports_dropped_count(self):
+        session = Session("s1")
+        session.begin()
+        session.buffer.extend(["a", "b", "c"])
+        assert session.abort() == 3
+        assert not session.in_transaction
+        assert session.buffer == []
+
+    def test_begin_resets_stale_buffer(self):
+        session = Session("s1")
+        session.begin()
+        session.buffer.append("old")
+        session.begin()
+        assert session.buffer == []
+
+    def test_idle_tracking_with_injected_clock(self):
+        clock = FakeClock()
+        session = Session("s1", clock=clock)
+        clock.advance(5)
+        assert session.idle_seconds() == 5
+        session.touch()
+        clock.advance(2)
+        assert session.idle_seconds() == 2
+
+    def test_snapshot_shape(self):
+        clock = FakeClock()
+        session = Session("s1", address=("127.0.0.1", 4747), clock=clock)
+        session.begin()
+        session.buffer.append("x")
+        session.counters["statements"] = 4
+        snap = session.snapshot()
+        assert snap["id"] == "s1"
+        assert snap["address"] == ["127.0.0.1", 4747]
+        assert snap["in_transaction"] is True
+        assert snap["buffered_statements"] == 1
+        assert snap["counters"]["statements"] == 4
+        assert "s1" in repr(session)
+
+
+class TestSessionRegistry:
+    def test_open_assigns_sequential_ids(self):
+        registry = SessionRegistry()
+        a, b = registry.open(), registry.open()
+        assert (a.id, b.id) == ("s1", "s2")
+        assert registry.get("s1") is a
+        assert len(registry) == 2
+        assert set(registry.active()) == {a, b}
+
+    def test_close_is_idempotent_and_archives(self):
+        registry = SessionRegistry()
+        session = registry.open()
+        assert registry.close(session.id, reason="bye") is session
+        assert registry.close(session.id) is None
+        assert registry.get(session.id) is None
+        (snapshot,) = registry.recent_closed()
+        assert snapshot["id"] == session.id
+        assert snapshot["closed_reason"] == "bye"
+
+    def test_reap_respects_idle_timeout(self):
+        clock = FakeClock()
+        registry = SessionRegistry(idle_timeout=10, clock=clock)
+        idle = registry.open()
+        busy = registry.open()
+        clock.advance(11)
+        busy.touch()
+        reaped = registry.reap()
+        assert reaped == [idle]
+        assert registry.get(idle.id) is None
+        assert registry.get(busy.id) is busy
+        (snapshot,) = registry.recent_closed()
+        assert snapshot["closed_reason"] == "reaped"
+
+    def test_reap_without_timeout_is_a_noop(self):
+        clock = FakeClock()
+        registry = SessionRegistry(clock=clock)
+        registry.open()
+        clock.advance(1e9)
+        assert registry.reap() == []
+        assert len(registry) == 1
+
+    def test_closed_history_is_bounded(self):
+        registry = SessionRegistry(keep_closed=2)
+        for _ in range(4):
+            registry.close(registry.open().id)
+        closed = registry.recent_closed()
+        assert [snap["id"] for snap in closed] == ["s3", "s4"]
+        assert "idle_timeout" in repr(registry)

@@ -123,6 +123,38 @@ class TestStoragePersistence:
         with pytest.raises(StorageError):
             persistence.dump(db)
 
+    def test_unsupported_value_error_names_relation_and_column(self):
+        db = Database()
+        db.create_relation("readings", 3)
+        db.insert("readings", (1, "fine", frozenset({3})))
+        with pytest.raises(StorageError) as info:
+            persistence.dump(db)
+        message = str(info.value)
+        assert "relation 'readings'" in message
+        assert "at column 2" in message
+        assert "frozenset" in message
+
+    def test_oid_shared_across_relations_round_trips(self):
+        """One OID referenced from several relations stays ONE identity."""
+        shared = OID(7, "item")
+        db = Database()
+        db.create_relation("quantity", 2)
+        db.create_relation("max_stock", 2)
+        db.create_relation("supplies", 2)
+        db.insert("quantity", (shared, 120))
+        db.insert("max_stock", (shared, 5000))
+        db.insert("supplies", (OID(8, "supplier"), shared))
+
+        target = Database()
+        persistence.restore(target, persistence.dump(db), create_missing=True)
+        ((q_oid, q),) = target.relation("quantity").rows()
+        ((m_oid, m),) = target.relation("max_stock").rows()
+        ((s_oid, supplied),) = target.relation("supplies").rows()
+        assert (q, m) == (120, 5000)
+        assert q_oid == m_oid == supplied == shared
+        assert q_oid.type_name == supplied.type_name == "item"
+        assert s_oid == OID(8, "supplier")
+
     def test_bad_format_version_rejected(self):
         target = Database()
         with pytest.raises(StorageError):

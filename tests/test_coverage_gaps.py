@@ -140,6 +140,48 @@ class TestReplNetworkCommand:
         assert "Δcnd_low/Δ+quantity" in output
 
 
+class TestReplSaveLoadCommands:
+    def make_repl(self):
+        import io
+
+        from repro.amosql.repl import Repl
+
+        out = io.StringIO()
+        repl = Repl(out=out)
+        for line in [
+            "create type item;",
+            "create function quantity(item) -> integer;",
+            "create item instances :i;",
+            "set quantity(:i) = 42;",
+        ]:
+            repl.handle_line(line + "\n")
+        return repl, out
+
+    def test_save_then_load_round_trips(self, tmp_path):
+        path = str(tmp_path / "data.json")
+        repl, out = self.make_repl()
+        repl.handle_line(f".save {path}\n")
+        assert f"saved data to {path}" in out.getvalue()
+
+        fresh, fresh_out = self.make_repl()
+        fresh.handle_line(".load " + path + "\n")
+        assert "rows from " + path in fresh_out.getvalue()
+        fresh.handle_line("select quantity(i) for each item i;\n")
+        assert "(42,)" in fresh_out.getvalue()
+
+    def test_usage_and_error_reporting(self, tmp_path):
+        repl, out = self.make_repl()
+        repl.handle_line(".save\n")
+        assert "usage: .save <path>" in out.getvalue()
+        repl.handle_line(".load\n")
+        assert "usage: .load <path>" in out.getvalue()
+        repl.handle_line(f".load {tmp_path}/missing.json\n")
+        assert "error:" in out.getvalue()
+        repl.handle_line(".help\n")
+        help_text = out.getvalue()
+        assert ".save <path>" in help_text and ".load <path>" in help_text
+
+
 class TestTransactionStatisticsAndRepr:
     def test_reprs_are_informative(self):
         db = Database()

@@ -38,6 +38,7 @@ SUBPACKAGES = [
     "repro.rules",
     "repro.bench",
     "repro.obs",
+    "repro.server",
 ]
 
 
