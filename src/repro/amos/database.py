@@ -303,11 +303,40 @@ class AmosDatabase:
             self.types.check_value(type_name, value)
         return tuple(args) + tuple(results)
 
+    # -- snapshots ------------------------------------------------------------------------
+
+    @property
+    def snapshot_epoch(self) -> int:
+        """Epoch of the latest published snapshot (monotone counter)."""
+        return self.storage.snapshot_epoch
+
+    def snapshot(self):
+        """Publish (if the state changed) and return the current snapshot.
+
+        Must be called from the writer's side — outside any transaction
+        and, in a threaded setting, while holding whatever lock guards
+        commits.  Lock-free readers should instead pick up the latest
+        *already published* snapshot via ``storage.snapshot()``, which
+        is a single reference read.
+        """
+        return self.storage.publish_snapshot()
+
     # -- queries --------------------------------------------------------------------------
 
-    def evaluator(self) -> Evaluator:
-        """A fresh evaluator over the current database state."""
-        return Evaluator(self.program, NewStateView(self.storage))
+    def evaluator(self, snapshot=None) -> Evaluator:
+        """A fresh evaluator over the current database state.
+
+        Pass a :class:`~repro.storage.snapshot.DatabaseSnapshot` (or
+        ``snapshot=True`` for the latest) to evaluate against frozen
+        committed state instead of the live relations.
+        """
+        if snapshot is None or snapshot is False:
+            return Evaluator(self.program, NewStateView(self.storage))
+        from repro.storage.snapshot import SnapshotView
+
+        if snapshot is True:
+            snapshot = self.snapshot()
+        return Evaluator(self.program, SnapshotView(snapshot))
 
     def get_values(self, name: str, args: Sequence) -> FrozenSet[Tuple]:
         """All result tuples of ``f(args)`` (any function kind)."""
@@ -341,9 +370,13 @@ class AmosDatabase:
         (row,) = values
         return row[0] if len(row) == 1 else row
 
-    def extension(self, name: str) -> FrozenSet[Row]:
-        """The full extension of any predicate/function."""
-        return self.evaluator().extension(name)
+    def extension(self, name: str, snapshot=None) -> FrozenSet[Row]:
+        """The full extension of any predicate/function.
+
+        ``snapshot`` as in :meth:`evaluator`: evaluate against frozen
+        committed state instead of the live relations.
+        """
+        return self.evaluator(snapshot=snapshot).extension(name)
 
     # -- rules ------------------------------------------------------------------------------
 

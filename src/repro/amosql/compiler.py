@@ -66,10 +66,17 @@ class QueryCompiler:
     """Compiles AMOSQL ASTs against an :class:`AmosDatabase` catalog."""
 
     def __init__(
-        self, amos: AmosDatabase, iface_env: Optional[Mapping[str, object]] = None
+        self,
+        amos: AmosDatabase,
+        iface_env: Optional[Mapping[str, object]] = None,
+        program=None,
     ) -> None:
         self.amos = amos
         self.iface_env = dict(iface_env or {})
+        #: where auxiliary NOT-predicates are declared; read-only
+        #: compilation passes a ProgramOverlay so the shared program
+        #: is never mutated off the engine lock
+        self.program = program if program is not None else amos.program
         #: declared types of query variables (from params / for-each),
         #: used for static type checking of function calls
         self._var_types: Dict[str, str] = {}
@@ -207,10 +214,10 @@ class QueryCompiler:
         free = sorted(self._pred_vars(pred.operand))
         name = f"_not_{next(_aux_counter)}"
         free_vars = tuple(Variable(v) for v in free)
-        self.amos.program.declare_derived(name, len(free_vars))
+        self.program.declare_derived(name, len(free_vars))
         inner_aux: List[str] = []
         for conjunct in self._dnf(pred.operand, inner_aux):
-            self.amos.program.add_clause(
+            self.program.add_clause(
                 HornClause(PredLiteral(name, free_vars), conjunct)
             )
         aux.append(name)

@@ -18,7 +18,9 @@ from repro.amosql.compiler import QueryCompiler
 from repro.amosql.parser import parse
 from repro.errors import AmosError, CompileError
 from repro.objectlog.evaluate import Evaluator
+from repro.objectlog.program import ProgramOverlay
 from repro.algebra.oldstate import NewStateView
+from repro.storage.snapshot import SnapshotView
 
 Row = Tuple
 
@@ -56,12 +58,52 @@ class AmosqlEngine:
         """
         return self._execute(statement)
 
-    def query(self, select_text: str) -> List[Row]:
-        """Execute a single ``select`` and return its rows."""
+    def query(self, select_text: str, snapshot=False) -> List[Row]:
+        """Execute a single ``select`` and return its rows.
+
+        With ``snapshot=True`` the query runs against the latest
+        published database snapshot (publishing one first if committed
+        state changed — safe because the caller *is* the writer);
+        passing a :class:`~repro.storage.snapshot.DatabaseSnapshot`
+        runs against exactly that version.  Snapshot queries never read
+        the live relations and never mutate the shared program.
+        """
         statement = parse(select_text + ";")[0]
         if not isinstance(statement, ast.SelectStatement):
             raise AmosError("query() expects a select statement")
-        return self._execute(statement)
+        if snapshot is False or snapshot is None:
+            return self._execute(statement)
+        if snapshot is True:
+            snapshot = self.amos.snapshot()
+        return self._select(statement.query, snapshot=snapshot)
+
+    def execute_readonly(self, script: str, snapshot=None):
+        """Execute a script of ``select`` statements against a snapshot.
+
+        Returns ``(snapshot, results)`` with one sorted row list per
+        statement.  Any non-``select`` statement is rejected with
+        :class:`AmosError` before anything runs.  When ``snapshot`` is
+        None the latest *already published* snapshot is used — a single
+        reference read, so this path is lock-free and safe to call from
+        reader threads while a writer commits (the network server's
+        ``query_ro`` op).  Note: with ``Database.auto_publish`` off and
+        no explicit :meth:`AmosDatabase.snapshot` call, the latest
+        published snapshot may be the empty epoch-0 one.
+        """
+        if snapshot is None:
+            snapshot = self.amos.storage.snapshot()
+        statements = parse(script)
+        for statement in statements:
+            if not isinstance(statement, ast.SelectStatement):
+                raise AmosError(
+                    "read-only execution accepts only select statements, "
+                    f"got {type(statement).__name__}"
+                )
+        results = [
+            self._select(statement.query, snapshot=snapshot)
+            for statement in statements
+        ]
+        return snapshot, results
 
     def get(self, name: str) -> object:
         """Value of an interface variable (without the colon)."""
@@ -302,17 +344,27 @@ class AmosqlEngine:
 
     # -- queries --------------------------------------------------------------------------
 
-    def _select(self, query: ast.SelectQuery) -> List[Row]:
-        compiler = QueryCompiler(self.amos, self.iface)
+    def _select(self, query: ast.SelectQuery, snapshot=None) -> List[Row]:
+        if snapshot is None:
+            program = self.amos.program
+            view = NewStateView(self.amos.storage)
+        else:
+            # read-only: auxiliary NOT-predicates go into a local
+            # overlay so the shared program is never touched off-lock,
+            # and evaluation reads only the immutable snapshot
+            program = ProgramOverlay(self.amos.program)
+            view = SnapshotView(snapshot)
+        compiler = QueryCompiler(self.amos, self.iface, program=program)
         compiled = compiler.compile_select(query, "_select")
-        evaluator = Evaluator(self.amos.program, NewStateView(self.amos.storage))
+        evaluator = Evaluator(program, view)
         rows = set()
         try:
             for clause in compiled.clauses:
                 rows.update(evaluator.solve_clause(clause))
         finally:
-            for aux in compiled.aux_predicates:
-                self.amos.program.drop(aux)
+            if snapshot is None:
+                for aux in compiled.aux_predicates:
+                    self.amos.program.drop(aux)
         return sorted(rows, key=repr)
 
     # -- runtime expression evaluation ------------------------------------------------------

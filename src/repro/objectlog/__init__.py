@@ -10,6 +10,7 @@ from repro.objectlog.program import (
     DerivedPredicate,
     ForeignPredicate,
     Program,
+    ProgramOverlay,
 )
 from repro.objectlog.terms import (
     Arith,
@@ -35,6 +36,7 @@ __all__ = [
     "DerivedPredicate",
     "ForeignPredicate",
     "Program",
+    "ProgramOverlay",
     "Arith",
     "Variable",
     "eval_expr",

@@ -312,3 +312,61 @@ class Program:
 
     def __repr__(self) -> str:
         return f"Program(predicates={len(self._predicates)})"
+
+
+class ProgramOverlay(Program):
+    """A scratch predicate layer over a shared base :class:`Program`.
+
+    Read-only query compilation must declare auxiliary NOT-predicates
+    (:meth:`~repro.amosql.compiler.QueryCompiler._compile_not`), but a
+    lock-free reader may never mutate the program shared with writers.
+    An overlay keeps those declarations local: lookups fall through to
+    the base program, declarations land in the overlay, and cleanup is
+    simply dropping the overlay object.  The base program is never
+    written through — :meth:`add_clause` and :meth:`drop` refuse names
+    that only the base knows.
+    """
+
+    def __init__(self, base: Program) -> None:
+        super().__init__()
+        self.base = base
+
+    def predicate(self, name: str) -> Predicate:
+        pred = self._predicates.get(name)
+        if pred is not None:
+            return pred
+        return self.base.predicate(name)
+
+    def has(self, name: str) -> bool:
+        return name in self._predicates or self.base.has(name)
+
+    def _check_free(self, name: str) -> None:
+        if name in self._predicates or self.base.has(name):
+            raise DuplicateRelationError(name)
+
+    def add_clause(self, clause: HornClause) -> None:
+        if clause.head.pred not in self._predicates:
+            raise ObjectLogError(
+                f"overlay cannot add a clause to base-program predicate "
+                f"{clause.head.pred!r}"
+            )
+        super().add_clause(clause)
+
+    def drop(self, name: str) -> None:
+        if name in self._predicates:
+            del self._predicates[name]
+        elif self.base.has(name):
+            raise ObjectLogError(
+                f"overlay cannot drop base-program predicate {name!r}"
+            )
+        else:
+            raise UnknownPredicateError(name)
+
+    def names(self) -> List[str]:
+        return sorted(set(self._predicates) | set(self.base.names()))
+
+    def __repr__(self) -> str:
+        return (
+            f"ProgramOverlay(local={len(self._predicates)}, "
+            f"base={self.base!r})"
+        )

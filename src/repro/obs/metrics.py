@@ -128,6 +128,26 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Coarse ``q``-quantile estimate from the power-of-two buckets.
+
+        Returns the upper edge of the bucket holding the q-th ranked
+        observation (capped at the exact max), or None when empty.
+        Coarse by design — good enough for "p99 lag stayed under 2".
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} not in [0, 1]")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        seen = 0
+        for bucket in sorted(self.buckets):
+            seen += self.buckets[bucket]
+            if seen >= target:
+                upper = 0 if bucket == 0 else (1 << bucket) - 1
+                return upper if self.max is None else min(upper, self.max)
+        return self.max
+
     def as_dict(self) -> Dict[str, object]:
         return {
             "count": self.count,

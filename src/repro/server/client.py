@@ -56,6 +56,8 @@ class AmosClient:
         self.retry_delay = retry_delay
         self.max_frame = max_frame
         self.session_id: Optional[str] = None
+        #: snapshot epoch of the last query_ro/execute_ro response
+        self.last_ro_epoch: Optional[int] = None
         self._sock: Optional[socket.socket] = None
         self._seq = 0
 
@@ -164,6 +166,38 @@ class AmosClient:
         results = self.execute(script)
         if len(results) != 1 or not isinstance(results[0], list):
             raise ServerError("query() expects exactly one select statement")
+        return results[0]
+
+    def execute_ro(self, script: str) -> Tuple[int, List[List[Row]]]:
+        """Run a script of selects via ``query_ro``; lock-free on the server.
+
+        Returns ``(epoch, results)``: the snapshot epoch the server
+        read from, and one row list per select.  All selects in one
+        call see the SAME snapshot.  The epoch is also kept in
+        :attr:`last_ro_epoch`.
+        """
+        response = self._call("query_ro", script=script)
+        epoch = response.get("epoch")
+        self.last_ro_epoch = epoch
+        results = [codec.decode_result(result) for result in response["results"]]
+        return epoch, results
+
+    def query_ro(self, select_text: str) -> List[Row]:
+        """Run one ``select`` against the latest published snapshot.
+
+        Unlike :meth:`query` this never waits on the server's engine
+        lock: a commit in progress on another session cannot delay it.
+        The rows are from the last *published* epoch — at most one
+        commit behind the live state (see :attr:`last_ro_epoch`).
+        """
+        script = (
+            select_text
+            if select_text.rstrip().endswith(";")
+            else select_text + ";"
+        )
+        epoch, results = self.execute_ro(script)
+        if len(results) != 1:
+            raise ServerError("query_ro() expects exactly one select statement")
         return results[0]
 
     def bind(self, name: str, value) -> None:

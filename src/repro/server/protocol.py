@@ -15,6 +15,11 @@ Conversation shape:
   answers each with exactly one response frame echoing ``id`` —
   ``{"ok": true, ...}`` on success, ``{"ok": false, "error": {...}}``
   on failure (the connection survives request-level errors);
+* ``{"id": n, "op": "query_ro", "script": "select ...;"}`` (protocol
+  version 2) runs a script of **selects only** against the server's
+  latest published snapshot, off the engine lock; the response carries
+  ``"epoch"`` (the snapshot's commit epoch) and ``"results"`` (one
+  ``{"kind": "rows", ...}`` entry per select, all from that one epoch);
 * either side may close; the server answers ``{"op": "close"}`` with a
   ``bye`` event before doing so.
 
@@ -40,7 +45,8 @@ __all__ = [
     "recv_exact",
 ]
 
-PROTOCOL_VERSION = 1
+#: bumped to 2 when the query_ro snapshot-read op was added
+PROTOCOL_VERSION = 2
 
 #: default upper bound on one frame's JSON body, in bytes
 MAX_FRAME = 8 * 1024 * 1024

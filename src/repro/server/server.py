@@ -69,6 +69,7 @@ class AmosServer:
         reap_interval: Optional[float] = None,
         max_frame: int = protocol.MAX_FRAME,
         observe: Optional[bool] = None,
+        clock=None,
         **amos_options,
     ) -> None:
         if amos is None:
@@ -81,13 +82,20 @@ class AmosServer:
                 f"database, got {sorted(amos_options)}"
             )
         self.amos = amos
+        # every commit under the engine lock publishes a fresh snapshot,
+        # which is what the lock-free query_ro path reads
+        self.amos.storage.auto_publish = True
         self.observe = (
             observe if observe is not None else getattr(amos.rules, "observe", False)
         )
         self.host = host
         self.port = port
         self.max_frame = max_frame
-        self.sessions = SessionRegistry(idle_timeout)
+        self.sessions = (
+            SessionRegistry(idle_timeout)
+            if clock is None
+            else SessionRegistry(idle_timeout, clock=clock)
+        )
         self._reap_interval = reap_interval
         #: serializes every statement's apply + check phase (one writer)
         self._engine_lock = threading.RLock()
@@ -106,6 +114,10 @@ class AmosServer:
         """Bind, listen, and spawn the accept (and reaper) threads."""
         if self._listener is not None:
             raise ServerError("server already started")
+        # publish the boot-time state so the very first query_ro already
+        # has a snapshot matching the (possibly script-bootstrapped) db
+        with self._engine_lock:
+            self.amos.storage.publish_snapshot()
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((self.host, self.port))
@@ -176,9 +188,19 @@ class AmosServer:
         timeout = self.sessions.idle_timeout
         interval = self._reap_interval or max(timeout / 4.0, 0.05)
         while not self._stop.wait(interval):
-            for session in self.sessions.reap():
-                self._count("server.sessions_reaped")
-                self._close_connection(session)
+            self.reap_idle_sessions()
+
+    def reap_idle_sessions(self) -> int:
+        """One reaping pass: close every session idle past the timeout.
+
+        The reaper thread runs this periodically; tests with a fake
+        clock call it directly for deterministic reaping.
+        """
+        reaped = self.sessions.reap()
+        for session in reaped:
+            self._count("server.sessions_reaped")
+            self._close_connection(session)
+        return len(reaped)
 
     def _close_connection(self, session: Session) -> None:
         conn = session.conn
@@ -257,6 +279,11 @@ class AmosServer:
                     raise ProtocolError("execute needs a string 'script'")
                 results = self._execute_script(session, script)
                 return {"ok": True, "id": request_id, "results": results}
+            if op == "query_ro":
+                script = request.get("script")
+                if not isinstance(script, str):
+                    raise ProtocolError("query_ro needs a string 'script'")
+                return self._query_readonly(session, request_id, script)
             if op == "bind":
                 name, value = request.get("name"), request.get("value")
                 if not isinstance(name, str) or not name:
@@ -284,6 +311,45 @@ class AmosServer:
             "ok": False,
             "id": request_id,
             "error": {"type": type(exc).__name__, "message": str(exc)},
+        }
+
+    # -- lock-free reads ----------------------------------------------------------
+
+    def _query_readonly(
+        self, session: Session, request_id, script: str
+    ) -> Dict:
+        """Serve a script of selects from the latest published snapshot.
+
+        This path NEVER takes the engine lock: picking up the snapshot
+        is a single reference read, the snapshot itself is immutable,
+        and auxiliary NOT-predicates compile into a program overlay
+        local to the query.  A commit may be mid-check-phase on another
+        thread — the reader still answers, one epoch behind at most.
+        """
+        start = time.perf_counter()
+        snapshot, raw = session.engine.execute_readonly(script)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        # how far the served epoch trails the latest published one;
+        # both loads are racy but monotone, so lag is >= 0
+        lag = max(0, self.amos.storage.snapshot_epoch - snapshot.epoch)
+        self._count("server.query_ro")
+        self._observe_histogram("server.query_ro_ms", elapsed_ms)
+        self._observe_histogram("snapshot.epoch_lag", lag)
+        with self._stats_lock:
+            self.registry.gauge("snapshot.epoch_lag").set(lag)
+            reg = metrics.ACTIVE
+            if reg is not None:
+                reg.gauge("snapshot.epoch_lag").set(lag)
+            session.counters["queries_ro"] += 1
+            session.last_ro_epoch = snapshot.epoch
+        return {
+            "ok": True,
+            "id": request_id,
+            "epoch": snapshot.epoch,
+            "results": [
+                {"kind": "rows", "rows": [codec.encode_row(row) for row in rows]}
+                for rows in raw
+            ],
         }
 
     # -- statement execution ------------------------------------------------------

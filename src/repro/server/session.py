@@ -40,6 +40,7 @@ class Session:
         "buffer",
         "counters",
         "last_commit_trace",
+        "last_ro_epoch",
         "_clock",
     )
 
@@ -65,9 +66,12 @@ class Session:
             "commits": 0,
             "rollbacks": 0,
             "errors": 0,
+            "queries_ro": 0,
         }
         #: the last ``server.commit`` span of this session (observed servers)
         self.last_commit_trace = None
+        #: snapshot epoch served by this session's last ``query_ro``
+        self.last_ro_epoch: Optional[int] = None
 
     # -- liveness -----------------------------------------------------------------
 
@@ -109,6 +113,7 @@ class Session:
             "age_seconds": now - self.created,
             "idle_seconds": self.idle_seconds(now),
             "counters": dict(self.counters),
+            "last_ro_epoch": self.last_ro_epoch,
         }
 
     def __repr__(self) -> str:
@@ -133,6 +138,7 @@ class SessionRegistry:
         self._sessions: Dict[str, Session] = {}
         self._ids = itertools.count(1)
         self._closed: deque = deque(maxlen=keep_closed)
+        self._close_listeners: List[Callable[[Session, str], None]] = []
 
     def open(self, engine=None, conn=None, address=None) -> Session:
         with self._lock:
@@ -150,13 +156,29 @@ class SessionRegistry:
         with self._lock:
             return self._sessions.get(session_id)
 
+    def add_close_listener(
+        self, listener: Callable[[Session, str], None]
+    ) -> None:
+        """Call ``listener(session, reason)`` whenever a session leaves
+        the registry (closed or reaped).  Lets tests synchronize on
+        session lifecycle events instead of sleep-polling ``stats()``.
+        """
+        with self._lock:
+            self._close_listeners.append(listener)
+
+    def _notify_closed(self, session: Session, reason: str) -> None:
+        for listener in list(self._close_listeners):
+            listener(session, reason)
+
     def close(self, session_id: str, reason: str = "closed") -> Optional[Session]:
         """Remove a session (idempotent); archives its final snapshot."""
         with self._lock:
             session = self._sessions.pop(session_id, None)
             if session is not None:
                 self._archive(session, reason)
-            return session
+        if session is not None:
+            self._notify_closed(session, reason)
+        return session
 
     def reap(self, now: Optional[float] = None) -> List[Session]:
         """Remove and return every session idle past ``idle_timeout``."""
@@ -172,6 +194,8 @@ class SessionRegistry:
             for session in doomed:
                 del self._sessions[session.id]
                 self._archive(session, "reaped")
+        for session in doomed:
+            self._notify_closed(session, "reaped")
         return doomed
 
     def _archive(self, session: Session, reason: str) -> None:

@@ -1,11 +1,12 @@
 """Storage substrate: relations, indexes, undo/redo log, transactions,
-savepoints, and JSON data persistence."""
+savepoints, versioned snapshots, and JSON data persistence."""
 
 from repro.storage import persistence
 from repro.storage.database import Database
 from repro.storage.index import HashIndex
 from repro.storage.log import EventKind, PhysicalEvent, UndoRedoLog
 from repro.storage.relation import BaseRelation
+from repro.storage.snapshot import DatabaseSnapshot, SnapshotView
 
 __all__ = [
     "persistence",
@@ -15,4 +16,6 @@ __all__ = [
     "PhysicalEvent",
     "UndoRedoLog",
     "BaseRelation",
+    "DatabaseSnapshot",
+    "SnapshotView",
 ]

@@ -28,9 +28,10 @@ from repro.errors import (
     TransactionError,
     UnknownRelationError,
 )
-from repro.obs import metrics
+from repro.obs import metrics, tracing
 from repro.storage.log import EventKind, UndoRedoLog
 from repro.storage.relation import BaseRelation
+from repro.storage.snapshot import DatabaseSnapshot
 
 Row = Tuple
 CheckHook = Callable[["Database"], None]
@@ -48,6 +49,14 @@ class Database:
         self._txn_savepoint = 0
         self._check_hooks: List[CheckHook] = []
         self._statistics = {"transactions": 0, "rollbacks": 0, "events": 0}
+        #: publish a fresh snapshot at every transaction boundary and
+        #: catalog change (the network server turns this on; in-process
+        #: users publish on demand via :meth:`publish_snapshot`)
+        self.auto_publish = False
+        self._snapshot = DatabaseSnapshot(0, {})
+        #: per-relation versions captured by the last publication, used
+        #: to detect staleness without instrumenting every mutation path
+        self._snapshot_versions: Dict[str, int] = {}
 
     # -- catalog ---------------------------------------------------------------
 
@@ -61,6 +70,8 @@ class Database:
             raise DuplicateRelationError(name)
         relation = BaseRelation(name, arity, column_names)
         self._relations[name] = relation
+        if self.auto_publish and not self._in_transaction:
+            self.publish_snapshot()
         return relation
 
     def relation(self, name: str) -> BaseRelation:
@@ -81,6 +92,8 @@ class Database:
         del self._relations[name]
         self._monitored.pop(name, None)
         self._deltas.pop(name, None)
+        if self.auto_publish and not self._in_transaction:
+            self.publish_snapshot()
 
     # -- monitoring --------------------------------------------------------------
 
@@ -220,6 +233,8 @@ class Database:
         self._clear_deltas()
         self.log.truncate(self._txn_savepoint)
         self._statistics["transactions"] += 1
+        if self.auto_publish:
+            self.publish_snapshot()
 
     def rollback(self) -> None:
         if not self._in_transaction:
@@ -227,6 +242,8 @@ class Database:
         self._rollback_to_savepoint()
         self._in_transaction = False
         self._statistics["rollbacks"] += 1
+        if self.auto_publish:
+            self.publish_snapshot()
 
     def savepoint(self) -> int:
         """A named point inside the current transaction.
@@ -286,6 +303,71 @@ class Database:
             else:
                 if self._in_transaction:
                     self.commit()
+
+    # -- snapshots -------------------------------------------------------------------
+
+    @property
+    def snapshot_epoch(self) -> int:
+        """Epoch of the latest published snapshot (monotone)."""
+        return self._snapshot.epoch
+
+    def snapshot(self) -> DatabaseSnapshot:
+        """The latest published snapshot — a single reference read.
+
+        Never rebuilds anything, so it is safe from any thread at any
+        time, including while a writer holds a commit mid-check-phase:
+        readers simply see the last fully-committed epoch.
+        """
+        return self._snapshot
+
+    def publish_snapshot(self) -> DatabaseSnapshot:
+        """Capture and publish the current committed state (writer-side).
+
+        Must only be called from the thread that serializes updates
+        (the server calls it at every transaction boundary under the
+        engine lock; ``auto_publish`` automates that).  During an open
+        transaction the last published snapshot is returned unchanged —
+        uncommitted state is never published.  Publication is
+        copy-on-write: relations unchanged since the previous epoch
+        share their frozenset with it, so the cost is proportional to
+        what the transaction actually touched.
+        """
+        if self._in_transaction:
+            return self._snapshot
+        versions = {
+            name: relation.version for name, relation in self._relations.items()
+        }
+        if versions == self._snapshot_versions:
+            return self._snapshot  # nothing changed: keep the epoch stable
+        dirty = sum(
+            1
+            for relation in self._relations.values()
+            if not relation.has_fresh_snapshot
+        )
+        tracer = tracing.ACTIVE
+        span = (
+            tracer.begin("snapshot.publish", dirty_relations=dirty)
+            if tracer is not None
+            else None
+        )
+        try:
+            tables = {
+                name: relation.freeze()
+                for name, relation in self._relations.items()
+            }
+            published = DatabaseSnapshot(self._snapshot.epoch + 1, tables)
+        finally:
+            if span is not None:
+                tracer.finish(span)
+        self._snapshot_versions = versions
+        # single reference assignment: readers switch epochs atomically
+        self._snapshot = published
+        reg = metrics.ACTIVE
+        if reg is not None:
+            reg.counter("snapshot.publishes").inc()
+            reg.gauge("snapshot.epoch").set(published.epoch)
+            reg.histogram("snapshot.dirty_relations").observe(dirty)
+        return published
 
     # -- hooks ---------------------------------------------------------------------
 

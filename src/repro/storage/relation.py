@@ -33,7 +33,15 @@ class BaseRelation:
         Optional descriptive names (defaults to ``c0..c{arity-1}``).
     """
 
-    __slots__ = ("name", "arity", "column_names", "_rows", "_indexes")
+    __slots__ = (
+        "name",
+        "arity",
+        "column_names",
+        "_rows",
+        "_indexes",
+        "_frozen",
+        "version",
+    )
 
     def __init__(
         self,
@@ -57,6 +65,11 @@ class BaseRelation:
         )
         self._rows: set = set()
         self._indexes: Dict[Tuple[int, ...], HashIndex] = {}
+        #: copy-on-write cache: the frozenset handed to snapshots; None
+        #: while the relation has changed since it was last frozen
+        self._frozen: Optional[FrozenSet[Row]] = frozenset()
+        #: bumped on every physical change (snapshot staleness checks)
+        self.version = 0
 
     # -- mutation -------------------------------------------------------------
 
@@ -75,6 +88,8 @@ class BaseRelation:
         if row in self._rows:
             return False
         self._rows.add(row)
+        self._frozen = None
+        self.version += 1
         for index in self._indexes.values():
             index.add(row)
         return True
@@ -85,11 +100,16 @@ class BaseRelation:
         if row not in self._rows:
             return False
         self._rows.discard(row)
+        self._frozen = None
+        self.version += 1
         for index in self._indexes.values():
             index.remove(row)
         return True
 
     def clear(self) -> None:
+        if self._rows:
+            self._frozen = None
+            self.version += 1
         self._rows.clear()
         for index in self._indexes.values():
             index.clear()
@@ -135,7 +155,26 @@ class BaseRelation:
         if reg is not None:
             reg.counter("relation.snapshots").inc()
             reg.counter("relation.rows_touched").inc(len(self._rows))
-        return frozenset(self._rows)
+        return self.freeze()
+
+    def freeze(self) -> FrozenSet[Row]:
+        """The current content as a cached, immutable frozenset.
+
+        Copy-on-write: the frozenset is rebuilt only after a physical
+        change invalidated it, so consecutive snapshots of an unchanged
+        relation share one object — this is what makes publishing a
+        whole-database snapshot (:meth:`Database.publish_snapshot`)
+        O(changed relations), not O(database).
+        """
+        frozen = self._frozen
+        if frozen is None:
+            frozen = self._frozen = frozenset(self._rows)
+        return frozen
+
+    @property
+    def has_fresh_snapshot(self) -> bool:
+        """True while :meth:`freeze` can answer without copying."""
+        return self._frozen is not None
 
     def lookup(self, columns: Sequence[int], key: Sequence) -> FrozenSet[Row]:
         """All rows whose ``columns`` equal ``key``.

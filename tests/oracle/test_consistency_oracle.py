@@ -1,0 +1,358 @@
+"""The naive-recompute consistency oracle (DBSP/DBToaster style).
+
+Incremental view maintenance engines are only trusted when their
+incremental results are continuously checked against full
+recomputation.  This suite generates random transaction workloads over
+an AMOSQL schema whose monitored rule conditions cover every operator
+the paper's partial differencing handles —
+
+* σ   selection         (``val(n) < 5``)
+* π   projection        (through the derived function ``double_val``)
+* ⋈   join              (``link(n) = m and val(m) > 3``)
+* −   negation          (``tag(n) = 1 and not (val(n) < 3)``)
+* ∪   disjunction       (``val(n) < 2 or tag(n) > 5``)
+
+with both strict and nervous semantics — and, after EVERY commit,
+checks three independent derivations of each condition against each
+other:
+
+1. **from scratch**: a fresh evaluator recomputes the condition's full
+   extension from the live base relations;
+2. **the model**: a pure-Python dict model of the stored functions
+   recomputes what the extension *should* be;
+3. **incrementally maintained**: the naive engine's materialized
+   previous results, and a running extension folded from the
+   incremental engine's per-commit condition delta-sets.
+
+Fired-rule multisets are compared per commit between the incremental
+and the naive database, and strict rules additionally against the
+model-predicted transition set (strict fires exactly on rows entering
+the condition).
+
+Run size: ``ORACLE_EXAMPLES`` (default 25 so tier-1 stays fast; CI's
+oracle job runs 500+, see docs/TESTING.md).
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.amosql.interpreter import AmosqlEngine
+
+pytestmark = pytest.mark.oracle
+
+MAX_EXAMPLES = int(os.environ.get("ORACLE_EXAMPLES", "25"))
+
+N_NODES = 4
+
+SCHEMA = """
+create type node;
+create function val(node) -> integer;
+create function tag(node) -> integer;
+create function link(node) -> node;
+create function double_val(node n) -> integer as select val(n) * 2;
+"""
+
+RULES = """
+create rule r_sigma() as
+    when for each node n where val(n) < 5
+    do log_sigma(n);
+create rule r_pi() as
+    when for each node n where double_val(n) > 10
+    do log_pi(n);
+create rule r_join() as
+    when for each node n, node m where link(n) = m and val(m) > 3
+    do log_join(n, m);
+create rule r_neg() as
+    when for each node n where tag(n) = 1 and not (val(n) < 3)
+    do log_neg(n);
+create rule r_union() as
+    when for each node n where val(n) < 2 or tag(n) > 5
+    do log_union(n);
+create rule r_nervous() as
+    when for each node n where val(n) < 5
+    nervous do log_nervous(n);
+activate r_sigma();
+activate r_pi();
+activate r_join();
+activate r_neg();
+activate r_union();
+activate r_nervous();
+"""
+
+#: rule -> (condition predicate, arity of the logged row)
+CONDITIONS = {
+    "r_sigma": "cnd_r_sigma",
+    "r_pi": "cnd_r_pi",
+    "r_join": "cnd_r_join",
+    "r_neg": "cnd_r_neg",
+    "r_union": "cnd_r_union",
+    "r_nervous": "cnd_r_nervous",
+}
+
+STRICT_RULES = ("r_sigma", "r_pi", "r_join", "r_neg", "r_union")
+
+
+def build(mode):
+    """A fresh monitored database + its nodes + its firing log."""
+    engine = AmosqlEngine(mode=mode, explain=True)
+    fired = []
+    for rule in CONDITIONS:
+        name = f"log_{rule[2:]}"
+        arity = 2 if rule == "r_join" else 1
+        engine.amos.create_procedure(
+            name,
+            tuple("node" for _ in range(arity)),
+            # default-arg trick pins the rule name per procedure
+            lambda *args, _rule=rule: fired.append((_rule, args)),
+        )
+    engine.execute(SCHEMA)
+    decls = ", ".join(f":n{i}" for i in range(N_NODES))
+    engine.execute(f"create node instances {decls};")
+    nodes = [engine.get(f"n{i}") for i in range(N_NODES)]
+    engine.execute(RULES)
+    return engine, nodes, fired
+
+
+class Model:
+    """Pure-Python ground truth for the stored functions and conditions."""
+
+    def __init__(self, nodes):
+        self.nodes = nodes
+        self.val = {}
+        self.tag = {}
+        self.link = {}
+
+    def apply(self, ops):
+        for op in ops:
+            kind = op[0]
+            if kind == "val":
+                self.val[self.nodes[op[1]]] = op[2]
+            elif kind == "tag":
+                self.tag[self.nodes[op[1]]] = op[2]
+            elif kind == "link":
+                self.link[self.nodes[op[1]]] = self.nodes[op[2]]
+            elif kind == "clear_val":
+                self.val.pop(self.nodes[op[1]], None)
+            elif kind == "clear_tag":
+                self.tag.pop(self.nodes[op[1]], None)
+            elif kind == "clear_link":
+                self.link.pop(self.nodes[op[1]], None)
+            else:  # pragma: no cover - strategy only emits the six kinds
+                raise AssertionError(op)
+
+    def extensions(self):
+        val, tag, link = self.val, self.tag, self.link
+        return {
+            "cnd_r_sigma": {(n,) for n, v in val.items() if v < 5},
+            "cnd_r_pi": {(n,) for n, v in val.items() if v * 2 > 10},
+            "cnd_r_join": {
+                (n, m)
+                for n, m in link.items()
+                if m in val and val[m] > 3
+            },
+            "cnd_r_neg": {
+                (n,)
+                for n, t in tag.items()
+                if t == 1 and not (n in val and val[n] < 3)
+            },
+            "cnd_r_union": {
+                (n,)
+                for n in self.nodes
+                if (n in val and val[n] < 2) or (n in tag and tag[n] > 5)
+            },
+            "cnd_r_nervous": {(n,) for n, v in val.items() if v < 5},
+        }
+
+
+def apply_ops(amos, nodes, ops):
+    for op in ops:
+        kind = op[0]
+        if kind == "val":
+            amos.set_value("val", [nodes[op[1]]], op[2])
+        elif kind == "tag":
+            amos.set_value("tag", [nodes[op[1]]], op[2])
+        elif kind == "link":
+            amos.set_value("link", [nodes[op[1]]], nodes[op[2]])
+        elif kind == "clear_val":
+            amos.clear_value("val", [nodes[op[1]]])
+        elif kind == "clear_tag":
+            amos.clear_value("tag", [nodes[op[1]]])
+        elif kind == "clear_link":
+            amos.clear_value("link", [nodes[op[1]]])
+
+
+def fold_deltas(running, report):
+    """Fold one check phase's condition delta-sets into running extensions."""
+    if report is None:
+        return
+    for iteration in report.iterations:
+        for condition, delta in iteration.condition_deltas.items():
+            if condition not in running:
+                continue
+            running[condition] -= delta.minus
+            running[condition] |= delta.plus
+
+
+def per_commit(fired, marks):
+    """Slice the flat firing log into one sorted multiset per commit."""
+    out = []
+    for start, end in zip(marks, marks[1:]):
+        out.append(sorted(fired[start:end], key=repr))
+    return out
+
+
+node_ids = st.integers(0, N_NODES - 1)
+values = st.integers(0, 8)
+operation = st.one_of(
+    st.tuples(st.just("val"), node_ids, values),
+    st.tuples(st.just("tag"), node_ids, values),
+    st.tuples(st.just("link"), node_ids, node_ids),
+    st.tuples(st.just("clear_val"), node_ids),
+    st.tuples(st.just("clear_tag"), node_ids),
+    st.tuples(st.just("clear_link"), node_ids),
+)
+# one transaction: its operations plus whether it commits or rolls back
+transactions = st.lists(
+    st.tuples(st.lists(operation, min_size=1, max_size=6), st.booleans()),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestConsistencyOracle:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(workload=transactions)
+    def test_incremental_matches_naive_recompute(self, workload):
+        inc_engine, inc_nodes, inc_fired = build("incremental")
+        nai_engine, nai_nodes, nai_fired = build("naive")
+        model = Model(inc_nodes)
+        # running extensions folded from the incremental engine's deltas
+        running = {cnd: set() for cnd in CONDITIONS.values()}
+        previous_expected = {cnd: set() for cnd in CONDITIONS.values()}
+        inc_marks, nai_marks = [len(inc_fired)], [len(nai_fired)]
+        expected_strict = []
+
+        for ops, commits in workload:
+            for amos, nodes in (
+                (inc_engine.amos, inc_nodes),
+                (nai_engine.amos, nai_nodes),
+            ):
+                amos.begin()
+                apply_ops(amos, nodes, ops)
+                if commits:
+                    amos.commit()
+                else:
+                    amos.rollback()
+            if not commits:
+                # rolled back: state must be exactly the pre-transaction one
+                for cnd, expected in previous_expected.items():
+                    assert inc_engine.amos.extension(cnd) == expected
+                    assert nai_engine.amos.extension(cnd) == expected
+                continue
+
+            model.apply(ops)
+            expected = model.extensions()
+            # translate model node ids (inc OIDs) for the naive db: the
+            # two databases create OIDs in the same order, so the i-th
+            # node corresponds 1:1
+            remap = dict(zip(inc_nodes, nai_nodes))
+            fold_deltas(running, inc_engine.amos.rules.last_report)
+            inc_marks.append(len(inc_fired))
+            nai_marks.append(len(nai_fired))
+
+            strict_transitions = []
+            for rule in STRICT_RULES:
+                cnd = CONDITIONS[rule]
+                for row in sorted(
+                    expected[cnd] - previous_expected[cnd], key=repr
+                ):
+                    strict_transitions.append((rule, tuple(row)))
+            expected_strict.append(sorted(strict_transitions, key=repr))
+
+            for cnd in CONDITIONS.values():
+                from_scratch = set(inc_engine.amos.extension(cnd))
+                # 1. from-scratch recompute == model ground truth
+                assert from_scratch == expected[cnd], cnd
+                # 2. incremental delta folding == from-scratch
+                assert running[cnd] == from_scratch, cnd
+                # 3. naive engine's materialized previous == from-scratch
+                naive_expected = {
+                    tuple(remap[v] for v in row) for row in expected[cnd]
+                }
+                assert (
+                    nai_engine.amos.rules.engine._previous[cnd]
+                    == naive_expected
+                ), cnd
+                assert set(nai_engine.amos.extension(cnd)) == naive_expected
+            previous_expected = expected
+
+        # 4. fired-rule multisets, commit by commit.  Strict rules must
+        # agree across engines AND match the model's transition sets.
+        # Nervous rules are deliberately excluded from the cross-engine
+        # comparison: the incremental engine re-derives a condition row
+        # from a confirming update (val 0 -> 1 with val < 5) and
+        # nervously re-fires, while the naive baseline diffs
+        # materialized extensions and cannot see confirming updates —
+        # the paper's nervous semantics follow the differentials, so
+        # this is an engine-visible behavior, not a bug (the bounds on
+        # nervous firings are locked down in the second test).
+        back = dict(zip(nai_nodes, inc_nodes))
+        inc_firings = per_commit(inc_fired, inc_marks)
+        nai_firings = [
+            [
+                (rule, tuple(back[v] for v in args))
+                for rule, args in commit_batch
+            ]
+            for commit_batch in per_commit(nai_fired, nai_marks)
+        ]
+        for inc_batch, nai_batch, expected_batch in zip(
+            inc_firings, nai_firings, expected_strict
+        ):
+            inc_strict = sorted(
+                (f for f in inc_batch if f[0] in STRICT_RULES), key=repr
+            )
+            nai_strict = sorted(
+                (f for f in nai_batch if f[0] in STRICT_RULES), key=repr
+            )
+            assert inc_strict == nai_strict == expected_batch
+            # under the naive engine, nervous degenerates to strict:
+            # its deltas only ever contain genuine transitions
+            nai_nervous = sorted(
+                (args for rule, args in nai_batch if rule == "r_nervous"),
+                key=repr,
+            )
+            nai_sigma = sorted(
+                (args for rule, args in nai_batch if rule == "r_sigma"),
+                key=repr,
+            )
+            assert nai_nervous == nai_sigma
+
+    @settings(max_examples=max(5, MAX_EXAMPLES // 5), deadline=None)
+    @given(workload=transactions)
+    def test_nervous_fires_at_least_strict_transitions(self, workload):
+        """Nervous semantics may re-fire on confirming updates but never
+        misses a genuine transition a strict rule would report."""
+        engine, nodes, fired = build("incremental")
+        model = Model(nodes)
+        for ops, commits in workload:
+            mark = len(fired)
+            engine.amos.begin()
+            apply_ops(engine.amos, nodes, ops)
+            if not commits:
+                engine.amos.rollback()
+                continue
+            engine.amos.commit()
+            model.apply(ops)
+            expected = model.extensions()["cnd_r_nervous"]
+            nervous = {
+                args for rule, args in fired[mark:] if rule == "r_nervous"
+            }
+            strict = {
+                args for rule, args in fired[mark:] if rule == "r_sigma"
+            }
+            # same condition: every strict transition appears nervously too
+            assert strict <= nervous
+            # nervous never fires on rows outside the (new) condition
+            assert nervous <= expected

@@ -1,0 +1,160 @@
+"""Snapshot-isolation stress: concurrent writers vs lock-free readers.
+
+N writer sessions commit interleaved transactions that keep a per-pair
+invariant (``a(p) == b(p)`` in every *committed* state) while M reader
+sessions hammer ``query_ro``.  The oracle facts:
+
+* **no torn state** — every read's rows satisfy the invariant, and all
+  reads reporting the same epoch saw byte-identical rows (an epoch
+  names exactly one published snapshot);
+* **no regress** — each reader's observed epochs are monotone
+  non-decreasing (``snapshot.epoch_lag`` never goes negative);
+* the server accounted every read in ``server.query_ro`` and the
+  ``snapshot.epoch_lag`` histogram.
+
+Set ``SNAPSHOT_LAG_ARTIFACT=/path/file.json`` to dump the epoch-lag
+histogram (CI uploads it as a BENCH artifact, see docs/TESTING.md).
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.server import AmosClient, AmosServer
+
+pytestmark = pytest.mark.oracle
+
+N_PAIRS = 3  # one writer per pair
+N_READERS = 4
+COMMITS_PER_WRITER = int(os.environ.get("STRESS_COMMITS", "12"))
+READS_PER_READER = int(os.environ.get("STRESS_READS", "25"))
+
+SCHEMA = """
+create type pair;
+create function a(pair) -> integer;
+create function b(pair) -> integer;
+"""
+
+INVARIANT_QUERY = (
+    "select p, x, y for each pair p, integer x, integer y "
+    "where a(p) = x and b(p) = y"
+)
+
+
+def test_readers_see_only_whole_epochs():
+    server = AmosServer(port=0)
+    server.start()
+    host, port = server.address
+    failures = []
+    # reader -> [(epoch, frozenset(rows)), ...] in observation order
+    observations = {r: [] for r in range(N_READERS)}
+    barrier = threading.Barrier(N_PAIRS + N_READERS)
+
+    try:
+        with AmosClient(host, port) as setup:
+            setup.execute(SCHEMA)
+            names = ", ".join(f":p{i}" for i in range(N_PAIRS))
+            (oids,) = setup.execute(f"create pair instances {names};")
+            for oid in oids:
+                setup.bind("v", oid)
+                setup.execute("set a(:v) = 0; set b(:v) = 0;")
+
+        def writer(index):
+            try:
+                with AmosClient(host, port) as client:
+                    client.bind("p", oids[index])
+                    barrier.wait(timeout=60.0)
+                    for k in range(1, COMMITS_PER_WRITER + 1):
+                        with client.transaction():
+                            client.execute(f"set a(:p) = {k};")
+                            client.execute(f"set b(:p) = {k};")
+            except BaseException as exc:  # noqa: BLE001
+                failures.append(exc)
+
+        def reader(index):
+            try:
+                with AmosClient(host, port) as client:
+                    barrier.wait(timeout=60.0)
+                    for _ in range(READS_PER_READER):
+                        rows = client.query_ro(INVARIANT_QUERY)
+                        observations[index].append(
+                            (client.last_ro_epoch, frozenset(rows))
+                        )
+            except BaseException as exc:  # noqa: BLE001
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(N_PAIRS)
+        ] + [
+            threading.Thread(target=reader, args=(i,))
+            for i in range(N_READERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        assert not any(t.is_alive() for t in threads)
+        assert not failures, failures
+
+        by_epoch = {}
+        for index, seen in observations.items():
+            assert len(seen) == READS_PER_READER
+            epochs = [epoch for epoch, _ in seen]
+            # epochs never regress within one reader
+            assert epochs == sorted(epochs), f"reader {index} saw a regress"
+            for epoch, rows in seen:
+                # invariant holds in every row: the read is not torn
+                # across the two relations of any pair
+                for _, x, y in rows:
+                    assert x == y, f"torn read at epoch {epoch}: {rows}"
+                # one epoch == exactly one row set, across ALL readers
+                previous = by_epoch.setdefault(epoch, rows)
+                assert previous == rows, f"epoch {epoch} is not one snapshot"
+
+        total_reads = N_READERS * READS_PER_READER
+        lag_histogram = server.registry.histogram("snapshot.epoch_lag")
+        assert server.registry.value("server.query_ro") == total_reads
+        assert lag_histogram.count == total_reads
+        assert lag_histogram.min >= 0
+
+        artifact = os.environ.get("SNAPSHOT_LAG_ARTIFACT")
+        if artifact:
+            payload = {
+                "metric": "snapshot.epoch_lag",
+                "writers": N_PAIRS,
+                "readers": N_READERS,
+                "commits_per_writer": COMMITS_PER_WRITER,
+                "reads_per_reader": READS_PER_READER,
+                "histogram": lag_histogram.as_dict(),
+                "p50": lag_histogram.quantile(0.5),
+                "p99": lag_histogram.quantile(0.99),
+                "final_epoch": server.amos.snapshot_epoch,
+            }
+            os.makedirs(os.path.dirname(artifact) or ".", exist_ok=True)
+            with open(artifact, "w") as handle:
+                json.dump(payload, handle, indent=2, default=repr)
+    finally:
+        server.stop()
+
+
+def test_final_state_reflects_all_commits():
+    """After the dust settles the latest snapshot equals the live state."""
+    server = AmosServer(port=0)
+    server.start()
+    host, port = server.address
+    try:
+        with AmosClient(host, port) as client:
+            client.execute(SCHEMA)
+            (oids,) = client.execute("create pair instances :p0;")
+            client.bind("p", oids[0])
+            for k in range(5):
+                with client.transaction():
+                    client.execute(f"set a(:p) = {k}; set b(:p) = {k};")
+            assert sorted(client.query_ro("select x for each integer x where a(:p) = x")) == [(4,)]
+            assert client.query_ro(INVARIANT_QUERY) == client.query(
+                INVARIANT_QUERY
+            )
+    finally:
+        server.stop()

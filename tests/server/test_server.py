@@ -5,7 +5,7 @@ the paper's inventory example (``monitor_items`` active, threshold
 140, ``max_stock`` 5000/7500).
 """
 
-import time
+import threading
 
 import pytest
 
@@ -225,6 +225,8 @@ class TestErrors:
 class TestObservability:
     def test_stats_counters_and_sessions(self, inventory_server):
         server, _ = inventory_server
+        session_closed = threading.Event()
+        server.sessions.add_close_listener(lambda _s, _r: session_closed.set())
         with connect(server) as client:
             with client.transaction():
                 client.execute(
@@ -237,10 +239,9 @@ class TestObservability:
             assert stats["address"] == list(server.address)
             session = stats["sessions"][client.session_id]
             assert session["counters"]["commits"] == 1
-        # after disconnect the session moves to the closed history
-        deadline = time.time() + 5.0
-        while len(server.sessions) and time.time() < deadline:
-            time.sleep(0.01)
+        # after disconnect the session moves to the closed history; the
+        # close listener fires the moment the registry drops it
+        assert session_closed.wait(timeout=5.0), "session close never signalled"
         closed = server.sessions.recent_closed()
         assert any(snap["id"] == "s1" for snap in closed)
 
@@ -266,20 +267,37 @@ class TestObservability:
             assert server.stats()["counters"]["server.commits"] == 1
 
 
+class FakeClock:
+    """A hand-advanced monotonic clock for deterministic reaping tests."""
+
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
 class TestReaping:
     def test_idle_sessions_are_reaped(self):
         engine, _ = make_inventory_engine()
+        clock = FakeClock()
+        # reap_interval keeps the background reaper thread out of the
+        # way; the test drives reaping by hand through the fake clock
         server = AmosServer(
-            amos=engine.amos, idle_timeout=0.15, reap_interval=0.05
+            amos=engine.amos, idle_timeout=30.0, reap_interval=3600.0,
+            clock=clock,
         )
         server.start()
         try:
             client = connect(server)
             client.connect()
             assert client.ping() >= 0.0
-            deadline = time.time() + 5.0
-            while len(server.sessions) and time.time() < deadline:
-                time.sleep(0.02)
+            assert server.reap_idle_sessions() == 0  # fresh: not idle yet
+            clock.advance(31.0)
+            assert server.reap_idle_sessions() == 1
             assert len(server.sessions) == 0, "idle session was not reaped"
             stats = server.stats()
             assert stats["counters"]["server.sessions_reaped"] >= 1
@@ -295,15 +313,18 @@ class TestReaping:
 
     def test_busy_sessions_survive(self):
         engine, _ = make_inventory_engine()
+        clock = FakeClock()
         server = AmosServer(
-            amos=engine.amos, idle_timeout=0.4, reap_interval=0.05
+            amos=engine.amos, idle_timeout=30.0, reap_interval=3600.0,
+            clock=clock,
         )
         server.start()
         try:
             with connect(server) as client:
                 for _ in range(6):
-                    time.sleep(0.1)
+                    clock.advance(20.0)
                     client.ping()  # keeps touching the session
+                    assert server.reap_idle_sessions() == 0
                 assert len(server.sessions) == 1
         finally:
             server.stop()

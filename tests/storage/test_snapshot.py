@@ -1,0 +1,178 @@
+"""Unit tests for versioned snapshots: COW sharing, epochs, publication."""
+
+import pytest
+
+from repro.errors import UnknownRelationError
+from repro.obs import metrics
+from repro.storage import Database, DatabaseSnapshot, SnapshotView
+
+
+def make_db(auto_publish=False):
+    db = Database()
+    db.auto_publish = auto_publish
+    db.create_relation("a", 2)
+    db.create_relation("b", 1)
+    return db
+
+
+class TestRelationFreeze:
+    def test_freeze_is_cached_until_mutation(self):
+        db = make_db()
+        relation = db.relation("a")
+        db.insert("a", (1, 2))
+        first = relation.freeze()
+        assert first == frozenset({(1, 2)})
+        assert relation.freeze() is first  # cached, no copy
+        assert relation.has_fresh_snapshot
+        db.insert("a", (3, 4))
+        assert not relation.has_fresh_snapshot
+        second = relation.freeze()
+        assert second == frozenset({(1, 2), (3, 4)})
+        assert second is not first
+        assert first == frozenset({(1, 2)})  # old frozenset untouched
+
+    def test_version_bumps_on_real_changes_only(self):
+        db = make_db()
+        relation = db.relation("a")
+        v0 = relation.version
+        db.insert("a", (1, 2))
+        assert relation.version == v0 + 1
+        # duplicate insert is a set-semantics no-op: no version bump
+        relation.insert((1, 2))
+        assert relation.version == v0 + 1
+        relation.delete((9, 9))  # absent: no-op
+        assert relation.version == v0 + 1
+        db.delete("a", (1, 2))
+        assert relation.version == v0 + 2
+
+    def test_clear_on_empty_relation_keeps_version(self):
+        db = make_db()
+        relation = db.relation("a")
+        v0 = relation.version
+        relation.clear()
+        assert relation.version == v0
+
+
+class TestPublishSnapshot:
+    def test_epoch_advances_only_when_state_changed(self):
+        db = make_db()
+        first = db.publish_snapshot()
+        assert first.epoch == 1
+        again = db.publish_snapshot()
+        assert again is first  # nothing changed: same object, same epoch
+        db.insert("a", (1, 2))
+        second = db.publish_snapshot()
+        assert second.epoch == 2
+        assert second.rows("a") == frozenset({(1, 2)})
+
+    def test_unchanged_relations_share_frozensets_across_epochs(self):
+        db = make_db()
+        db.insert("a", (1, 2))
+        db.insert("b", (7,))
+        first = db.publish_snapshot()
+        db.insert("a", (3, 4))
+        second = db.publish_snapshot()
+        # copy-on-write: only the dirty relation was refrozen
+        assert second.rows("b") is first.rows("b")
+        assert second.rows("a") is not first.rows("a")
+        assert first.rows("a") == frozenset({(1, 2)})
+
+    def test_no_publication_inside_a_transaction(self):
+        db = make_db()
+        before = db.publish_snapshot()
+        db.begin()
+        db.insert("a", (1, 2))
+        # a mid-transaction publish returns the last published snapshot
+        assert db.publish_snapshot() is before
+        assert db.snapshot() is before
+        db.commit()
+        after = db.publish_snapshot()
+        assert after.epoch == before.epoch + 1
+        assert after.rows("a") == frozenset({(1, 2)})
+
+    def test_auto_publish_on_commit_and_rollback(self):
+        db = make_db(auto_publish=True)
+        db.begin()
+        db.insert("a", (1, 2))
+        db.commit()
+        committed = db.snapshot()
+        assert committed.rows("a") == frozenset({(1, 2)})
+        db.begin()
+        db.insert("a", (3, 4))
+        db.rollback()
+        rolled = db.snapshot()
+        # rollback restored the state; content equals the committed one
+        assert rolled.rows("a") == frozenset({(1, 2)})
+
+    def test_auto_publish_on_ddl(self):
+        db = Database()
+        db.auto_publish = True
+        db.create_relation("t", 1)
+        assert db.snapshot().has_relation("t")
+        db.drop_relation("t")
+        assert not db.snapshot().has_relation("t")
+
+    def test_rolled_back_creation_does_not_leak_into_snapshot(self):
+        db = make_db(auto_publish=True)
+        db.insert("a", (1, 2))
+        epoch = db.snapshot_epoch
+        db.begin()
+        db.insert("a", (5, 6))
+        db.insert("b", (9,))
+        db.rollback()
+        snap = db.snapshot()
+        assert snap.rows("a") == frozenset({(1, 2)})
+        assert snap.rows("b") == frozenset()
+        assert snap.epoch >= epoch
+
+    def test_publish_metrics(self):
+        db = make_db()
+        db.insert("a", (1, 2))
+        with metrics.collecting() as reg:
+            snap = db.publish_snapshot()
+            db.publish_snapshot()  # no-op: nothing changed
+        assert reg.value("snapshot.publishes") == 1
+        assert reg.gauges()["snapshot.epoch"]["value"] == snap.epoch
+
+
+class TestDatabaseSnapshot:
+    def test_reads(self):
+        snap = DatabaseSnapshot(
+            3, {"a": frozenset({(1, 2), (1, 3)}), "b": frozenset()}
+        )
+        assert snap.epoch == 3
+        assert snap.relation_names() == ["a", "b"]
+        assert snap.cardinality("a") == 2
+        assert snap.contains("a", (1, 2))
+        assert not snap.contains("a", (9, 9))
+        assert snap.total_rows() == 2
+        with pytest.raises(UnknownRelationError):
+            snap.rows("missing")
+
+    def test_lookup_builds_and_reuses_an_index(self):
+        snap = DatabaseSnapshot(
+            1, {"a": frozenset({(1, 2), (1, 3), (2, 2)})}
+        )
+        assert snap.lookup("a", (0,), (1,)) == frozenset({(1, 2), (1, 3)})
+        assert snap.lookup("a", (0,), (5,)) == frozenset()
+        assert snap.lookup("a", (1,), (2,)) == frozenset({(1, 2), (2, 2)})
+        # cached per (relation, columns)
+        assert ("a", (0,)) in snap._lookup_indexes
+        assert ("a", (1,)) in snap._lookup_indexes
+
+    def test_snapshot_view_is_a_state_view(self):
+        snap = DatabaseSnapshot(1, {"a": frozenset({(1, 2)})})
+        view = SnapshotView(snap)
+        assert view.state == "new"
+        assert view.rows("a") == frozenset({(1, 2)})
+        assert view.contains("a", (1, 2))
+        assert view.cardinality("a") == 1
+        assert view.lookup("a", (0,), (1,)) == frozenset({(1, 2)})
+
+    def test_snapshot_is_isolated_from_later_writes(self):
+        db = make_db()
+        db.insert("a", (1, 2))
+        snap = db.publish_snapshot()
+        db.insert("a", (3, 4))
+        db.delete("a", (1, 2))
+        assert snap.rows("a") == frozenset({(1, 2)})
