@@ -1,0 +1,241 @@
+"""Check phase: set-at-a-time (batch) vs tuple-at-a-time (legacy).
+
+The ISSUE-4 tentpole benchmark.  Both engines run the SAME incremental
+algorithm (partial differencing, Fig. 5); the only difference is how a
+partial differential executes:
+
+* **batch** (the default): compiled :class:`ClausePlan` per
+  differential, two shared evaluators per run, batched semi-join
+  negative guard;
+* **legacy** (``batch=False``): recursive generator evaluation with a
+  fresh evaluator per edge and a per-row ``holds()`` guard.
+
+Three workload shapes:
+
+* **steady** — Fig. 6's few-changes transaction (one quantity update,
+  rule stays untriggered), the monitoring steady state where per-check
+  constant cost is everything;
+* **churn** — quantities flip below/above the threshold, so negative
+  differentials produce deletion candidates and the guard actually
+  runs (batched semi-join vs per-row derivation);
+* **massive** — Fig. 7's one transaction updating 3 functions of ALL
+  items, where per-tuple overhead is multiplied by the delta size.
+
+Only the *check phase* is timed: the monitoring engine's ``process``
+entry point is wrapped with a perf_counter accumulator, so update
+logging, transaction bookkeeping, and rule actions are excluded.  Each
+cell takes the minimum over several trials (robust against scheduler
+noise).  Full-transaction times land in the artifact ``meta`` for
+context.
+
+Persists ``BENCH_checkphase.json`` — the committed copy at the repo
+root is the baseline CI's bench-regression job compares against
+(see ``benchmarks/compare_checkphase.py``).
+
+Run:  pytest benchmarks/test_bench_checkphase.py -s
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.bench.harness import Measurement, Sweep
+from repro.bench.workload import build_inventory
+
+SIZES = [100, 1000, 5000]
+ASSERT_SIZE = 5000  # the acceptance cell: >= 2x at 5000 items
+WARMUP = 50
+STEADY_TXNS = 400
+STEADY_TRIALS = 7
+CHURN_TXNS = 150
+CHURN_TRIALS = 5
+CHURN_SIZE = 1000
+MASSIVE_SIZE = 300
+MASSIVE_TRIALS = 5
+
+ENGINES = {"legacy": False, "batch": True}
+
+
+class CheckPhaseTimer:
+    """Accumulates wall-clock seconds spent inside the monitoring
+    engine's ``process`` (= differential propagation), excluding the
+    update path and rule-action execution around it."""
+
+    def __init__(self, manager):
+        self.seconds = 0.0
+        engine = manager.engine
+        inner = engine.process
+
+        def timed(*args, **kwargs):
+            start = time.perf_counter()
+            try:
+                return inner(*args, **kwargs)
+            finally:
+                self.seconds += time.perf_counter() - start
+
+        engine.process = timed
+
+
+def build(n_items, batch):
+    workload = build_inventory(n_items, mode="incremental", batch=batch)
+    workload.activate()
+    return workload
+
+
+def best_of(trials, run_trial):
+    """(best check-phase seconds, best full-transaction seconds)."""
+    best_check = best_total = float("inf")
+    for _ in range(trials):
+        check, total = run_trial()
+        best_check = min(best_check, check)
+        best_total = min(best_total, total)
+    return best_check, best_total
+
+
+def steady_cell(series, n_items, batch):
+    workload = build(n_items, batch)
+    for step in range(WARMUP):
+        workload.touch_one_item(step)
+    timer = CheckPhaseTimer(workload.amos.rules)
+    counter = [WARMUP]
+
+    def trial():
+        timer.seconds = 0.0
+        start = time.perf_counter()
+        for _ in range(STEADY_TXNS):
+            workload.touch_one_item(counter[0])
+            counter[0] += 1
+        return timer.seconds, time.perf_counter() - start
+
+    check, total = best_of(STEADY_TRIALS, trial)
+    return (
+        Measurement(series, n_items, check, STEADY_TXNS),
+        total / STEADY_TXNS,
+    )
+
+
+def churn_cell(series, batch):
+    """Threshold-crossing workload: every other transaction drives one
+    item below its threshold (rule fires), the next restores it (a
+    negative root delta — the guard path)."""
+    workload = build(CHURN_SIZE, batch)
+    for step in range(10):
+        workload.touch_one_item(step, below=(step % 2 == 0))
+    timer = CheckPhaseTimer(workload.amos.rules)
+    counter = [0]
+
+    def trial():
+        timer.seconds = 0.0
+        start = time.perf_counter()
+        for _ in range(CHURN_TXNS):
+            step = counter[0]
+            workload.touch_one_item(step, below=(step % 2 == 0))
+            counter[0] += 1
+        return timer.seconds, time.perf_counter() - start
+
+    check, total = best_of(CHURN_TRIALS, trial)
+    assert workload.orders, "churn workload must actually fire the rule"
+    return (
+        Measurement(f"{series}-churn", CHURN_SIZE, check, CHURN_TXNS),
+        total / CHURN_TXNS,
+    )
+
+
+def massive_cell(series, batch):
+    """Fig. 7's massive-update transaction (3 changed functions x all
+    items) — one check phase driven by a size-O(n) delta."""
+    workload = build(MASSIVE_SIZE, batch)
+    workload.massive_change()  # warm indexes and plan caches
+    timer = CheckPhaseTimer(workload.amos.rules)
+
+    def trial():
+        timer.seconds = 0.0
+        start = time.perf_counter()
+        workload.massive_change()
+        return timer.seconds, time.perf_counter() - start
+
+    check, total = best_of(MASSIVE_TRIALS, trial)
+    return (
+        Measurement(f"{series}-massive", MASSIVE_SIZE, check, 1),
+        total,
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    result = Sweep(
+        "check phase — legacy (tuple-at-a-time) vs batch (compiled plans), "
+        "ms/transaction"
+    )
+    full_txn_ms = {}
+    for series, batch in ENGINES.items():
+        for n_items in SIZES:
+            cell, full = steady_cell(series, n_items, batch)
+            result.add(cell)
+            full_txn_ms[f"{series}@{n_items}"] = full * 1000
+        cell, full = churn_cell(series, batch)
+        result.add(cell)
+        full_txn_ms[f"{series}-churn@{CHURN_SIZE}"] = full * 1000
+        cell, full = massive_cell(series, batch)
+        result.add(cell)
+        full_txn_ms[f"{series}-massive@{MASSIVE_SIZE}"] = full * 1000
+    print()
+    print(result.format_table())
+    speedup = result.ratio("legacy", "batch", ASSERT_SIZE)
+    print(f"  steady-state speedup at {ASSERT_SIZE} items: {speedup:.2f}x")
+    artifact = result.persist(
+        "checkphase",
+        meta={
+            "warmup_transactions": WARMUP,
+            "steady_transactions": STEADY_TXNS,
+            "steady_trials": STEADY_TRIALS,
+            "churn_transactions": CHURN_TXNS,
+            "massive_items": MASSIVE_SIZE,
+            "full_transaction_ms": full_txn_ms,
+            "speedup_at_%d" % ASSERT_SIZE: speedup,
+        },
+    )
+    print(f"wrote {artifact}")
+    return result
+
+
+class TestCheckPhase:
+    def test_batch_is_at_least_2x_at_5000_items(self, sweep):
+        """The acceptance cell: compiled set-at-a-time execution must
+        at least halve the steady-state check-phase cost at 5000
+        items (measured 2.0-2.6x on the development host)."""
+        ratio = sweep.ratio("legacy", "batch", ASSERT_SIZE)
+        assert ratio is not None and ratio >= 2.0, ratio
+
+    def test_batch_wins_at_every_steady_size(self, sweep):
+        for n_items in SIZES:
+            ratio = sweep.ratio("legacy", "batch", n_items)
+            assert ratio is not None and ratio > 1.0, (n_items, ratio)
+
+    def test_batch_stays_flat_in_database_size(self, sweep):
+        """Fig. 6's claim must survive the batch engine: steady-state
+        check cost independent of the database size."""
+        costs = [cost for _, cost in sweep.series("batch")]
+        assert max(costs) < 12 * min(costs), costs
+
+    def test_batched_guard_not_slower_on_churn(self, sweep):
+        ratio = sweep.ratio("legacy-churn", "batch-churn", CHURN_SIZE)
+        assert ratio is not None and ratio > 0.8, ratio
+
+    def test_batch_not_slower_on_massive_change(self, sweep):
+        ratio = sweep.ratio("legacy-massive", "batch-massive", MASSIVE_SIZE)
+        assert ratio is not None and ratio > 0.8, ratio
+
+    def test_persists_artifact(self, sweep):
+        path = os.path.join(
+            os.environ.get("REPRO_BENCH_DIR", os.path.join(os.path.dirname(__file__), "..")),
+            "BENCH_checkphase.json",
+        )
+        assert os.path.exists(path)
+        with open(path) as handle:
+            on_disk = json.load(handle)
+        assert on_disk["meta"]["speedup_at_%d" % ASSERT_SIZE] >= 2.0
+        series = {row["series"] for row in on_disk["rows"]}
+        assert {"batch", "legacy", "batch-churn", "legacy-churn"} <= series

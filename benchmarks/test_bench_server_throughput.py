@@ -78,24 +78,39 @@ def throughput():
         x_label="sessions",
     )
     rates = {}
+    latencies = {}
     for n_sessions in SESSION_COUNTS:
         seconds, commits, server = drive_sessions(n_sessions)
         sweep.add(Measurement("server", n_sessions, seconds, commits))
         rates[n_sessions] = commits / seconds
         stats = server.stats()
         assert stats["counters"]["server.commits"] == commits
+        # per-commit latency distribution (server-side, ms): recorded
+        # into the server's own registry on every commit
+        histogram = server.registry.histogram("server.commit_ms")
+        latencies[n_sessions] = {
+            "p50_ms": histogram.quantile(0.5),
+            "p95_ms": histogram.quantile(0.95),
+        }
     print()
     print(sweep.format_table())
     print(
         "  commits/sec: "
         + "  ".join(f"{n}s={rates[n]:.0f}" for n in SESSION_COUNTS)
     )
-    return sweep, rates
+    print(
+        "  commit p50/p95 ms: "
+        + "  ".join(
+            f"{n}s={latencies[n]['p50_ms']:.1f}/{latencies[n]['p95_ms']:.1f}"
+            for n in SESSION_COUNTS
+        )
+    )
+    return sweep, rates, latencies
 
 
 class TestServerThroughput:
     def test_every_cell_made_progress(self, throughput):
-        sweep, rates = throughput
+        sweep, rates, _ = throughput
         for n_sessions in SESSION_COUNTS:
             cell = sweep.cell("server", n_sessions)
             assert cell is not None
@@ -106,19 +121,32 @@ class TestServerThroughput:
             )
 
     def test_contention_does_not_collapse_throughput(self, throughput):
-        _, rates = throughput
+        _, rates, _ = throughput
         # commits serialize on the engine lock; adding sessions must not
         # collapse the aggregate rate (generous: CI machines are noisy)
         assert rates[16] > rates[1] / 20.0, rates
 
+    def test_commit_latency_quantiles_recorded(self, throughput):
+        _, _, latencies = throughput
+        for n_sessions in SESSION_COUNTS:
+            p50 = latencies[n_sessions]["p50_ms"]
+            p95 = latencies[n_sessions]["p95_ms"]
+            # power-of-two bucket edges: sub-millisecond commits land in
+            # the 0-edge bucket, so 0 is a legitimate (fast!) p50
+            assert p50 is not None and p50 >= 0
+            assert p95 is not None and p95 >= p50
+
     def test_persists_artifact(self, throughput):
-        sweep, rates = throughput
+        sweep, rates, latencies = throughput
         path = sweep.persist(
             "server_throughput",
             meta={
                 "commits_per_session": COMMITS_PER_SESSION,
                 "items_per_session": ITEMS_PER_SESSION,
                 "commits_per_second": {str(n): rates[n] for n in rates},
+                "commit_latency_ms": {
+                    str(n): latencies[n] for n in latencies
+                },
             },
         )
         assert os.path.basename(path) == "BENCH_server_throughput.json"
@@ -127,3 +155,4 @@ class TestServerThroughput:
         assert on_disk["x_label"] == "sessions"
         assert len(on_disk["rows"]) == len(SESSION_COUNTS)
         assert on_disk["meta"]["commits_per_second"]
+        assert on_disk["meta"]["commit_latency_ms"]

@@ -45,6 +45,13 @@ class StateView:
     def lookup(self, name: str, columns: Sequence[int], key: Sequence) -> FrozenSet[Row]:
         raise NotImplementedError
 
+    def prober(self, name: str, columns: Sequence[int]):
+        """A ``key -> rows`` callable with relation/index resolution
+        hoisted out of the per-key loop (used by batched plans, which
+        probe the same (relation, columns) once per pending binding)."""
+        cols = tuple(columns)
+        return lambda key: self.lookup(name, cols, key)
+
     def cardinality(self, name: str) -> int:
         return len(self.rows(name))
 
@@ -69,8 +76,11 @@ class NewStateView(StateView):
     def lookup(self, name: str, columns: Sequence[int], key: Sequence) -> FrozenSet[Row]:
         relation = self._db.relation(name)
         if self.auto_index and relation.index_on(columns) is None and len(relation) > 8:
-            relation.create_index(columns)
+            relation.create_index(columns, auto=True)
         return relation.lookup(columns, key)
+
+    def prober(self, name: str, columns: Sequence[int]):
+        return self._db.relation(name).prober(columns, auto=self.auto_index)
 
     def cardinality(self, name: str) -> int:
         return len(self._db.relation(name))
@@ -96,6 +106,14 @@ class OldStateView(StateView):
         # lookups stay O(probe) even when the transaction deleted many
         # tuples (Fig. 7's massive-update case)
         self._minus_index: Dict[tuple, Dict[tuple, list]] = {}
+
+    def reset(self, deltas: Mapping[str, DeltaSet]) -> None:
+        """Re-point this view at a new transaction's delta snapshot,
+        dropping everything derived from the previous one (lets a
+        propagator reuse one view object per run)."""
+        self._deltas = dict(deltas)
+        self._cache.clear()
+        self._minus_index.clear()
 
     def delta_of(self, name: str) -> DeltaSet:
         return self._deltas.get(name, _EMPTY_DELTA)
@@ -141,6 +159,14 @@ class OldStateView(StateView):
         if delta.plus & current:
             return current - delta.plus
         return current
+
+    def prober(self, name: str, columns: Sequence[int]):
+        delta = self._deltas.get(name)
+        if delta is None or delta.empty:
+            # unchanged relation: the old state IS the new state
+            return self._new.prober(name, columns)
+        cols = tuple(columns)
+        return lambda key: self.lookup(name, cols, key)
 
     def cardinality(self, name: str) -> int:
         delta = self._deltas.get(name)

@@ -1,0 +1,579 @@
+"""Set-at-a-time execution plans for compiled clause bodies.
+
+The tuple-at-a-time evaluator (:mod:`repro.objectlog.evaluate`) threads
+every solution through a chain of recursive generators and dict-based
+environments keyed by :class:`~repro.objectlog.terms.Variable`.  That is
+the right shape for ad-hoc queries, but partial differentials are
+compiled once and executed on *every* transaction — for them the
+per-row interpretation overhead is pure constant cost in the serialized
+check phase (the paper optimizes each differential "using traditional
+query optimization techniques"; DBToaster makes the same point for
+delta queries compiled to reusable set-at-a-time plans).
+
+A :class:`ClausePlan` removes that overhead:
+
+* the body is compiled **once** into a tuple of step closures with
+  pre-resolved predicate definitions, pre-computed bound-column sets,
+  and positional *register* accessors — no per-solve scheduling, no
+  ``Variable`` hashing, no environment dicts;
+* each step maps a **batch of environments** (plain register lists) to
+  the next batch, so one pass over a literal extends every pending
+  binding — the recursive generator stack disappears from the hot loop;
+* delta-set reads probe a per-run key index
+  (:meth:`~repro.objectlog.evaluate.Evaluator.delta_index`) instead of
+  scanning the whole plus/minus side;
+* derived sub-predicates are still answered by the
+  :class:`~repro.objectlog.evaluate.Evaluator` passed at run time, so
+  its memo table is shared with every other plan executed in the same
+  propagation run.
+
+Plans are state-free: the same plan runs against the new or the old
+database state depending on which evaluator executes it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ObjectLogError, UnsafeClauseError
+from repro.objectlog.clause import HornClause
+from repro.objectlog.literals import (
+    _COMPARATORS,
+    Assignment,
+    Comparison,
+    Literal,
+    PredLiteral,
+)
+from repro.objectlog.program import (
+    AggregatePredicate,
+    BasePredicate,
+    DerivedPredicate,
+    ForeignPredicate,
+    Program,
+)
+from repro.objectlog.terms import _OPS, Arith, Variable
+from repro.obs import metrics
+
+Row = Tuple
+Regs = List  # one register per variable of the clause
+Step = Callable[["Evaluator", List[Regs]], List[Regs]]  # noqa: F821
+
+__all__ = ["ClausePlan", "compile_plan"]
+
+
+# -- register accessors -------------------------------------------------------
+
+
+def _getter(slot_of: Dict[Variable, int], bound: Set[int], arg):
+    """A ``regs -> value`` accessor for a bound argument (var or const)."""
+    if isinstance(arg, Variable):
+        slot = slot_of[arg]
+        if slot not in bound:
+            raise UnsafeClauseError(f"variable {arg!r} read before being bound")
+        return lambda regs, _s=slot: regs[_s]
+    return lambda regs, _v=arg: _v
+
+
+def _compile_expr(expr, slot_of: Dict[Variable, int], bound: Set[int]):
+    """Compile an arithmetic term to a ``regs -> value`` closure."""
+    if isinstance(expr, Variable):
+        return _getter(slot_of, bound, expr)
+    if isinstance(expr, Arith):
+        left = _compile_expr(expr.left, slot_of, bound)
+        right = _compile_expr(expr.right, slot_of, bound)
+        op = _OPS[expr.op]
+        return lambda regs: op(left(regs), right(regs))
+    return lambda regs, _v=expr: _v
+
+
+def _make_binder(
+    args: Tuple,
+    slot_of: Dict[Variable, int],
+    bound: Set[int],
+    matched: Set[int],
+):
+    """A ``(regs, row, append)`` closure unifying ``row`` against ``args``.
+
+    ``matched`` holds argument *positions* already guaranteed equal
+    (because they were part of an index-probe key), so only constants,
+    already-bound variables, and repeated occurrences outside that set
+    need runtime checks.  Register lists are linear (each one is owned
+    by exactly one batch entry), so the copy happens only on fan-out.
+    """
+    consts: List[Tuple[int, object]] = []
+    checks: List[Tuple[int, int]] = []
+    row_checks: List[Tuple[int, int]] = []  # repeated var WITHIN this row
+    sets: List[Tuple[int, int]] = []
+    seen = set(bound)
+    first_pos: Dict[int, int] = {}
+    for pos, arg in enumerate(args):
+        if isinstance(arg, Variable):
+            slot = slot_of[arg]
+            if slot in seen:
+                if pos not in matched:
+                    if slot in first_pos:
+                        # bound by an earlier position of THIS literal:
+                        # the register is only written after the checks,
+                        # so compare row positions directly
+                        row_checks.append((pos, first_pos[slot]))
+                    else:
+                        checks.append((pos, slot))
+            else:
+                seen.add(slot)
+                first_pos[slot] = pos
+                sets.append((pos, slot))
+        elif pos not in matched:
+            consts.append((pos, arg))
+
+    const_ops = tuple(consts)
+    check_ops = tuple(checks)
+    row_check_ops = tuple(row_checks)
+    set_ops = tuple(sets)
+
+    def bind(regs: Regs, row: Row, append) -> None:
+        for pos, value in const_ops:
+            if row[pos] != value:
+                return
+        for pos, slot in check_ops:
+            if row[pos] != regs[slot]:
+                return
+        for pos, other in row_check_ops:
+            if row[pos] != row[other]:
+                return
+        new = regs[:]
+        for pos, slot in set_ops:
+            new[slot] = row[pos]
+        append(new)
+
+    def bind_into(regs: Regs, row: Row) -> bool:
+        """In-place variant for the LAST row matched against ``regs``:
+        the register list is owned by one batch entry, so when no other
+        row will extend it there is nothing to copy."""
+        for pos, value in const_ops:
+            if row[pos] != value:
+                return False
+        for pos, slot in check_ops:
+            if row[pos] != regs[slot]:
+                return False
+        for pos, other in row_check_ops:
+            if row[pos] != row[other]:
+                return False
+        for pos, slot in set_ops:
+            regs[slot] = row[pos]
+        return True
+
+    return bind, bind_into, frozenset(slot for _, slot in set_ops)
+
+
+def _key_spec(
+    args: Tuple, slot_of: Dict[Variable, int], bound: Set[int]
+) -> Tuple[Tuple[int, ...], Tuple]:
+    """Bound argument positions and their ``(is_slot, value)`` parts."""
+    cols: List[int] = []
+    parts: List[Tuple[bool, object]] = []
+    for pos, arg in enumerate(args):
+        if isinstance(arg, Variable):
+            slot = slot_of[arg]
+            if slot in bound:
+                cols.append(pos)
+                parts.append((True, slot))
+        else:
+            cols.append(pos)
+            parts.append((False, arg))
+    return tuple(cols), tuple(parts)
+
+
+def _make_key(parts: Tuple) -> Callable[[Regs], Tuple]:
+    # specialized for the overwhelmingly common 1- and 2-column probe
+    # keys: the generic generator-expression tuple build dominated the
+    # hot loop when profiled
+    if len(parts) == 1:
+        (is_slot, value), = parts
+        if is_slot:
+            return lambda regs, _s=value: (regs[_s],)
+        return lambda regs, _k=(value,): _k
+    if len(parts) == 2:
+        (s1, v1), (s2, v2) = parts
+        if s1 and s2:
+            return lambda regs, _a=v1, _b=v2: (regs[_a], regs[_b])
+    return lambda regs: tuple(
+        regs[value] if is_slot else value for is_slot, value in parts
+    )
+
+
+# -- step factories -----------------------------------------------------------
+
+
+def _assign_step(literal: Assignment, slot_of, bound: Set[int]) -> Step:
+    expr = _compile_expr(literal.expr, slot_of, bound)
+    slot = slot_of[literal.var]
+    if slot in bound:
+        def step(evaluator, batch):
+            return [regs for regs in batch if regs[slot] == expr(regs)]
+    else:
+        bound.add(slot)
+
+        def step(evaluator, batch):
+            for regs in batch:
+                regs[slot] = expr(regs)
+            return batch
+    return step
+
+
+def _compare_step(literal: Comparison, slot_of, bound: Set[int]) -> Step:
+    op = _COMPARATORS[literal.op]
+    left = _compile_expr(literal.left, slot_of, bound)
+    right = _compile_expr(literal.right, slot_of, bound)
+
+    def step(evaluator, batch):
+        return [regs for regs in batch if op(left(regs), right(regs))]
+
+    return step
+
+
+def _delta_step(literal: PredLiteral, slot_of, bound: Set[int]) -> Step:
+    pred, sign = literal.pred, literal.delta
+    cols, parts = _key_spec(literal.args, slot_of, bound)
+    bind, bind_into, new_slots = _make_binder(
+        literal.args, slot_of, bound, set(cols)
+    )
+    bound.update(new_slots)
+    if cols:
+        key_of = _make_key(parts)
+
+        def step(evaluator, batch):
+            index = evaluator.delta_index(pred, sign, cols)
+            out: List[Regs] = []
+            append = out.append
+            for regs in batch:
+                rows = index.get(key_of(regs))
+                if rows is None:
+                    continue
+                if len(rows) == 1:
+                    if bind_into(regs, rows[0]):
+                        append(regs)
+                else:
+                    for row in rows:
+                        bind(regs, row, append)
+            return out
+    else:
+        def step(evaluator, batch):
+            rows = evaluator.delta_rows(pred, sign)
+            out: List[Regs] = []
+            append = out.append
+            for regs in batch:
+                for row in rows:
+                    bind(regs, row, append)
+            return out
+    return step
+
+
+def _base_step(literal: PredLiteral, slot_of, bound: Set[int]) -> Step:
+    pred = literal.pred
+    cols, parts = _key_spec(literal.args, slot_of, bound)
+    bind, bind_into, new_slots = _make_binder(
+        literal.args, slot_of, bound, set(cols)
+    )
+    bound.update(new_slots)
+    if cols:
+        key_of = _make_key(parts)
+        cache_key = (pred, cols)
+
+        def step(evaluator, batch):
+            probe = evaluator.prober_cache.get(cache_key)
+            if probe is None:
+                probe = evaluator.view.prober(pred, cols)
+                evaluator.prober_cache[cache_key] = probe
+            out: List[Regs] = []
+            append = out.append
+            for regs in batch:
+                rows = probe(key_of(regs))
+                if not rows:
+                    continue
+                if len(rows) == 1:
+                    for row in rows:
+                        if bind_into(regs, row):
+                            append(regs)
+                else:
+                    for row in rows:
+                        bind(regs, row, append)
+            return out
+    else:
+        def step(evaluator, batch):
+            rows = evaluator.view.rows(pred)
+            out: List[Regs] = []
+            append = out.append
+            for regs in batch:
+                for row in rows:
+                    bind(regs, row, append)
+            return out
+    return step
+
+
+def _negation_step(
+    literal: PredLiteral, definition, slot_of, bound: Set[int]
+) -> Step:
+    unbound = [
+        arg
+        for arg in literal.args
+        if isinstance(arg, Variable) and slot_of[arg] not in bound
+    ]
+    if unbound:
+        raise UnsafeClauseError(
+            f"negated literal {literal!r} scheduled with unbound {unbound!r}"
+        )
+    getters = tuple(_getter(slot_of, bound, arg) for arg in literal.args)
+    pred = literal.pred
+    if isinstance(definition, BasePredicate):
+        def step(evaluator, batch):
+            contains = evaluator.view.contains
+            return [
+                regs
+                for regs in batch
+                if not contains(pred, tuple(g(regs) for g in getters))
+            ]
+    elif isinstance(definition, DerivedPredicate):
+        positions = tuple(enumerate(getters))
+
+        def step(evaluator, batch):
+            derived_rows = evaluator.derived_rows
+            return [
+                regs
+                for regs in batch
+                if not derived_rows(
+                    definition, tuple((pos, g(regs)) for pos, g in positions)
+                )
+            ]
+    else:
+        # foreign / aggregate negation: route through the evaluator's
+        # generic literal machinery (rare; not worth a specialized step)
+        variables = tuple(
+            (var, slot_of[var]) for var in sorted(literal.variables(), key=repr)
+        )
+        positive = PredLiteral(literal.pred, literal.args)
+
+        def step(evaluator, batch):
+            out: List[Regs] = []
+            for regs in batch:
+                env = {var: regs[slot] for var, slot in variables}
+                for _ in evaluator._eval_literal(positive, env):
+                    break
+                else:
+                    out.append(regs)
+            return out
+    return step
+
+
+def _foreign_step(
+    literal: PredLiteral, definition: ForeignPredicate, slot_of, bound: Set[int]
+) -> Step:
+    inputs = literal.args[: definition.n_in]
+    for arg in inputs:
+        if isinstance(arg, Variable) and slot_of[arg] not in bound:
+            raise UnsafeClauseError(
+                f"foreign predicate {definition.name!r} scheduled with "
+                f"unbound input {arg!r}"
+            )
+    in_getters = tuple(_getter(slot_of, bound, arg) for arg in inputs)
+    out_args = literal.args[definition.n_in :]
+    fn = definition.fn
+    if not out_args:
+        def step(evaluator, batch):
+            return [regs for regs in batch if fn(*[g(regs) for g in in_getters])]
+        return step
+    bind, _bind_into, new_slots = _make_binder(out_args, slot_of, bound, set())
+    bound.update(new_slots)
+
+    def step(evaluator, batch):
+        out: List[Regs] = []
+        append = out.append
+        for regs in batch:
+            result = fn(*[g(regs) for g in in_getters])
+            if result is None:
+                continue
+            for item in result:
+                row = item if isinstance(item, tuple) else (item,)
+                bind(regs, row, append)
+        return out
+
+    return step
+
+
+def _derived_step(
+    literal: PredLiteral, definition: DerivedPredicate, slot_of, bound: Set[int]
+) -> Step:
+    cols, _parts = _key_spec(literal.args, slot_of, bound)
+    bound_getters = tuple(
+        (pos, _getter(slot_of, bound, literal.args[pos])) for pos in cols
+    )
+    bind, _bind_into, new_slots = _make_binder(
+        literal.args, slot_of, bound, set(cols)
+    )
+    bound.update(new_slots)
+
+    def step(evaluator, batch):
+        derived_rows = evaluator.derived_rows
+        out: List[Regs] = []
+        append = out.append
+        for regs in batch:
+            rows = derived_rows(
+                definition, tuple((pos, g(regs)) for pos, g in bound_getters)
+            )
+            for row in rows:
+                bind(regs, row, append)
+        return out
+
+    return step
+
+
+def _aggregate_step(
+    literal: PredLiteral, definition: AggregatePredicate, slot_of, bound: Set[int]
+) -> Step:
+    n_group = definition.n_group
+    cols, parts = _key_spec(literal.args[:n_group], slot_of, bound)
+    group_getters = tuple(
+        (pos, _getter(slot_of, bound, literal.args[pos])) for pos in cols
+    )
+    bind, _bind_into, new_slots = _make_binder(
+        literal.args, slot_of, bound, set(cols)
+    )
+    bound.update(new_slots)
+
+    def step(evaluator, batch):
+        aggregate_rows = evaluator.aggregate_rows
+        out: List[Regs] = []
+        append = out.append
+        for regs in batch:
+            rows = aggregate_rows(
+                definition, tuple((pos, g(regs)) for pos, g in group_getters)
+            )
+            for row in rows:
+                bind(regs, row, append)
+        return out
+
+    return step
+
+
+# -- the plan -----------------------------------------------------------------
+
+
+class ClausePlan:
+    """A compiled, set-at-a-time execution plan for one clause.
+
+    The body must already be in a safe execution order (see
+    :func:`repro.objectlog.optimize.order_body`); compilation verifies
+    executability as it assigns registers and raises
+    :class:`UnsafeClauseError` otherwise.
+    """
+
+    __slots__ = ("clause", "steps", "slot_of", "n_slots", "_emit")
+
+    def __init__(
+        self,
+        clause: HornClause,
+        steps: Tuple[Step, ...],
+        slot_of: Dict[Variable, int],
+        emit: Tuple,
+    ) -> None:
+        self.clause = clause
+        self.steps = steps
+        self.slot_of = dict(slot_of)
+        self.n_slots = len(slot_of)
+        self._emit = emit
+
+    def execute(self, evaluator, seeds: List[Regs]) -> List[Regs]:
+        """Run every seed register list through all steps."""
+        reg = metrics.ACTIVE
+        if reg is not None:
+            reg.counter("evaluate.batch_runs").inc()
+            reg.counter("evaluate.batch_seed_envs").inc(len(seeds))
+        batch = seeds
+        for step in self.steps:
+            if not batch:
+                break
+            batch = step(evaluator, batch)
+        if reg is not None:
+            reg.counter("evaluate.batch_solutions").inc(len(batch))
+        return batch
+
+    def rows(self, evaluator) -> List[Row]:
+        """Head rows from an empty seed (one all-``None`` register list)."""
+        batch = self.execute(evaluator, [[None] * self.n_slots])
+        emit = self._emit
+        return [
+            tuple(regs[value] if is_slot else value for is_slot, value in emit)
+            for regs in batch
+        ]
+
+    def __repr__(self) -> str:
+        return f"ClausePlan({self.clause!r}, steps={len(self.steps)})"
+
+
+def compile_plan(
+    clause: HornClause,
+    program: Program,
+    bound_vars: Sequence[Variable] = (),
+) -> ClausePlan:
+    """Compile ``clause`` (body pre-ordered) into a :class:`ClausePlan`.
+
+    ``bound_vars`` are guaranteed bound before execution starts; their
+    registers come first so callers can seed them (the batched negative
+    guard seeds the head variables from each candidate row).
+    """
+    slot_of: Dict[Variable, int] = {}
+
+    def slot(var: Variable) -> int:
+        existing = slot_of.get(var)
+        if existing is None:
+            existing = slot_of[var] = len(slot_of)
+        return existing
+
+    bound: Set[int] = {slot(var) for var in bound_vars}
+    for literal in clause.body:
+        for var in sorted(literal.variables(), key=lambda v: v.name):
+            slot(var)
+    for arg in clause.head.args:
+        if isinstance(arg, Variable) and arg not in slot_of:
+            raise UnsafeClauseError(
+                f"head variable {arg!r} of {clause!r} never occurs in the body"
+            )
+
+    steps: List[Step] = []
+    for literal in clause.body:
+        steps.append(_compile_literal(literal, program, slot_of, bound))
+
+    emit = tuple(
+        (True, slot_of[arg]) if isinstance(arg, Variable) else (False, arg)
+        for arg in clause.head.args
+    )
+    for is_slot, value in emit:
+        if is_slot and value not in bound:
+            raise UnsafeClauseError(
+                f"head variable of {clause!r} still unbound after the body"
+            )
+    return ClausePlan(clause, tuple(steps), slot_of, emit)
+
+
+def _compile_literal(
+    literal: Literal, program: Program, slot_of, bound: Set[int]
+) -> Step:
+    if isinstance(literal, Assignment):
+        return _assign_step(literal, slot_of, bound)
+    if isinstance(literal, Comparison):
+        return _compare_step(literal, slot_of, bound)
+    if not isinstance(literal, PredLiteral):
+        raise ObjectLogError(f"unknown literal type {type(literal).__name__}")
+    if literal.delta is not None:
+        return _delta_step(literal, slot_of, bound)
+    definition = program.predicate(literal.pred)
+    if literal.negated:
+        return _negation_step(literal, definition, slot_of, bound)
+    if isinstance(definition, BasePredicate):
+        return _base_step(literal, slot_of, bound)
+    if isinstance(definition, ForeignPredicate):
+        return _foreign_step(literal, definition, slot_of, bound)
+    if isinstance(definition, DerivedPredicate):
+        return _derived_step(literal, definition, slot_of, bound)
+    if isinstance(definition, AggregatePredicate):
+        return _aggregate_step(literal, definition, slot_of, bound)
+    raise ObjectLogError(f"cannot compile literal {literal!r}")

@@ -19,7 +19,18 @@ a mapping of delta-sets for delta-marked literals.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.algebra.delta import DeltaSet
 from repro.algebra.oldstate import StateView
@@ -76,6 +87,78 @@ class Evaluator:
         self.memoize = memoize
         self._memo: Dict[Tuple, FrozenSet[Row]] = {}
         self._stack: Set[str] = set()
+        #: per-delta key indexes: (pred, sign, columns) -> {key: [rows]}
+        self._delta_indexes: Dict[Tuple, Dict[Tuple, List[Row]]] = {}
+        #: resolved ``key -> rows`` probe callables per (pred, columns),
+        #: valid for this evaluator's lifetime because its view reads
+        #: one immutable state (see :meth:`StateView.prober`)
+        self.prober_cache: Dict[Tuple, Callable] = {}
+
+    def reset(self) -> None:
+        """Forget all state tied to one database snapshot: memoized
+        derived extensions, delta indexes, and resolved probers.  Lets a
+        propagator keep one evaluator per state across runs instead of
+        allocating fresh ones every transaction."""
+        self.deltas = {}
+        if self._memo:
+            self._memo.clear()
+        if self._delta_indexes:
+            self._delta_indexes.clear()
+        if self.prober_cache:
+            self.prober_cache.clear()
+
+    def set_deltas(self, deltas: Optional[Mapping[str, DeltaSet]]) -> None:
+        """Swap the delta-sets this evaluator reads for delta literals.
+
+        Used by the propagation algorithm to share ONE evaluator (and
+        its derived-predicate memo — program clauses never contain
+        delta literals, so memoized extensions stay valid) across all
+        edges of a run while each edge supplies its own influent delta.
+        """
+        self.deltas = dict(deltas or {})
+        if self._delta_indexes:
+            self._delta_indexes.clear()
+
+    def set_delta(self, pred: str, delta: DeltaSet) -> None:
+        """Point this evaluator at exactly one influent's delta-set.
+
+        The propagation loop calls this once per edge; when consecutive
+        edges of the same node share the identical delta object the call
+        is a no-op, keeping the per-delta key indexes warm.
+        """
+        deltas = self.deltas
+        if len(deltas) == 1 and deltas.get(pred) is delta:
+            return
+        self.deltas = {pred: delta}
+        if self._delta_indexes:
+            self._delta_indexes.clear()
+
+    def delta_rows(self, pred: str, sign: str) -> FrozenSet[Row]:
+        """One side of a predicate's delta-set (empty when absent)."""
+        delta = self.deltas.get(pred, _EMPTY_DELTA)
+        return delta.plus if sign == "+" else delta.minus
+
+    def delta_index(
+        self, pred: str, sign: str, columns: Tuple[int, ...]
+    ) -> Dict[Tuple, List[Row]]:
+        """A per-run key index over one side of a delta-set.
+
+        Built lazily per distinct bound-column combination and cached
+        until :meth:`set_deltas` swaps the deltas, so repeated probes
+        against the same (tiny, but possibly large under Fig. 7's
+        massive updates) delta-set stay O(probe) instead of O(delta).
+        """
+        cache_key = (pred, sign, columns)
+        index = self._delta_indexes.get(cache_key)
+        if index is None:
+            index = {}
+            for row in self.delta_rows(pred, sign):
+                index.setdefault(tuple(row[c] for c in columns), []).append(row)
+            self._delta_indexes[cache_key] = index
+            reg = metrics.ACTIVE
+            if reg is not None:
+                reg.counter("evaluate.delta_indexes_built").inc()
+        return index
 
     # -- public API ---------------------------------------------------------------
 
@@ -270,9 +353,29 @@ class Evaluator:
                 extensions.inc()
                 yield extended
 
+    #: delta-set sides below this size are scanned; at or above it a
+    #: keyed probe through :meth:`delta_index` wins (Fig. 7 workloads)
+    DELTA_INDEX_THRESHOLD = 8
+
     def _eval_delta(self, literal: PredLiteral, env: Env) -> Iterator[Env]:
         delta = self.deltas.get(literal.pred, _EMPTY_DELTA)
         rows = delta.plus if literal.delta == "+" else delta.minus
+        if len(rows) >= self.DELTA_INDEX_THRESHOLD:
+            bound_cols: List[int] = []
+            key: List = []
+            for position, arg in enumerate(literal.args):
+                if isinstance(arg, Variable):
+                    if arg in env:
+                        bound_cols.append(position)
+                        key.append(env[arg])
+                else:
+                    bound_cols.append(position)
+                    key.append(arg)
+            if bound_cols:
+                index = self.delta_index(
+                    literal.pred, literal.delta, tuple(bound_cols)
+                )
+                rows = index.get(tuple(key), ())
         reg = metrics.ACTIVE
         if reg is None:
             for row in rows:
@@ -329,12 +432,36 @@ class Evaluator:
         matching the functional-data-model convention that a function
         application without a stored value simply fails.
         """
+        bound: List[Tuple[int, object]] = []
+        for position, arg in enumerate(literal.args[: definition.n_group]):
+            if isinstance(arg, Variable):
+                if arg in env:
+                    bound.append((position, env[arg]))
+            else:
+                bound.append((position, arg))
+        for row in self.aggregate_rows(definition, tuple(bound)):
+            extended = bind_row(literal.args, row, env)
+            if extended is not None:
+                yield extended
+
+    def aggregate_rows(
+        self,
+        definition: AggregatePredicate,
+        bound_groups: Tuple[Tuple[int, object], ...] = (),
+    ) -> Iterable[Row]:
+        """``(group..., agg)`` rows restricted by bound group columns.
+
+        ``bound_groups`` holds ``(position, value)`` pairs for group
+        columns (positions below ``n_group``) known in advance, so a
+        fully-bound group costs one group's source rows, not a scan.
+        """
         n_group = definition.n_group
         source_arity = self.program.predicate(definition.source).arity
         value_var = fresh_variable("_V")
+        pinned = dict(bound_groups)
         probe_args = tuple(
-            env.get(arg, arg) if isinstance(arg, Variable) else arg
-            for arg in literal.args[:n_group]
+            pinned.get(position, fresh_variable("_W"))
+            for position in range(n_group)
         )
         probe_args += tuple(
             fresh_variable("_W") for _ in range(source_arity - n_group - 1)
@@ -347,11 +474,9 @@ class Evaluator:
                 for arg in probe_args[:n_group]
             )
             groups.setdefault(key, []).append(solution[value_var])
-        for key, values in groups.items():
-            row = key + (definition.apply(values),)
-            extended = bind_row(literal.args, row, env)
-            if extended is not None:
-                yield extended
+        return [
+            key + (definition.apply(values),) for key, values in groups.items()
+        ]
 
     def _eval_derived(
         self, definition: DerivedPredicate, literal: PredLiteral, env: Env
@@ -365,12 +490,6 @@ class Evaluator:
     def _derived_rows(
         self, definition: DerivedPredicate, literal: PredLiteral, env: Env
     ) -> FrozenSet[Row]:
-        """Extension of a derived predicate restricted by the bound args."""
-        if definition.name in self._stack:
-            raise RecursionNotSupportedError(
-                f"recursive evaluation of {definition.name!r} "
-                "(recursion is outside the paper's scope)"
-            )
         bound: List[Tuple[int, object]] = []
         for position, arg in enumerate(literal.args):
             if isinstance(arg, Variable):
@@ -378,7 +497,26 @@ class Evaluator:
                     bound.append((position, env[arg]))
             else:
                 bound.append((position, arg))
-        memo_key = (definition.name, tuple(bound)) if self.memoize else None
+        return self.derived_rows(definition, tuple(bound))
+
+    def derived_rows(
+        self,
+        definition: DerivedPredicate,
+        bound: Tuple[Tuple[int, object], ...],
+    ) -> FrozenSet[Row]:
+        """Extension of a derived predicate restricted by the bound args.
+
+        ``bound`` holds ``(position, value)`` pairs in position order;
+        results are memoized per (predicate, bound) so both the
+        tuple-at-a-time path and compiled batch plans sharing this
+        evaluator amortize repeated sub-derivations.
+        """
+        if definition.name in self._stack:
+            raise RecursionNotSupportedError(
+                f"recursive evaluation of {definition.name!r} "
+                "(recursion is outside the paper's scope)"
+            )
+        memo_key = (definition.name, bound) if self.memoize else None
         if memo_key is not None and memo_key in self._memo:
             reg = metrics.ACTIVE
             if reg is not None:

@@ -20,8 +20,8 @@ the negation in the evaluation state so only genuine transitions pass.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Optional
 
 from repro.objectlog.clause import HornClause
 from repro.objectlog.literals import PredLiteral
@@ -56,6 +56,13 @@ class PartialDifferentialClause:
         True when ``clause`` body is statically pre-ordered
         (:func:`repro.objectlog.optimize.order_body`) and may be
         evaluated without runtime scheduling.
+    plan:
+        Compiled set-at-a-time execution plan
+        (:class:`repro.objectlog.batch.ClausePlan`), attached at
+        network-construction time and cached on the network edge for
+        the lifetime of the activation.  ``None`` when no safe static
+        order exists; the propagator then falls back to the
+        tuple-at-a-time evaluator for this differential.
     """
 
     target: str
@@ -66,6 +73,7 @@ class PartialDifferentialClause:
     clause: HornClause
     occurrence: int
     static: bool = False
+    plan: Optional[object] = field(default=None, compare=False, repr=False)
 
     def label(self) -> str:
         """Human-readable name, e.g. ``Δcnd_monitor_items/Δ+quantity``."""

@@ -72,15 +72,21 @@ class IncrementalEngine(MonitoringEngine):
         shared_nodes: FrozenSet[str] = frozenset(),
         negatives: bool = True,
         guard_negatives: bool = True,
+        batch: bool = True,
     ) -> None:
         self.db = db
         self.program = program
         self.shared_nodes = frozenset(shared_nodes)
         self.negatives = negatives
         self.guard_negatives = guard_negatives
+        #: set-at-a-time execution (compiled plans, shared evaluators,
+        #: batched negative guards); False selects the legacy
+        #: tuple-at-a-time reference path
+        self.batch = batch
         self.network = PropagationNetwork(program, negatives=negatives)
         self._propagator = Propagator(
-            program, db, self.network, guard_negatives=guard_negatives
+            program, db, self.network,
+            guard_negatives=guard_negatives, batch=batch,
         )
         self._influents: Dict[str, FrozenSet[str]] = {}
 
@@ -89,7 +95,8 @@ class IncrementalEngine(MonitoringEngine):
         for condition in sorted(conditions):
             self.network.add_condition(condition, keep=self.shared_nodes)
         self._propagator = Propagator(
-            self.program, self.db, self.network, guard_negatives=self.guard_negatives
+            self.program, self.db, self.network,
+            guard_negatives=self.guard_negatives, batch=self.batch,
         )
         self._influents = dict(conditions)
 
@@ -164,11 +171,14 @@ class HybridEngine(MonitoringEngine):
         program: Program,
         switch_ratio: float = 0.2,
         shared_nodes: FrozenSet[str] = frozenset(),
+        batch: bool = True,
     ) -> None:
         self.db = db
         self.program = program
         self.switch_ratio = switch_ratio
-        self._incremental = IncrementalEngine(db, program, shared_nodes=shared_nodes)
+        self._incremental = IncrementalEngine(
+            db, program, shared_nodes=shared_nodes, batch=batch
+        )
         self._influents: Dict[str, FrozenSet[str]] = {}
         #: how each condition was handled last time (for tests/reporting)
         self.last_decisions: Dict[str, str] = {}

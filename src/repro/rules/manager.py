@@ -84,6 +84,7 @@ class RuleManager:
         hybrid_switch_ratio: float = 0.2,
         processing: str = "deferred",
         observe: bool = False,
+        batch: bool = True,
     ) -> None:
         if processing not in ("deferred", "immediate"):
             raise RuleError(f"unknown processing mode {processing!r}")
@@ -91,6 +92,10 @@ class RuleManager:
         self.program = program
         self.mode = mode
         self.processing = processing
+        #: set-at-a-time check phase (compiled differential plans,
+        #: shared evaluators, batched guards); False falls back to the
+        #: legacy tuple-at-a-time reference engine
+        self.batch = batch
         self.explain = explain
         #: collect per-commit metrics/spans (see repro.obs); read the
         #: results via last_check_stats / last_check_trace
@@ -113,7 +118,8 @@ class RuleManager:
         self.current_firing: Optional[FiredRule] = None
         if mode == "incremental":
             self.engine: MonitoringEngine = IncrementalEngine(
-                db, program, shared_nodes=shared_nodes, negatives=negatives
+                db, program, shared_nodes=shared_nodes, negatives=negatives,
+                batch=batch,
             )
         elif mode == "naive":
             self.engine = NaiveEngine(db, program)
@@ -123,6 +129,7 @@ class RuleManager:
                 program,
                 switch_ratio=hybrid_switch_ratio,
                 shared_nodes=shared_nodes,
+                batch=batch,
             )
         else:
             raise RuleError(f"unknown monitoring mode {mode!r}")

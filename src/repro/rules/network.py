@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import dataclasses
 
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.algebra.delta import MutableDelta
 from repro.errors import PropagationError
@@ -118,6 +118,7 @@ class PropagationNetwork:
         self.optimize = optimize
         self.nodes: Dict[str, NetworkNode] = {}
         self._edges: Dict[Tuple[str, str], NetworkEdge] = {}
+        self._bottom_up: Optional[List[NetworkNode]] = None
 
     # -- construction ---------------------------------------------------------------
 
@@ -200,16 +201,25 @@ class PropagationNetwork:
     def _optimize(
         self, differential: PartialDifferentialClause
     ) -> PartialDifferentialClause:
-        """Statically pre-order a differential's body (compile once,
-        execute every transaction).  Falls back to the dynamic
-        scheduler when no safe static order exists."""
+        """Statically pre-order a differential's body and compile it to
+        a set-at-a-time :class:`~repro.objectlog.batch.ClausePlan`
+        (compile once at activation, execute every transaction).  Falls
+        back to the dynamic scheduler when no safe static order
+        exists."""
         from repro.errors import UnsafeClauseError
+        from repro.objectlog.batch import compile_plan
 
         try:
             ordered = order_clause(differential.clause, self.program)
         except UnsafeClauseError:
             return differential
-        return dataclasses.replace(differential, clause=ordered, static=True)
+        try:
+            plan = compile_plan(ordered, self.program)
+        except UnsafeClauseError:  # pragma: no cover - ordered bodies compile
+            plan = None
+        return dataclasses.replace(
+            differential, clause=ordered, static=True, plan=plan
+        )
 
     def _edge(self, source: NetworkNode, target: NetworkNode) -> NetworkEdge:
         key = (source.name, target.name)
@@ -241,6 +251,7 @@ class PropagationNetwork:
 
         for name, node in self.nodes.items():
             node.level = level(name, frozenset())
+        self._bottom_up = None
 
     # -- queries ----------------------------------------------------------------------
 
@@ -262,8 +273,16 @@ class PropagationNetwork:
         return list(self._edges.values())
 
     def bottom_up_nodes(self) -> List[NetworkNode]:
-        """All nodes, lowest level first (breadth-first, bottom-up order)."""
-        return sorted(self.nodes.values(), key=lambda node: (node.level, node.name))
+        """All nodes, lowest level first (breadth-first, bottom-up order).
+
+        Cached between structural changes: the propagator walks this
+        list on every transaction."""
+        ordered = self._bottom_up
+        if ordered is None:
+            ordered = self._bottom_up = sorted(
+                self.nodes.values(), key=lambda node: (node.level, node.name)
+            )
+        return ordered
 
     def differential_count(self) -> int:
         return sum(len(edge.differentials()) for edge in self._edges.values())

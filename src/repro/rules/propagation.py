@@ -22,6 +22,19 @@ plus the two crucial refinements:
 Positive differentials are evaluated in the NEW state, negative ones in
 the OLD state, reconstructed on demand by logical rollback from the
 very delta-sets being propagated.
+
+Two execution engines share this control loop:
+
+* the **batch** engine (default): each differential executes its
+  compiled set-at-a-time :class:`~repro.objectlog.batch.ClausePlan`
+  against one of exactly two evaluators per run (new-state and
+  old-state) whose derived-predicate memos amortize across the whole
+  wave front; negative candidates are guarded by ONE batched semi-join
+  per differential instead of one top-down derivation per tuple;
+* the **legacy** tuple-at-a-time engine (``batch=False``): a fresh
+  evaluator per edge and a per-row ``holds()`` guard — kept as the
+  reference implementation the A/B equivalence suite pins the batch
+  engine against.
 """
 
 from __future__ import annotations
@@ -31,8 +44,13 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from repro.algebra.delta import DeltaSet
 from repro.algebra.oldstate import NewStateView, OldStateView
+from repro.errors import UnsafeClauseError
+from repro.objectlog.batch import ClausePlan, compile_plan
+from repro.objectlog.clause import HornClause
 from repro.objectlog.evaluate import Evaluator
-from repro.objectlog.program import Program
+from repro.objectlog.optimize import order_body
+from repro.objectlog.program import DerivedPredicate, Program
+from repro.objectlog.terms import Variable
 from repro.obs import metrics, tracing
 from repro.rules.differentials import PartialDifferentialClause
 from repro.rules.network import NetworkNode, PropagationNetwork
@@ -91,13 +109,38 @@ class Propagator:
         db: Database,
         network: PropagationNetwork,
         guard_negatives: bool = True,
+        batch: bool = True,
     ) -> None:
         self.program = program
         self.db = db
         self.network = network
         self.guard_negatives = guard_negatives
+        #: set-at-a-time execution (compiled plans, shared evaluators,
+        #: batched guards); False selects the legacy tuple-at-a-time path
+        self.batch = batch
         #: statistics of the last run (differentials executed, tuples produced)
         self.last_trace: Optional[PropagationTrace] = None
+        #: rows currently materialized across all node delta-sets,
+        #: maintained incrementally on merge/discard (the wave-front
+        #: footprint — recomputing it per node visit was O(network²))
+        self._live = 0
+        #: nodes whose delta-set was merged into this run — the run
+        #: loop and reset touch only these, not the whole network
+        self._dirty: set = set()
+        #: per target predicate: compiled guard semi-join plans, or None
+        #: when the target cannot be guard-compiled (falls back to
+        #: per-row ``holds()``)
+        self._guard_plans: Dict[
+            str, Optional[List[Tuple[Tuple, ClausePlan]]]
+        ] = {}
+        # batch mode keeps ONE pair of state views and evaluators for
+        # the propagator's lifetime; run() resets them per transaction
+        # instead of reallocating (the check phase is the serialized
+        # section — constant per-run cost is paid under the lock)
+        self._new_view = NewStateView(db)
+        self._old_view = OldStateView(db, {})
+        self._new_eval = Evaluator(program, self._new_view)
+        self._old_eval = Evaluator(program, self._old_view)
 
     def run(
         self,
@@ -106,9 +149,22 @@ class Propagator:
     ) -> Dict[str, DeltaSet]:
         """Propagate ``base_deltas`` upward; return the root delta-sets."""
         tracer = PropagationTrace() if trace else None
-        new_view = NewStateView(self.db)
-        old_view = OldStateView(self.db, base_deltas)
-        guard_eval = Evaluator(self.program, new_view)
+        if self.batch:
+            # exactly two evaluators per run: derived-predicate memos
+            # amortize across every edge and the aggregate path
+            new_view = self._new_view
+            old_view = self._old_view
+            old_view.reset(base_deltas)
+            new_eval = self._new_eval
+            old_eval = self._old_eval
+            new_eval.reset()
+            old_eval.reset()
+            guard_eval = new_eval
+        else:
+            new_view = NewStateView(self.db)
+            old_view = OldStateView(self.db, base_deltas)
+            new_eval = old_eval = None
+            guard_eval = Evaluator(self.program, new_view)
         reg = metrics.ACTIVE
         tr = tracing.ACTIVE
         run_span = tr.begin("propagate") if tr is not None else None
@@ -120,12 +176,13 @@ class Propagator:
             for name, delta in base_deltas.items():
                 node = self.network.nodes.get(name)
                 if node is not None and not delta.empty:
-                    node.delta.merge(delta)
+                    self._merge(node, delta)
             self._note_wavefront(reg)
 
             results: Dict[str, DeltaSet] = {}
+            dirty = self._dirty
             for node in self.network.bottom_up_nodes():
-                if node.delta.empty:
+                if node not in dirty or node.delta.empty:
                     continue
                 frozen = node.delta.freeze()
                 if node.is_root:
@@ -133,20 +190,23 @@ class Propagator:
                 for edge in node.out_edges:
                     if edge.aggregate is not None:
                         self._execute_aggregate(
-                            edge, frozen, new_view, old_view, tracer, reg, tr
+                            edge, frozen, new_view, old_view,
+                            new_eval, old_eval, tracer, reg, tr,
                         )
                         continue
                     if frozen.plus:
                         for differential in edge.positive:
-                            self._execute(
+                            self._dispatch(
                                 differential, frozen, new_view, old_view,
-                                guard_eval, edge.target, tracer, reg, tr,
+                                new_eval, old_eval, guard_eval, edge.target,
+                                tracer, reg, tr,
                             )
                     if frozen.minus:
                         for differential in edge.negative:
-                            self._execute(
+                            self._dispatch(
                                 differential, frozen, new_view, old_view,
-                                guard_eval, edge.target, tracer, reg, tr,
+                                new_eval, old_eval, guard_eval, edge.target,
+                                tracer, reg, tr,
                             )
                 # the wave-front peak is right now: this node's delta is
                 # still materialized and its out-edges have already
@@ -154,12 +214,7 @@ class Propagator:
                 self._note_wavefront(reg)
                 # the wave front has passed: discard the temporary
                 # materialization (the paper's section-6 space claim)
-                if reg is not None:
-                    discarded = len(node.delta)
-                    if discarded:
-                        reg.counter("propagation.discarded_rows").inc(discarded)
-                        reg.counter("propagation.discards").inc()
-                node.delta.clear()
+                self._discard(node, reg)
 
             if run_span is not None:
                 run_span.annotate(
@@ -173,10 +228,31 @@ class Propagator:
         self.last_trace = tracer
         return results
 
-    # -- internals --------------------------------------------------------------
+    # -- wave-front bookkeeping ---------------------------------------------------
 
     def _reset(self) -> None:
-        for node in self.network.nodes.values():
+        for node in self._dirty:
+            if len(node.delta):
+                node.delta.clear()
+        self._dirty.clear()
+        self._live = 0
+
+    def _merge(self, node: NetworkNode, delta: DeltaSet) -> int:
+        """Delta-union ``delta`` into ``node``, keeping the live-row
+        count current; returns the cancelled-pair count."""
+        before = len(node.delta)
+        cancelled = node.delta.merge(delta)
+        self._live += len(node.delta) - before
+        self._dirty.add(node)
+        return cancelled
+
+    def _discard(self, node: NetworkNode, reg) -> None:
+        discarded = len(node.delta)
+        if discarded:
+            self._live -= discarded
+            if reg is not None:
+                reg.counter("propagation.discarded_rows").inc(discarded)
+                reg.counter("propagation.discards").inc()
             node.delta.clear()
 
     def _note_wavefront(self, reg) -> None:
@@ -184,94 +260,18 @@ class Propagator:
         node delta-sets right now) as a high-water-mark gauge."""
         if reg is None:
             return
-        live = sum(len(node.delta) for node in self.network.nodes.values())
-        reg.gauge("propagation.wavefront_peak").set_max(live)
+        reg.gauge("propagation.wavefront_peak").set_max(self._live)
 
-    def _execute_aggregate(
-        self,
-        edge,
-        source_delta: DeltaSet,
-        new_view: NewStateView,
-        old_view: OldStateView,
-        tracer: Optional[PropagationTrace],
-        reg=None,
-        tr=None,
-    ) -> None:
-        """Per-group incremental maintenance of an aggregate node.
+    # -- edge dispatch ------------------------------------------------------------
 
-        Only the groups whose source rows changed are recomputed — in
-        the new state directly, in the old state by logical rollback —
-        and the difference of their aggregate rows becomes the node's
-        delta.  This is exact (no guard needed).
-        """
-        definition = edge.aggregate
-        n_group = definition.n_group
-        touched = {
-            row[:n_group] for row in source_delta.plus | source_delta.minus
-        }
-        if not touched:
-            return
-        label = f"Δ{definition.name}/Δ{edge.source.name} [groups]"
-        span = tr.begin(f"edge:{label}") if tr is not None else None
-        new_eval = Evaluator(self.program, new_view)
-        old_eval = Evaluator(self.program, old_view)
-        plus: set = set()
-        minus: set = set()
-        from repro.objectlog.terms import fresh_variable
-
-        for group in touched:
-            probe = group + (fresh_variable("_A"),)
-            new_rows = {
-                group + (env[probe[-1]],)
-                for env in new_eval.query(definition.name, probe)
-            }
-            old_rows = {
-                group + (env[probe[-1]],)
-                for env in old_eval.query(definition.name, probe)
-            }
-            plus |= new_rows - old_rows
-            minus |= old_rows - new_rows
-        delta = DeltaSet(frozenset(plus) - frozenset(minus),
-                         frozenset(minus) - frozenset(plus))
-        cancelled = 0
-        if delta:
-            cancelled = edge.target.delta.merge(delta)
-        if reg is not None:
-            reg.counter("propagation.edges_fired").inc()
-            reg.counter("propagation.tuples_in").inc(len(touched))
-            reg.counter("propagation.tuples_out").inc(len(plus) + len(minus))
-            if cancelled:
-                reg.counter("propagation.cancellations").inc(cancelled)
-        if span is not None:
-            span.annotate(
-                target=definition.name,
-                influent=edge.source.name,
-                sign="*",
-                groups=len(touched),
-                out=len(plus) + len(minus),
-                cancelled=cancelled,
-            )
-            tr.finish(span)
-        if tracer is not None:
-            tracer.executions.append(
-                DifferentialExecution(
-                    label=label,
-                    target=definition.name,
-                    influent=edge.source.name,
-                    input_sign="*",
-                    output_sign="*",
-                    input_size=len(touched),
-                    produced=frozenset(plus | minus),
-                    guarded_away=frozenset(),
-                )
-            )
-
-    def _execute(
+    def _dispatch(
         self,
         differential: PartialDifferentialClause,
         source_delta: DeltaSet,
         new_view: NewStateView,
         old_view: OldStateView,
+        new_eval: Optional[Evaluator],
+        old_eval: Optional[Evaluator],
         guard_eval: Evaluator,
         target: NetworkNode,
         tracer: Optional[PropagationTrace],
@@ -279,28 +279,51 @@ class Propagator:
         tr=None,
     ) -> None:
         span = tr.begin(f"edge:{differential.label()}") if tr is not None else None
-        view = new_view if differential.state == "new" else old_view
-        evaluator = Evaluator(
-            self.program, view, deltas={differential.influent: source_delta}
-        )
-        produced = frozenset(
-            evaluator.solve_clause(differential.clause, static=differential.static)
-        )
+        if self.batch:
+            evaluator = new_eval if differential.state == "new" else old_eval
+            evaluator.set_delta(differential.influent, source_delta)
+            plan = differential.plan
+            if plan is not None:
+                produced = frozenset(plan.rows(evaluator))
+            else:
+                produced = frozenset(
+                    evaluator.solve_clause(
+                        differential.clause, static=differential.static
+                    )
+                )
+        else:
+            evaluator = Evaluator(
+                self.program,
+                new_view if differential.state == "new" else old_view,
+                deltas={differential.influent: source_delta},
+            )
+            produced = frozenset(
+                evaluator.solve_clause(
+                    differential.clause, static=differential.static
+                )
+            )
         guarded_away: FrozenSet[Row] = frozenset()
         if produced and differential.output_sign == "-" and self.guard_negatives:
             if reg is not None:
                 reg.counter("propagation.guard_checks").inc(len(produced))
-            still_present = frozenset(
-                row for row in produced if guard_eval.holds(differential.target, row)
-            )
+            if self.batch:
+                still_present = self._guard_batch(
+                    differential.target, produced, guard_eval, reg
+                )
+            else:
+                still_present = frozenset(
+                    row
+                    for row in produced
+                    if guard_eval.holds(differential.target, row)
+                )
             guarded_away = still_present
             produced = produced - still_present
         cancelled = 0
         if produced:
             if differential.output_sign == "+":
-                cancelled = target.delta.merge(DeltaSet(produced, ()))
+                cancelled = self._merge(target, DeltaSet(produced, ()))
             else:
-                cancelled = target.delta.merge(DeltaSet((), produced))
+                cancelled = self._merge(target, DeltaSet((), produced))
         input_rows = (
             source_delta.plus
             if differential.input_sign == "+"
@@ -337,5 +360,192 @@ class Propagator:
                     input_size=len(input_rows),
                     produced=produced,
                     guarded_away=guarded_away,
+                )
+            )
+
+    # -- the batched negative guard ----------------------------------------------
+
+    #: register carrying each candidate row through its guard plan
+    _GUARD_ROW = Variable("_GUARD_ROW")
+
+    def _guard_plans_for(
+        self, target: str
+    ) -> Optional[List[Tuple[Tuple, ClausePlan]]]:
+        """Compiled semi-join plans for re-deriving ``target`` rows.
+
+        One plan per defining clause, body ordered under the assumption
+        that every head variable is bound (by the candidate row).  None
+        when the target is not a plannable derived predicate — the
+        caller then falls back to per-row ``holds()``.
+        """
+        if target in self._guard_plans:
+            return self._guard_plans[target]
+        plans: Optional[List[Tuple[Tuple, ClausePlan]]] = []
+        definition = self.program.predicate(target)
+        if not isinstance(definition, DerivedPredicate):
+            plans = None
+        else:
+            try:
+                for clause in definition.clauses:
+                    renamed = clause.rename_apart()
+                    head_vars = [
+                        arg
+                        for arg in renamed.head.args
+                        if isinstance(arg, Variable)
+                    ]
+                    ordered = order_body(
+                        renamed.body, self.program, bound_vars=head_vars
+                    )
+                    plan = compile_plan(
+                        HornClause(renamed.head, ordered),
+                        self.program,
+                        bound_vars=[self._GUARD_ROW] + head_vars,
+                    )
+                    plans.append((renamed.head.args, plan))
+            except UnsafeClauseError:
+                plans = None
+        self._guard_plans[target] = plans
+        return plans
+
+    def _guard_batch(
+        self,
+        target: str,
+        produced: FrozenSet[Row],
+        guard_eval: Evaluator,
+        reg=None,
+    ) -> FrozenSet[Row]:
+        """Deletion candidates still derivable in the new state.
+
+        One set-oriented semi-join per defining clause: every pending
+        candidate row seeds one register list (head variables bound
+        from the row, the row itself riding in a provenance register),
+        and a single batch execution re-derives all of them at once
+        against the shared memoizing new-state evaluator.
+        """
+        plans = self._guard_plans_for(target)
+        if plans is None:
+            return frozenset(
+                row for row in produced if guard_eval.holds(target, row)
+            )
+        if reg is not None:
+            reg.counter("propagation.guard_batched").inc()
+        still: set = set()
+        pending = set(produced)
+        prov = self._GUARD_ROW
+        for head_args, plan in plans:
+            if not pending:
+                break
+            slot_of = plan.slot_of
+            prov_slot = slot_of[prov]
+            seeds: List[List] = []
+            for row in pending:
+                regs = [None] * plan.n_slots
+                regs[prov_slot] = row
+                compatible = True
+                for arg, value in zip(head_args, row):
+                    if isinstance(arg, Variable):
+                        slot = slot_of[arg]
+                        current = regs[slot]
+                        if current is None:
+                            regs[slot] = value
+                        elif current != value:
+                            compatible = False
+                            break
+                    elif arg != value:
+                        compatible = False
+                        break
+                if compatible:
+                    seeds.append(regs)
+            if not seeds:
+                continue
+            for regs in plan.execute(guard_eval, seeds):
+                still.add(regs[prov_slot])
+            pending -= still
+        return frozenset(still)
+
+    # -- aggregate edges ----------------------------------------------------------
+
+    def _execute_aggregate(
+        self,
+        edge,
+        source_delta: DeltaSet,
+        new_view: NewStateView,
+        old_view: OldStateView,
+        new_eval: Optional[Evaluator],
+        old_eval: Optional[Evaluator],
+        tracer: Optional[PropagationTrace],
+        reg=None,
+        tr=None,
+    ) -> None:
+        """Per-group incremental maintenance of an aggregate node.
+
+        Only the groups whose source rows changed are recomputed — in
+        the new state directly, in the old state by logical rollback —
+        and the difference of their aggregate rows becomes the node's
+        delta.  This is exact (no guard needed).  In batch mode the two
+        shared run evaluators serve the group queries, so sub-predicate
+        memos carry over from the differential edges.
+        """
+        definition = edge.aggregate
+        n_group = definition.n_group
+        touched = {
+            row[:n_group] for row in source_delta.plus | source_delta.minus
+        }
+        if not touched:
+            return
+        label = f"Δ{definition.name}/Δ{edge.source.name} [groups]"
+        span = tr.begin(f"edge:{label}") if tr is not None else None
+        if new_eval is None:
+            new_eval = Evaluator(self.program, new_view)
+        if old_eval is None:
+            old_eval = Evaluator(self.program, old_view)
+        plus: set = set()
+        minus: set = set()
+        from repro.objectlog.terms import fresh_variable
+
+        for group in touched:
+            probe = group + (fresh_variable("_A"),)
+            new_rows = {
+                group + (env[probe[-1]],)
+                for env in new_eval.query(definition.name, probe)
+            }
+            old_rows = {
+                group + (env[probe[-1]],)
+                for env in old_eval.query(definition.name, probe)
+            }
+            plus |= new_rows - old_rows
+            minus |= old_rows - new_rows
+        delta = DeltaSet(frozenset(plus) - frozenset(minus),
+                         frozenset(minus) - frozenset(plus))
+        cancelled = 0
+        if delta:
+            cancelled = self._merge(edge.target, delta)
+        if reg is not None:
+            reg.counter("propagation.edges_fired").inc()
+            reg.counter("propagation.tuples_in").inc(len(touched))
+            reg.counter("propagation.tuples_out").inc(len(plus) + len(minus))
+            if cancelled:
+                reg.counter("propagation.cancellations").inc(cancelled)
+        if span is not None:
+            span.annotate(
+                target=definition.name,
+                influent=edge.source.name,
+                sign="*",
+                groups=len(touched),
+                out=len(plus) + len(minus),
+                cancelled=cancelled,
+            )
+            tr.finish(span)
+        if tracer is not None:
+            tracer.executions.append(
+                DifferentialExecution(
+                    label=label,
+                    target=definition.name,
+                    influent=edge.source.name,
+                    input_sign="*",
+                    output_sign="*",
+                    input_size=len(touched),
+                    produced=frozenset(plus | minus),
+                    guarded_away=frozenset(),
                 )
             )

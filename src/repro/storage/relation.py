@@ -11,6 +11,7 @@ layer only logs *real* physical events.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Sequence, Tuple
 
 from repro.errors import ArityError, SchemaError
@@ -39,9 +40,18 @@ class BaseRelation:
         "column_names",
         "_rows",
         "_indexes",
+        "_auto_indexes",
+        "_probers",
         "_frozen",
         "version",
+        "index_epoch",
     )
+
+    #: per-relation cap on *automatically* created indexes (the state
+    #: views index any probed column set on demand; ad-hoc query mixes
+    #: must not accumulate an unbounded set of maintained indexes).
+    #: Explicitly created indexes are pinned and never counted/evicted.
+    AUTO_INDEX_BUDGET = 8
 
     def __init__(
         self,
@@ -65,11 +75,19 @@ class BaseRelation:
         )
         self._rows: set = set()
         self._indexes: Dict[Tuple[int, ...], HashIndex] = {}
+        #: auto-created index keys in least-recently-probed-first order
+        self._auto_indexes: "OrderedDict[Tuple[int, ...], None]" = OrderedDict()
+        #: resolved direct-probe callables per column set (index-backed
+        #: only; dropped when the backing index is evicted)
+        self._probers: Dict[Tuple[int, ...], object] = {}
         #: copy-on-write cache: the frozenset handed to snapshots; None
         #: while the relation has changed since it was last frozen
         self._frozen: Optional[FrozenSet[Row]] = frozenset()
         #: bumped on every physical change (snapshot staleness checks)
         self.version = 0
+        #: bumped whenever the SET of indexes changes (creation or
+        #: eviction) — cached probe callables validate against this
+        self.index_epoch = 0
 
     # -- mutation -------------------------------------------------------------
 
@@ -116,23 +134,77 @@ class BaseRelation:
 
     # -- indexes ----------------------------------------------------------------
 
-    def create_index(self, columns: Sequence[int]) -> HashIndex:
-        """Create (or return the existing) hash index on ``columns``."""
+    def create_index(self, columns: Sequence[int], auto: bool = False) -> HashIndex:
+        """Create (or return the existing) hash index on ``columns``.
+
+        ``auto=True`` marks the index as automatically created: it
+        counts against :attr:`AUTO_INDEX_BUDGET` and the least recently
+        probed auto index is evicted when the budget overflows.  An
+        explicit ``create_index`` call pins the index — including an
+        index that was first created automatically.
+        """
         key = tuple(columns)
         for col in key:
             if not 0 <= col < self.arity:
                 raise SchemaError(
                     f"relation {self.name!r}: index column {col} out of range"
                 )
-        if key in self._indexes:
-            return self._indexes[key]
+        existing = self._indexes.get(key)
+        if existing is not None:
+            if not auto:
+                self._auto_indexes.pop(key, None)  # promote to pinned
+            return existing
         index = HashIndex(key)
         index.bulk_load(self._rows)
         self._indexes[key] = index
+        self.index_epoch += 1
+        if auto:
+            self._auto_indexes[key] = None
+            while len(self._auto_indexes) > self.AUTO_INDEX_BUDGET:
+                victim, _ = self._auto_indexes.popitem(last=False)
+                del self._indexes[victim]
+                self._probers.pop(victim, None)
+                self.index_epoch += 1
+                reg = metrics.ACTIVE
+                if reg is not None:
+                    reg.counter("index.evictions").inc()
         return index
 
     def index_on(self, columns: Sequence[int]) -> Optional[HashIndex]:
-        return self._indexes.get(tuple(columns))
+        key = tuple(columns)
+        index = self._indexes.get(key)
+        if index is not None and key in self._auto_indexes:
+            self._auto_indexes.move_to_end(key)
+        return index
+
+    def prober(self, columns: Sequence[int], auto: bool = False):
+        """A ``key -> rows`` callable with index resolution done once.
+
+        ``auto=True`` additionally creates a budgeted auto index when
+        the relation is large enough to make scanning wasteful (the
+        state views' on-demand indexing policy).  With no metrics
+        registry installed the prober reads index buckets directly
+        (cached per column set until the index is evicted); with one
+        installed it goes through :meth:`HashIndex.probe` so probe
+        accounting stays exact.
+        """
+        cols = tuple(columns)
+        fn = self._probers.get(cols)
+        if fn is not None and metrics.ACTIVE is None:
+            return fn
+        index = self._indexes.get(cols)
+        if index is None and auto and len(self._rows) > 8:
+            index = self.create_index(cols, auto=True)
+        if index is not None:
+            if cols in self._auto_indexes:
+                self._auto_indexes.move_to_end(cols)
+            if metrics.ACTIVE is not None:
+                return index.probe
+            fn = self._probers[cols] = (
+                lambda key, _b=index._buckets, _e=frozenset(): _b.get(key, _e)
+            )
+            return fn
+        return lambda key: self.lookup(cols, key)
 
     @property
     def indexes(self) -> Dict[Tuple[int, ...], HashIndex]:
@@ -183,11 +255,13 @@ class BaseRelation:
         Benchmark-relevant: the naive monitor scans, the incremental
         monitor probes — that asymmetry *is* Fig. 6.
         """
-        index = self._indexes.get(tuple(columns))
+        cols = tuple(columns)
+        index = self._indexes.get(cols)
         if index is not None:
+            if cols in self._auto_indexes:
+                self._auto_indexes.move_to_end(cols)
             return index.probe(tuple(key))
         key = tuple(key)
-        cols = tuple(columns)
         reg = metrics.ACTIVE
         if reg is not None:
             reg.counter("relation.scans").inc()

@@ -1,0 +1,205 @@
+"""Tests for the compiled set-at-a-time clause plans (repro.objectlog.batch)."""
+
+import pytest
+
+from repro.algebra.delta import DeltaSet
+from repro.algebra.oldstate import NewStateView
+from repro.errors import UnsafeClauseError
+from repro.objectlog.batch import ClausePlan, compile_plan
+from repro.objectlog.clause import HornClause
+from repro.objectlog.evaluate import Evaluator
+from repro.objectlog.literals import Assignment, Comparison, PredLiteral
+from repro.objectlog.program import Program
+from repro.objectlog.terms import Arith, Variable
+from repro.storage.database import Database
+
+X, Y, Z, W = Variable("X"), Variable("Y"), Variable("Z"), Variable("W")
+
+
+@pytest.fixture
+def setup():
+    db = Database()
+    q = db.create_relation("q", 2)
+    r = db.create_relation("r", 2)
+    q.bulk_insert([(1, 1), (1, 2), (2, 3)])
+    r.bulk_insert([(1, 10), (2, 20), (3, 30)])
+    program = Program()
+    program.declare_base("q", 2)
+    program.declare_base("r", 2)
+    return db, program
+
+
+def evaluator(db, program, deltas=None):
+    return Evaluator(program, NewStateView(db), deltas=deltas)
+
+
+def plan_for(program, head_args, body, bound_vars=()):
+    clause = HornClause(PredLiteral("out", tuple(head_args)), list(body))
+    return compile_plan(clause, program, bound_vars=bound_vars)
+
+
+class TestPlanExecution:
+    def test_scan_then_join(self, setup):
+        db, program = setup
+        plan = plan_for(
+            program,
+            (X, Y, Z),
+            [PredLiteral("q", (X, Y)), PredLiteral("r", (Y, Z))],
+        )
+        rows = set(plan.rows(evaluator(db, program)))
+        assert rows == {(1, 1, 10), (1, 2, 20), (2, 3, 30)}
+
+    def test_constant_probe(self, setup):
+        db, program = setup
+        plan = plan_for(program, (Y,), [PredLiteral("q", (1, Y))])
+        assert set(plan.rows(evaluator(db, program))) == {(1,), (2,)}
+
+    def test_repeated_variable_checks(self, setup):
+        db, program = setup
+        plan = plan_for(program, (X,), [PredLiteral("q", (X, X))])
+        assert set(plan.rows(evaluator(db, program))) == {(1,)}
+
+    def test_constant_in_emitted_head(self, setup):
+        db, program = setup
+        plan = plan_for(program, (X, 99), [PredLiteral("q", (X, 3))])
+        assert set(plan.rows(evaluator(db, program))) == {(2, 99)}
+
+    def test_fan_out_does_not_alias_registers(self, setup):
+        """One seed register list matching several rows must fan out
+        into independent copies (the bind/bind_into split)."""
+        db, program = setup
+        plan = plan_for(
+            program,
+            (X, Y, Z, W),
+            [PredLiteral("r", (X, Y)), PredLiteral("q", (Z, W))],
+        )
+        rows = set(plan.rows(evaluator(db, program)))
+        assert len(rows) == 9  # 3 r-rows x 3 q-rows, all distinct
+
+    def test_comparison_filters(self, setup):
+        db, program = setup
+        plan = plan_for(
+            program,
+            (X, Y),
+            [PredLiteral("r", (X, Y)), Comparison("<", Y, 25)],
+        )
+        assert set(plan.rows(evaluator(db, program))) == {(1, 10), (2, 20)}
+
+    def test_assignment_binds(self, setup):
+        db, program = setup
+        plan = plan_for(
+            program,
+            (X, Z),
+            [PredLiteral("r", (X, Y)), Assignment(Z, Arith("*", Y, 2))],
+        )
+        assert set(plan.rows(evaluator(db, program))) == {
+            (1, 20), (2, 40), (3, 60),
+        }
+
+    def test_negation_filters(self, setup):
+        db, program = setup
+        plan = plan_for(
+            program,
+            (X, Y),
+            [PredLiteral("r", (X, Y)), PredLiteral("q", (X, X), negated=True)],
+        )
+        assert set(plan.rows(evaluator(db, program))) == {(2, 20), (3, 30)}
+
+    def test_derived_subgoal_uses_evaluator_memo(self, setup):
+        db, program = setup
+        program.declare_derived("big", 1)
+        program.add_clause(
+            HornClause(PredLiteral("big", (X,)), [PredLiteral("r", (X, Y)), Comparison(">", Y, 15)])
+        )
+        plan = plan_for(
+            program,
+            (X, Y),
+            [PredLiteral("q", (X, Y)), PredLiteral("big", (Y,))],
+        )
+        assert set(plan.rows(evaluator(db, program))) == {(1, 2), (2, 3)}
+
+    def test_delta_literal_reads_delta_side(self, setup):
+        db, program = setup
+        deltas = {"q": DeltaSet(frozenset({(7, 8)}), frozenset({(1, 1)}))}
+        plus_plan = plan_for(
+            program, (X, Y), [PredLiteral("q", (X, Y), delta="+")]
+        )
+        minus_plan = plan_for(
+            program, (X, Y), [PredLiteral("q", (X, Y), delta="-")]
+        )
+        assert set(plus_plan.rows(evaluator(db, program, deltas))) == {(7, 8)}
+        assert set(minus_plan.rows(evaluator(db, program, deltas))) == {(1, 1)}
+
+    def test_delta_literal_keyed_probe(self, setup):
+        db, program = setup
+        deltas = {
+            "q": DeltaSet(frozenset({(7, 8), (7, 9), (5, 6)}), frozenset())
+        }
+        plan = plan_for(program, (Y,), [PredLiteral("q", (7, Y), delta="+")])
+        assert set(plan.rows(evaluator(db, program, deltas))) == {(8,), (9,)}
+
+    def test_join_through_delta(self, setup):
+        """The shape of a partial differential: delta-read joined
+        against the stored state."""
+        db, program = setup
+        deltas = {"q": DeltaSet(frozenset({(9, 2)}), frozenset())}
+        plan = plan_for(
+            program,
+            (X, Z),
+            [PredLiteral("q", (X, Y), delta="+"), PredLiteral("r", (Y, Z))],
+        )
+        assert set(plan.rows(evaluator(db, program, deltas))) == {(9, 20)}
+
+
+class TestBoundSeeds:
+    def test_bound_vars_take_first_slots(self, setup):
+        db, program = setup
+        plan = plan_for(
+            program, (X, Y), [PredLiteral("q", (X, Y))], bound_vars=(X,)
+        )
+        assert plan.slot_of[X] == 0
+
+    def test_seeded_execution_restricts_results(self, setup):
+        db, program = setup
+        plan = plan_for(
+            program, (X, Y), [PredLiteral("q", (X, Y))], bound_vars=(X,)
+        )
+        seeds = [[1] + [None] * (plan.n_slots - 1)]
+        out = plan.execute(evaluator(db, program), seeds)
+        rows = {(regs[plan.slot_of[X]], regs[plan.slot_of[Y]]) for regs in out}
+        assert rows == {(1, 1), (1, 2)}
+
+
+class TestPlanSafety:
+    def test_unbound_negation_rejected(self, setup):
+        _, program = setup
+        with pytest.raises(UnsafeClauseError):
+            plan_for(
+                program,
+                (X,),
+                [PredLiteral("q", (X, X), negated=True), PredLiteral("r", (X, Y))],
+            )
+
+    def test_unbound_comparison_rejected(self, setup):
+        _, program = setup
+        with pytest.raises(UnsafeClauseError):
+            plan_for(program, (X,), [Comparison("<", X, 5), PredLiteral("q", (X, Y))])
+
+    def test_head_variable_missing_from_body_rejected(self, setup):
+        _, program = setup
+        with pytest.raises(UnsafeClauseError):
+            plan_for(program, (X, W), [PredLiteral("q", (X, Y))])
+
+    def test_plan_is_reusable_across_runs(self, setup):
+        db, program = setup
+        plan = plan_for(program, (X, Y), [PredLiteral("q", (X, Y))])
+        first = set(plan.rows(evaluator(db, program)))
+        db.relation("q").insert((4, 4))
+        second = set(plan.rows(evaluator(db, program)))
+        assert second == first | {(4, 4)}
+
+    def test_repr_mentions_steps(self, setup):
+        _, program = setup
+        plan = plan_for(program, (X, Y), [PredLiteral("q", (X, Y))])
+        assert isinstance(plan, ClausePlan)
+        assert "steps=1" in repr(plan)

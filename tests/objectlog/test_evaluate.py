@@ -296,3 +296,60 @@ class TestOldStateEvaluation:
         )
         rows = set(evaluator(db, program).solve_clause(clause))
         assert rows == {(1, 10), (1, 20), (2, 30)}
+
+
+class TestDeltaIndex:
+    """Keyed probes into large delta-sets (the Fig. 7 massive-update
+    path): at or above DELTA_INDEX_THRESHOLD rows, a bound delta read
+    must go through a per-run key index instead of scanning."""
+
+    def big_delta(self, n=20):
+        return DeltaSet(frozenset((i, i * 10) for i in range(n)), frozenset())
+
+    def test_large_delta_probe_is_indexed(self, setup):
+        from repro.obs import metrics
+
+        db, program = setup
+        ev = evaluator(db, program, deltas={"q": self.big_delta()})
+        with metrics.collecting() as registry:
+            envs = list(ev.solve_body([PredLiteral("q", (7, Y), delta="+")]))
+        assert [env[Y] for env in envs] == [70]
+        assert registry.value("evaluate.delta_indexes_built") == 1
+        # the probe touched only the matching row, not the whole delta
+        assert registry.value("evaluate.delta_rows") == 1
+
+    def test_small_delta_scans_without_index(self, setup):
+        from repro.obs import metrics
+
+        db, program = setup
+        small = DeltaSet(frozenset({(1, 10), (2, 20)}), frozenset())
+        ev = evaluator(db, program, deltas={"q": small})
+        with metrics.collecting() as registry:
+            envs = list(ev.solve_body([PredLiteral("q", (1, Y), delta="+")]))
+        assert [env[Y] for env in envs] == [10]
+        assert registry.value("evaluate.delta_indexes_built") == 0
+
+    def test_index_cached_per_column_set(self, setup):
+        db, program = setup
+        ev = evaluator(db, program, deltas={"q": self.big_delta()})
+        first = ev.delta_index("q", "+", (0,))
+        assert ev.delta_index("q", "+", (0,)) is first
+        assert ev.delta_index("q", "+", (1,)) is not first
+
+    def test_set_delta_same_object_keeps_index_warm(self, setup):
+        db, program = setup
+        delta = self.big_delta()
+        ev = evaluator(db, program, deltas={"q": delta})
+        index = ev.delta_index("q", "+", (0,))
+        ev.set_delta("q", delta)  # no-op: same object
+        assert ev.delta_index("q", "+", (0,)) is index
+
+    def test_set_delta_new_object_invalidates_index(self, setup):
+        db, program = setup
+        ev = evaluator(db, program, deltas={"q": self.big_delta()})
+        stale = ev.delta_index("q", "+", (0,))
+        replacement = DeltaSet(frozenset({(99, 1)}), frozenset())
+        ev.set_delta("q", replacement)
+        fresh = ev.delta_index("q", "+", (0,))
+        assert fresh is not stale
+        assert fresh == {(99,): [(99, 1)]}

@@ -1,0 +1,292 @@
+"""A/B oracle: the batch check phase must be indistinguishable from legacy.
+
+The set-at-a-time engine (compiled differential plans, two shared
+evaluators per run, batched semi-join negative guards) and the legacy
+tuple-at-a-time engine are two executors of the SAME calculus, so on
+identical transaction workloads they must produce
+
+* identical condition delta-sets per check-phase iteration,
+* identical propagation traces — same differential labels in the same
+  order, same produced rows, same guard decisions (``guarded_away``),
+* identical rule firings, commit by commit and in order.
+
+The generated schema covers every operator partial differencing
+handles — σ selection, π projection (derived function), ⋈ join,
+− negation, ∪ disjunction — plus an aggregate condition (per-group
+incremental recompute), because the aggregate path shares the run
+evaluators in batch mode and must not observe stale memos.
+
+Run size: ``ORACLE_EXAMPLES`` (default 25 so tier-1 stays fast; CI's
+oracle job runs 500+, see docs/TESTING.md).
+"""
+
+import os
+import re
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.amosql.interpreter import AmosqlEngine
+from repro.bench.workload import build_inventory
+
+pytestmark = pytest.mark.oracle
+
+MAX_EXAMPLES = int(os.environ.get("ORACLE_EXAMPLES", "25"))
+
+N_NODES = 4
+
+SCHEMA = """
+create type node;
+create function val(node) -> integer;
+create function tag(node) -> integer;
+create function link(node) -> node;
+create function double_val(node n) -> integer as select val(n) * 2;
+create function fanin_total(node g) -> integer as
+    select sum(val(m)) for each node m where link(m) = g;
+"""
+
+RULES = """
+create rule r_sigma() as
+    when for each node n where val(n) < 5
+    do log_sigma(n);
+create rule r_pi() as
+    when for each node n where double_val(n) > 10
+    do log_pi(n);
+create rule r_join() as
+    when for each node n, node m where link(n) = m and val(m) > 3
+    do log_join(n, m);
+create rule r_neg() as
+    when for each node n where tag(n) = 1 and not (val(n) < 3)
+    do log_neg(n);
+create rule r_union() as
+    when for each node n where val(n) < 2 or tag(n) > 5
+    do log_union(n);
+create rule r_agg() as
+    when for each node g where fanin_total(g) > 6
+    do log_agg(g);
+activate r_sigma();
+activate r_pi();
+activate r_join();
+activate r_neg();
+activate r_union();
+activate r_agg();
+"""
+
+LOGGED_RULES = ("r_sigma", "r_pi", "r_join", "r_neg", "r_union", "r_agg")
+
+
+def build(batch):
+    """A fresh monitored incremental database + nodes + firing log."""
+    engine = AmosqlEngine(mode="incremental", explain=True, batch=batch)
+    fired = []
+    for rule in LOGGED_RULES:
+        arity = 2 if rule == "r_join" else 1
+        engine.amos.create_procedure(
+            f"log_{rule[2:]}",
+            tuple("node" for _ in range(arity)),
+            lambda *args, _rule=rule: fired.append((_rule, args)),
+        )
+    engine.execute(SCHEMA)
+    decls = ", ".join(f":n{i}" for i in range(N_NODES))
+    engine.execute(f"create node instances {decls};")
+    nodes = [engine.get(f"n{i}") for i in range(N_NODES)]
+    engine.execute(RULES)
+    return engine, nodes, fired
+
+
+def apply_ops(amos, nodes, ops):
+    for op in ops:
+        kind = op[0]
+        if kind == "val":
+            amos.set_value("val", [nodes[op[1]]], op[2])
+        elif kind == "tag":
+            amos.set_value("tag", [nodes[op[1]]], op[2])
+        elif kind == "link":
+            amos.set_value("link", [nodes[op[1]]], nodes[op[2]])
+        elif kind == "clear_val":
+            amos.clear_value("val", [nodes[op[1]]])
+        elif kind == "clear_tag":
+            amos.clear_value("tag", [nodes[op[1]]])
+        elif kind == "clear_link":
+            amos.clear_value("link", [nodes[op[1]]])
+
+
+_AUX_NAME = re.compile(r"_not_\d+")
+
+
+def _normalizer():
+    """Rename gensym'd auxiliary predicates (``_not_<n>``) to canonical
+    names by order of first appearance: the counter is process-global,
+    so two databases built in the same process disagree on the suffix
+    without disagreeing on anything semantic."""
+    mapping = {}
+
+    def normalize(text):
+        return _AUX_NAME.sub(
+            lambda m: mapping.setdefault(m.group(0), f"_aux{len(mapping)}"),
+            text,
+        )
+
+    return normalize
+
+
+def trace_digest(trace, normalize):
+    """A propagation trace as comparable plain data (execution order
+    preserved — both engines walk the same network bottom-up)."""
+    if trace is None:
+        return None
+    return [
+        (
+            normalize(e.label),
+            normalize(e.target),
+            e.input_sign,
+            e.output_sign,
+            e.input_size,
+            frozenset(e.produced),
+            frozenset(e.guarded_away),
+        )
+        for e in trace.executions
+    ]
+
+
+def report_digest(report, normalize=None):
+    """One check phase as comparable plain data."""
+    if report is None:
+        return None
+    if normalize is None:
+        normalize = _normalizer()
+    return [
+        (
+            iteration.index,
+            {
+                normalize(name): (delta.plus, delta.minus)
+                for name, delta in iteration.condition_deltas.items()
+            },
+            trace_digest(iteration.trace, normalize),
+            None
+            if iteration.fired is None
+            else (iteration.fired.rule, iteration.fired.rows),
+        )
+        for iteration in report.iterations
+    ]
+
+
+node_ids = st.integers(0, N_NODES - 1)
+values = st.integers(0, 8)
+operation = st.one_of(
+    st.tuples(st.just("val"), node_ids, values),
+    st.tuples(st.just("tag"), node_ids, values),
+    st.tuples(st.just("link"), node_ids, node_ids),
+    st.tuples(st.just("clear_val"), node_ids),
+    st.tuples(st.just("clear_tag"), node_ids),
+    st.tuples(st.just("clear_link"), node_ids),
+)
+transactions = st.lists(
+    st.tuples(st.lists(operation, min_size=1, max_size=6), st.booleans()),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestEngineEquivalence:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(workload=transactions)
+    def test_batch_engine_matches_legacy(self, workload):
+        bat_engine, bat_nodes, bat_fired = build(batch=True)
+        leg_engine, leg_nodes, leg_fired = build(batch=False)
+        # identical creation order => identical OIDs (compared by id)
+        assert bat_nodes == leg_nodes
+
+        for ops, commits in workload:
+            for amos, nodes in (
+                (bat_engine.amos, bat_nodes),
+                (leg_engine.amos, leg_nodes),
+            ):
+                amos.begin()
+                apply_ops(amos, nodes, ops)
+                if commits:
+                    amos.commit()
+                else:
+                    amos.rollback()
+            if not commits:
+                continue
+
+            bat_report = report_digest(bat_engine.amos.rules.last_report)
+            leg_report = report_digest(leg_engine.amos.rules.last_report)
+            assert bat_report == leg_report
+            # the full firing history must agree in content AND order
+            assert bat_fired == leg_fired
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(workload=transactions)
+    def test_guard_decisions_match(self, workload):
+        """Every negative differential's guard verdict — which deletion
+        candidates were dropped because they are still derivable — must
+        be identical between the batched semi-join and per-row holds()."""
+        bat_engine, bat_nodes, _ = build(batch=True)
+        leg_engine, leg_nodes, _ = build(batch=False)
+
+        def guard_log(engine):
+            out = []
+            normalize = _normalizer()
+            report = engine.amos.rules.last_report
+            if report is None:
+                return out
+            for iteration in report.iterations:
+                if iteration.trace is None:
+                    continue
+                for e in iteration.trace.executions:
+                    if e.output_sign == "-":
+                        out.append(
+                            (
+                                normalize(e.label),
+                                frozenset(e.guarded_away),
+                                frozenset(e.produced),
+                            )
+                        )
+            return out
+
+        saw_guard_drop = False
+        for ops, commits in workload:
+            for amos, nodes in (
+                (bat_engine.amos, bat_nodes),
+                (leg_engine.amos, leg_nodes),
+            ):
+                amos.begin()
+                apply_ops(amos, nodes, ops)
+                if commits:
+                    amos.commit()
+                else:
+                    amos.rollback()
+            if not commits:
+                continue
+            bat_log = guard_log(bat_engine)
+            leg_log = guard_log(leg_engine)
+            assert bat_log == leg_log
+            saw_guard_drop = saw_guard_drop or any(
+                dropped for _, dropped, _ in bat_log
+            )
+
+
+class TestInventoryEquivalence:
+    """Deterministic A/B over the paper's Fig. 6 inventory schema:
+    threshold churn fires the rule and exercises the negative guard."""
+
+    def run_churn(self, batch):
+        workload = build_inventory(12, mode="incremental", batch=batch, explain=True)
+        workload.activate()
+        reports = []
+        for step in range(40):
+            workload.touch_one_item(step, below=(step % 2 == 0))
+            reports.append(report_digest(workload.amos.rules.last_report))
+        workload.massive_change(quantity_delta=-30)
+        reports.append(report_digest(workload.amos.rules.last_report))
+        orders = [(item.id, amount) for item, amount in workload.orders]
+        return orders, reports
+
+    def test_orders_and_reports_identical(self):
+        bat_orders, bat_reports = self.run_churn(batch=True)
+        leg_orders, leg_reports = self.run_churn(batch=False)
+        assert bat_orders == leg_orders
+        assert bat_orders, "churn workload must fire the rule"
+        assert bat_reports == leg_reports

@@ -136,3 +136,92 @@ class TestHashIndex:
         index = HashIndex((0,))
         index.bulk_load([(1, 2), (1, 3), (2, 4)])
         assert len(index) == 3
+
+
+class TestAutoIndexBudget:
+    """The per-relation cap on automatically created indexes (the state
+    views index any probed column set on demand; ad-hoc query mixes
+    must not accumulate an unbounded set of maintained indexes)."""
+
+    def wide_relation(self, arity=12, rows=30):
+        relation = BaseRelation("wide", arity)
+        relation.bulk_insert(
+            [tuple(i * arity + c for c in range(arity)) for i in range(rows)]
+        )
+        return relation
+
+    def test_budget_caps_auto_indexes(self):
+        relation = self.wide_relation()
+        for col in range(relation.AUTO_INDEX_BUDGET + 3):
+            relation.create_index((col,), auto=True)
+        assert len(relation.indexes) == relation.AUTO_INDEX_BUDGET
+
+    def test_least_recently_probed_is_evicted(self):
+        relation = self.wide_relation()
+        for col in range(relation.AUTO_INDEX_BUDGET):
+            relation.create_index((col,), auto=True)
+        relation.lookup((0,), (0,))  # touch column 0: now most recent
+        relation.create_index((relation.AUTO_INDEX_BUDGET,), auto=True)
+        assert (0,) in relation.indexes  # survived
+        assert (1,) not in relation.indexes  # the LRU victim
+
+    def test_pinned_indexes_never_evicted(self):
+        relation = self.wide_relation()
+        relation.create_index((0,))  # explicit => pinned
+        for col in range(1, relation.AUTO_INDEX_BUDGET + 4):
+            relation.create_index((col,), auto=True)
+        assert (0,) in relation.indexes
+        assert len(relation.indexes) == relation.AUTO_INDEX_BUDGET + 1
+
+    def test_explicit_create_promotes_auto_to_pinned(self):
+        relation = self.wide_relation()
+        relation.create_index((0,), auto=True)
+        relation.create_index((0,))  # promote
+        for col in range(1, relation.AUTO_INDEX_BUDGET + 4):
+            relation.create_index((col,), auto=True)
+        assert (0,) in relation.indexes
+
+    def test_eviction_counter(self):
+        from repro.obs import metrics
+
+        relation = self.wide_relation()
+        with metrics.collecting() as registry:
+            for col in range(relation.AUTO_INDEX_BUDGET + 2):
+                relation.create_index((col,), auto=True)
+        assert registry.value("index.evictions") == 2
+
+    def test_index_epoch_tracks_set_changes(self):
+        relation = self.wide_relation()
+        epoch = relation.index_epoch
+        relation.create_index((0,), auto=True)
+        assert relation.index_epoch == epoch + 1
+        for col in range(1, relation.AUTO_INDEX_BUDGET + 1):
+            relation.create_index((col,), auto=True)
+        # the last creation also evicted one: +1 create, +1 evict each
+        assert relation.index_epoch == epoch + relation.AUTO_INDEX_BUDGET + 2
+
+    def test_evicted_prober_is_not_served_stale(self):
+        relation = self.wide_relation()
+        probe0 = relation.prober((0,), auto=True)
+        assert probe0((0,))  # row 0 matches on column 0
+        # churn enough other auto indexes to evict column 0's
+        for col in range(1, relation.AUTO_INDEX_BUDGET + 2):
+            relation.create_index((col,), auto=True)
+        assert (0,) not in relation.indexes
+        # a fresh prober must fall back to scan/recreate, not a dead index
+        fresh = relation.prober((0,))
+        assert fresh((0,)) == relation.lookup((0,), (0,))
+
+    def test_prober_matches_lookup_with_and_without_metrics(self):
+        from repro.obs import metrics
+
+        relation = self.wide_relation()
+        relation.create_index((1,))
+        raw = relation.prober((1,))
+        key = (1 + 0 * 12,)
+        expected = relation.lookup((1,), key)
+        assert raw(key) == expected
+        with metrics.collecting() as registry:
+            counted = relation.prober((1,))
+            assert counted(key) == expected
+        assert registry.value("index.probes") >= 1
