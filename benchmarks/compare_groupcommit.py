@@ -1,0 +1,90 @@
+"""Compare a fresh BENCH_groupcommit.json against the committed baseline.
+
+CI's bench-regression gate for the commit-storm cells: the group-commit
+series' cost (ms/commit) must not regress more than ``--tolerance``
+(default 25%) against the baseline committed at the repository root.
+Only the ``group`` series is gated — the serial baseline moves with the
+host and is reported, not failed.
+
+Usage::
+
+    python benchmarks/compare_groupcommit.py BASELINE FRESH [--tolerance 0.25]
+
+Exit status 0 when every gated cell is within tolerance, 1 otherwise.
+Re-baseline by committing the regenerated artifact together with the
+change that justifies it.
+"""
+
+import argparse
+import json
+import sys
+
+#: series prefixes whose regression fails the gate (the optimized path)
+GATED_PREFIX = "group"
+
+
+def cells(payload):
+    x_label = payload.get("x_label", "sessions")
+    return {
+        (row["series"], row[x_label]): row["ms_per_transaction"]
+        for row in payload["rows"]
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as handle:
+        baseline = cells(json.load(handle))
+    with open(args.fresh) as handle:
+        fresh_payload = json.load(handle)
+    fresh = cells(fresh_payload)
+
+    failures = []
+    for key, base_ms in sorted(baseline.items()):
+        series, sessions = key
+        now_ms = fresh.get(key)
+        if now_ms is None:
+            failures.append(f"{series}@{sessions}: missing from fresh run")
+            continue
+        ratio = now_ms / base_ms if base_ms else float("inf")
+        gated = series.startswith(GATED_PREFIX)
+        verdict = "ok"
+        if gated and ratio > 1.0 + args.tolerance:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{series}@{sessions}: {base_ms:.4f} -> {now_ms:.4f} "
+                f"ms/commit ({ratio:.2f}x, tolerance "
+                f"{1.0 + args.tolerance:.2f}x)"
+            )
+        print(
+            f"  {series}@{sessions}: baseline {base_ms:.4f} ms/commit, "
+            f"fresh {now_ms:.4f} ms/commit ({ratio:.2f}x) "
+            f"[{'gated' if gated else 'informational'}] {verdict}"
+        )
+
+    meta = fresh_payload.get("meta", {})
+    if meta.get("speedup") is not None:
+        print(f"  fresh group-vs-serial speedup: {meta['speedup']:.2f}x")
+    distribution = meta.get("batch_size_distribution")
+    if distribution:
+        print(
+            f"  fresh batch sizes: mean={distribution['mean']:.2f} "
+            f"max={distribution['max']} over {distribution['count']} waves"
+        )
+
+    if failures:
+        print("\nbench-regression FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nbench-regression ok: all gated cells within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

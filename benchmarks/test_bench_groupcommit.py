@@ -1,0 +1,227 @@
+"""Commit storm: group commit vs the serial engine-lock baseline.
+
+16 client sessions, autocommit off (every transaction is an explicit
+``begin; set ...; commit;`` frame), rule-dense schema (20 activated
+rules over ``quantity``), batch engine (the default set-at-a-time check
+phase).  All sessions hammer the SAME two items, so under group commit
+the coalesced members' deltas largely cancel — the merged wave
+processes the net Δ once where the serial baseline pays one full
+propagation wave per commit.
+
+Two methodological notes baked into the harness:
+
+* the GIL's default 5 ms switch interval is longer than a whole check
+  phase, which would prevent commits from ever piling up behind a
+  running wave in-process; the storm runs at a 0.5 ms interval (applied
+  to BOTH series, restored afterwards);
+* each series takes the best of three runs — thread scheduling noise
+  on shared CI hosts swamps single-run rates.
+
+Asserts the acceptance bar (group ≥ 1.5× serial commits/sec) and
+persists ``BENCH_groupcommit.json`` with the batch-size distribution
+in the artifact meta.
+
+Run:  pytest benchmarks/test_bench_groupcommit.py -s
+"""
+
+import json
+import os
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.amosql.interpreter import AmosqlEngine
+from repro.bench.harness import Measurement, Sweep
+from repro.bench.workload import build_inventory
+from repro.server import AmosClient, AmosServer
+
+N_SESSIONS = 16
+COMMITS_PER_SESSION = 16
+N_RULES = 20
+REPEATS = 3
+SWITCH_INTERVAL = 0.0005
+SPEEDUP_BAR = 1.5
+
+
+def build_rule_dense_workload():
+    """The inventory schema plus N_RULES activated rules on quantity."""
+    workload = build_inventory(N_SESSIONS * 2, seed=11)
+    engine = AmosqlEngine(workload.amos)
+    for index in range(N_RULES):
+        engine.execute(
+            f"""
+            create rule watch_{index}() as
+                when for each item i
+                where quantity(i) < threshold(i) + {index}
+                do order(i, max_stock(i) - quantity(i));
+            activate watch_{index}();
+            """
+        )
+    workload.activate()
+    return workload
+
+
+def drive_storm(group_commit):
+    """One storm run; returns ``(seconds, total_commits, server)``."""
+    workload = build_rule_dense_workload()
+    server = AmosServer(
+        amos=workload.amos, observe=False, group_commit=group_commit
+    )
+    server.start()
+    host, port = server.address
+    barrier = threading.Barrier(N_SESSIONS + 1)
+    failures = []
+
+    def worker(worker_index):
+        try:
+            with AmosClient(host, port, timeout=60.0) as client:
+                # every session writes the SAME two items: coalesced
+                # batches net their churn out in the merged delta
+                for offset in range(2):
+                    client.bind(f"i{offset}", workload.items[offset])
+                barrier.wait(timeout=60.0)
+                for step in range(COMMITS_PER_SESSION):
+                    quantity = (
+                        5000 - step - worker_index
+                        if step % 4
+                        else 120 + step + worker_index
+                    )
+                    client.execute(
+                        f"begin;\n"
+                        f"set quantity(:i{step % 2}) = {quantity};\n"
+                        f"commit;"
+                    )
+        except BaseException as exc:  # noqa: BLE001 - reported to the timer
+            failures.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(index,))
+        for index in range(N_SESSIONS)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=60.0)
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join(timeout=120.0)
+    elapsed = time.perf_counter() - start
+    server.stop()
+    assert not failures, failures
+    return elapsed, N_SESSIONS * COMMITS_PER_SESSION, server
+
+
+@pytest.fixture(scope="module")
+def storm():
+    sweep = Sweep(
+        "commit storm — group commit vs serial engine lock",
+        x_label="sessions",
+    )
+    rates = {}
+    batch_stats = None
+    old_interval = sys.getswitchinterval()
+    sys.setswitchinterval(SWITCH_INTERVAL)
+    try:
+        for _repeat in range(REPEATS):
+            for series, group_commit in (("serial", False), ("group", True)):
+                seconds, commits, server = drive_storm(group_commit)
+                rate = commits / seconds
+                if rate > rates.get(series, 0.0):
+                    rates[series] = rate
+                    sweep.measurements = [
+                        m for m in sweep.measurements if m.series != series
+                    ]
+                    sweep.add(
+                        Measurement(series, N_SESSIONS, seconds, commits)
+                    )
+                    if group_commit:
+                        stats = server.stats()
+                        batch_stats = {
+                            "batch_size": stats["histograms"].get(
+                                "server.commit_queue.batch_size"
+                            ),
+                            "queue_wait_ms": stats["histograms"].get(
+                                "server.commit_queue.wait_ms"
+                            ),
+                            "commits_coalesced": stats["counters"].get(
+                                "server.commits_coalesced", 0
+                            ),
+                            "group_commits": stats["counters"].get(
+                                "server.group_commits", 0
+                            ),
+                        }
+    finally:
+        sys.setswitchinterval(old_interval)
+    speedup = rates["group"] / rates["serial"]
+    print()
+    print(sweep.format_table())
+    print(
+        f"  commits/sec: serial={rates['serial']:.0f} "
+        f"group={rates['group']:.0f}  speedup={speedup:.2f}x"
+    )
+    distribution = batch_stats["batch_size"]
+    print(
+        f"  group batches: {batch_stats['group_commits']} waves for "
+        f"{N_SESSIONS * COMMITS_PER_SESSION} commits, batch size "
+        f"mean={distribution['mean']:.2f} max={distribution['max']}"
+    )
+    return sweep, rates, speedup, batch_stats
+
+
+class TestGroupCommitStorm:
+    def test_both_series_made_progress(self, storm):
+        sweep, _rates, _speedup, _batch = storm
+        for series in ("serial", "group"):
+            cell = sweep.cell(series, N_SESSIONS)
+            assert cell is not None
+            assert cell.transactions == N_SESSIONS * COMMITS_PER_SESSION
+            assert cell.transactions_per_second > 1.0
+
+    def test_commits_actually_coalesced(self, storm):
+        _sweep, _rates, _speedup, batch = storm
+        assert batch is not None
+        assert batch["commits_coalesced"] > 0
+        distribution = batch["batch_size"]
+        assert distribution["max"] >= 2
+        # fewer waves than commits is the whole point
+        assert batch["group_commits"] < N_SESSIONS * COMMITS_PER_SESSION
+
+    def test_group_commit_beats_the_serial_baseline(self, storm):
+        _sweep, rates, speedup, _batch = storm
+        assert speedup >= SPEEDUP_BAR, (
+            f"group commit {rates['group']:.0f} c/s vs serial "
+            f"{rates['serial']:.0f} c/s = {speedup:.2f}x "
+            f"(bar {SPEEDUP_BAR}x)"
+        )
+
+    def test_persists_artifact_with_batch_distribution(self, storm):
+        sweep, rates, speedup, batch = storm
+        path = sweep.persist(
+            "groupcommit",
+            meta={
+                "sessions": N_SESSIONS,
+                "commits_per_session": COMMITS_PER_SESSION,
+                "rules_active": N_RULES + 1,
+                "repeats_best_of": REPEATS,
+                "switch_interval": SWITCH_INTERVAL,
+                "commits_per_second": {
+                    series: rates[series] for series in rates
+                },
+                "speedup": speedup,
+                "batch_size_distribution": batch["batch_size"],
+                "queue_wait_ms": batch["queue_wait_ms"],
+                "commits_coalesced": batch["commits_coalesced"],
+                "group_commits": batch["group_commits"],
+            },
+        )
+        assert os.path.basename(path) == "BENCH_groupcommit.json"
+        with open(path) as handle:
+            on_disk = json.load(handle)
+        assert on_disk["x_label"] == "sessions"
+        assert {row["series"] for row in on_disk["rows"]} == {
+            "serial",
+            "group",
+        }
+        assert on_disk["meta"]["batch_size_distribution"]["max"] >= 2
+        assert on_disk["meta"]["speedup"] >= SPEEDUP_BAR

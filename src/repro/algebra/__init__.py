@@ -6,6 +6,8 @@ from repro.algebra.delta import (
     MutableDelta,
     apply_delta,
     delta_union,
+    delta_union_all,
+    merge_delta_maps,
     rollback_delta,
 )
 from repro.algebra.differencing import (
@@ -36,6 +38,8 @@ __all__ = [
     "MutableDelta",
     "apply_delta",
     "delta_union",
+    "delta_union_all",
+    "merge_delta_maps",
     "rollback_delta",
     "PartialDifferential",
     "differentiate",

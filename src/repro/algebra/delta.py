@@ -27,7 +27,7 @@ Two classes are provided:
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Tuple
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
 
 from repro.errors import DeltaError
 
@@ -122,6 +122,57 @@ EMPTY_DELTA = DeltaSet()
 def delta_union(first: DeltaSet, second: DeltaSet) -> DeltaSet:
     """Function form of :meth:`DeltaSet.union` (earlier, later)."""
     return first.union(second)
+
+
+def delta_union_all(deltas: Iterable[DeltaSet]) -> DeltaSet:
+    """N-ary delta-union: left-to-right fold in *occurrence order*.
+
+    ``delta_union_all([d1, d2, d3]) == (d1 UNION_d d2) UNION_d d3`` —
+    the merged logical change of several consecutive transactions, with
+    inter-transaction churn cancelled (the group-commit merge).
+
+    Order matters in general: the operator is **not** associative over
+    arbitrary delta-set pairs (e.g. ``a=<{x},∅>, b=<∅,{x}>, c=<∅,{x}>``
+    gives ``(a∪b)∪c = <∅,{x}>`` but ``a∪(b∪c) = <∅,∅>``).  It *is*
+    associative — and the fold therefore order-insensitive up to
+    grouping — for **sequentially compatible** chains, where each delta
+    is applicable to the state produced by its predecessors
+    (``plus ∩ state == ∅ and minus ⊆ state``).  Consecutive committed
+    transactions always form such a chain, which is exactly the
+    group-commit setting; ``tests/algebra/test_delta_properties.py``
+    pins both facts down.
+    """
+    merged = MutableDelta()
+    for delta in deltas:
+        merged.merge(delta)
+    return merged.freeze()
+
+
+def merge_delta_maps(
+    maps: Iterable[Mapping[str, DeltaSet]],
+) -> Dict[str, DeltaSet]:
+    """Merge per-relation delta maps from several origins, in order.
+
+    Each map is one origin's ``{relation: DeltaSet}`` (e.g. one member
+    transaction of a commit group); per relation the deltas combine via
+    :func:`delta_union_all`, so matching insert/delete pairs across
+    origins cancel.  Relations whose merged change nets to nothing are
+    dropped from the result — exactly the shape
+    :meth:`~repro.storage.database.Database.take_deltas` produces for a
+    single merged transaction.
+    """
+    accumulators: Dict[str, MutableDelta] = {}
+    for delta_map in maps:
+        for name, delta in delta_map.items():
+            accumulator = accumulators.get(name)
+            if accumulator is None:
+                accumulator = accumulators[name] = MutableDelta()
+            accumulator.merge(delta)
+    return {
+        name: accumulator.freeze()
+        for name, accumulator in accumulators.items()
+        if accumulator
+    }
 
 
 def apply_delta(rows: Iterable[Row], delta: DeltaSet) -> Rows:

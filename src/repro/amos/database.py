@@ -15,6 +15,7 @@ API that the AMOSQL interpreter (and any Python application) talks to:
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.amos.functions import FunctionDef, FunctionSignature, ProcedureDef
@@ -31,7 +32,24 @@ from repro.storage.database import Database
 
 Row = Tuple
 
-__all__ = ["AmosDatabase"]
+__all__ = ["AmosDatabase", "GroupUnitOutcome"]
+
+
+@dataclass
+class GroupUnitOutcome:
+    """Per-member result of :meth:`AmosDatabase.apply_group`.
+
+    ``ok`` — whether the member's updates are part of the committed
+    state; ``value`` — whatever the member's callable returned (None on
+    failure); ``error`` — the exception that rejected the member (None
+    on success); ``retried`` — True when the member succeeded only via
+    the serial retry after the merged check phase failed.
+    """
+
+    ok: bool
+    value: object = None
+    error: Optional[BaseException] = None
+    retried: bool = False
 
 
 class AmosDatabase:
@@ -562,6 +580,77 @@ class AmosDatabase:
     def transaction(self):
         """``with amos.transaction(): ...`` — deferred rules run at commit."""
         return self.storage.transaction()
+
+    def apply_group(
+        self,
+        units: Sequence[Callable[[], object]],
+        retry_serial: bool = True,
+    ) -> List[GroupUnitOutcome]:
+        """Apply several member transactions as ONE merged transaction.
+
+        This is the engine half of group commit (``docs/SERVER.md``):
+        every ``unit`` is a callable performing one member's updates.
+        All members run sequentially inside a single storage
+        transaction, so the per-relation delta accumulators fold their
+        changes with the delta-union operator as they land —
+        cross-member churn cancels — and the single ``commit()`` at the
+        end drives ONE deferred check phase / propagation wave over the
+        merged net Δ, publishing one snapshot epoch for the whole
+        group.  Semantically the group behaves exactly like one merged
+        transaction (the oracle in ``tests/oracle`` pins this).
+
+        Member isolation: each unit runs under its own savepoint — a
+        unit that raises is rolled back to its savepoint (the undo-log
+        replay also corrects the delta accumulators) and reported
+        failed, while the survivors stay in the batch.  If the merged
+        *check phase* itself fails, the whole group rolls back and,
+        with ``retry_serial`` (the default), every until-then
+        successful member is retried as its own serial transaction —
+        which also attributes the failure to the member(s) actually
+        responsible.
+
+        Must be called outside any open transaction.  Returns one
+        :class:`GroupUnitOutcome` per unit, in order.
+        """
+        outcomes: List[Optional[GroupUnitOutcome]] = [None] * len(units)
+        if not units:
+            return []
+        applied: List[int] = []
+        self.begin()
+        try:
+            for index, unit in enumerate(units):
+                savepoint = self.storage.savepoint()
+                try:
+                    value = unit()
+                except Exception as exc:
+                    self.storage.rollback_to(savepoint)
+                    outcomes[index] = GroupUnitOutcome(False, error=exc)
+                else:
+                    outcomes[index] = GroupUnitOutcome(True, value=value)
+                    applied.append(index)
+            self.commit()  # ONE check phase over the merged delta
+        except BaseException:
+            if self.storage.in_transaction:
+                self.rollback()
+            if not retry_serial:
+                raise
+            # the merged check phase (or commit machinery) failed;
+            # blame cannot be attributed inside the merged wave, so
+            # each surviving member re-runs as its own transaction
+            for index in applied:
+                try:
+                    self.begin()
+                    value = units[index]()
+                    self.commit()
+                except BaseException as exc:
+                    if self.storage.in_transaction:
+                        self.rollback()
+                    outcomes[index] = GroupUnitOutcome(False, error=exc)
+                else:
+                    outcomes[index] = GroupUnitOutcome(
+                        True, value=value, retried=True
+                    )
+        return outcomes  # type: ignore[return-value]
 
     def begin(self) -> None:
         self.storage.begin()

@@ -58,26 +58,35 @@ class AmosqlEngine:
         """
         return self._execute(statement)
 
-    def query(self, select_text: str, snapshot=False) -> List[Row]:
+    def query(self, select_text: str, snapshot=False, epoch=None) -> List[Row]:
         """Execute a single ``select`` and return its rows.
 
         With ``snapshot=True`` the query runs against the latest
         published database snapshot (publishing one first if committed
         state changed — safe because the caller *is* the writer);
         passing a :class:`~repro.storage.snapshot.DatabaseSnapshot`
-        runs against exactly that version.  Snapshot queries never read
-        the live relations and never mutate the shared program.
+        runs against exactly that version.  ``epoch`` pins a specific
+        *already published* epoch from the bounded snapshot history
+        ring (:meth:`~repro.storage.database.Database.snapshot_at`) —
+        evicted or future epochs raise
+        :class:`~repro.errors.SnapshotEpochError`.  Snapshot queries
+        never read the live relations and never mutate the shared
+        program.
         """
         statement = parse(select_text + ";")[0]
         if not isinstance(statement, ast.SelectStatement):
             raise AmosError("query() expects a select statement")
+        if epoch is not None:
+            if snapshot not in (False, None):
+                raise AmosError("pass either snapshot or epoch, not both")
+            snapshot = self.amos.storage.snapshot_at(epoch)
         if snapshot is False or snapshot is None:
             return self._execute(statement)
         if snapshot is True:
             snapshot = self.amos.snapshot()
         return self._select(statement.query, snapshot=snapshot)
 
-    def execute_readonly(self, script: str, snapshot=None):
+    def execute_readonly(self, script: str, snapshot=None, epoch=None):
         """Execute a script of ``select`` statements against a snapshot.
 
         Returns ``(snapshot, results)`` with one sorted row list per
@@ -86,10 +95,20 @@ class AmosqlEngine:
         None the latest *already published* snapshot is used — a single
         reference read, so this path is lock-free and safe to call from
         reader threads while a writer commits (the network server's
-        ``query_ro`` op).  Note: with ``Database.auto_publish`` off and
-        no explicit :meth:`AmosDatabase.snapshot` call, the latest
-        published snapshot may be the empty epoch-0 one.
+        ``query_ro`` op).  ``epoch`` instead pins one specific epoch
+        from the bounded history ring — also lock-free (the ring tuple
+        is replaced, never mutated) — so a sequence of calls can read
+        one consistent version across intervening commits; an evicted
+        or unpublished epoch raises
+        :class:`~repro.errors.SnapshotEpochError`.  Note: with
+        ``Database.auto_publish`` off and no explicit
+        :meth:`AmosDatabase.snapshot` call, the latest published
+        snapshot may be the empty epoch-0 one.
         """
+        if epoch is not None:
+            if snapshot is not None:
+                raise AmosError("pass either snapshot or epoch, not both")
+            snapshot = self.amos.storage.snapshot_at(epoch)
         if snapshot is None:
             snapshot = self.amos.storage.snapshot()
         statements = parse(script)

@@ -227,6 +227,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="server only: reap sessions idle for this many seconds",
     )
     parser.add_argument(
+        "--group-commit",
+        action="store_true",
+        help="server only: coalesce concurrent commits into one "
+        "merged-delta check phase (see docs/SERVER.md)",
+    )
+    parser.add_argument(
         "script",
         nargs="?",
         help="AMOSQL script to execute instead of the interactive loop",
@@ -246,6 +252,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             mode=options.mode,
             script=script_text,
             idle_timeout=options.idle_timeout,
+            group_commit=options.group_commit,
         )
     repl = Repl(mode=options.mode)
     if options.script:

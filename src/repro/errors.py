@@ -44,6 +44,16 @@ class TransactionError(StorageError):
     """Illegal use of the transaction API (nested begin, commit w/o begin...)."""
 
 
+class SnapshotEpochError(StorageError):
+    """A pinned snapshot epoch is not addressable.
+
+    Raised by :meth:`~repro.storage.database.Database.snapshot_at` when
+    the requested epoch was evicted from the bounded snapshot history
+    ring (older than the last ``snapshot_history`` publications) or has
+    not been published yet.
+    """
+
+
 class DeltaError(ReproError):
     """A delta-set invariant was violated."""
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
-from repro.algebra.delta import DeltaSet
+from repro.algebra.delta import DeltaSet, merge_delta_maps
 from repro.algebra.oldstate import NewStateView, OldStateView
 from repro.objectlog.evaluate import Evaluator
 from repro.objectlog.program import Program
@@ -45,8 +45,22 @@ class MonitoringEngine:
     def process(
         self, base_deltas: Mapping[str, DeltaSet], trace: bool = False
     ) -> Dict[str, DeltaSet]:
-        """Condition deltas caused by ``base_deltas``."""
+        """Condition deltas caused by ``base_deltas``.
+
+        ``base_deltas`` may also be a *sequence* of per-relation delta
+        maps (multi-origin seeding — the member transactions of a
+        commit group in arrival order); every engine merges them with
+        the n-ary delta-union before processing, so the result equals
+        processing one merged transaction.
+        """
         raise NotImplementedError
+
+    @staticmethod
+    def _merge_origins(base_deltas) -> Mapping[str, DeltaSet]:
+        """Normalize single-map or multi-origin input to one map."""
+        if isinstance(base_deltas, Mapping):
+            return base_deltas
+        return merge_delta_maps(base_deltas)
 
     def resync(self, pending_deltas: Optional[Mapping[str, DeltaSet]] = None) -> None:
         """Drop any engine state that may be stale after a rollback.
@@ -129,6 +143,7 @@ class NaiveEngine(MonitoringEngine):
     def process(
         self, base_deltas: Mapping[str, DeltaSet], trace: bool = False
     ) -> Dict[str, DeltaSet]:
+        base_deltas = self._merge_origins(base_deltas)
         changed = frozenset(base_deltas)
         results: Dict[str, DeltaSet] = {}
         evaluator = Evaluator(self.program, NewStateView(self.db))
@@ -190,6 +205,7 @@ class HybridEngine(MonitoringEngine):
     def process(
         self, base_deltas: Mapping[str, DeltaSet], trace: bool = False
     ) -> Dict[str, DeltaSet]:
+        base_deltas = self._merge_origins(base_deltas)
         changed = frozenset(base_deltas)
         self.last_decisions = {}
         naive_conditions: List[str] = []

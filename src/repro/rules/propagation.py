@@ -42,7 +42,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
-from repro.algebra.delta import DeltaSet
+from repro.algebra.delta import DeltaSet, merge_delta_maps
 from repro.algebra.oldstate import NewStateView, OldStateView
 from repro.errors import UnsafeClauseError
 from repro.objectlog.batch import ClausePlan, compile_plan
@@ -144,10 +144,23 @@ class Propagator:
 
     def run(
         self,
-        base_deltas: Mapping[str, DeltaSet],
+        base_deltas,
         trace: bool = False,
     ) -> Dict[str, DeltaSet]:
-        """Propagate ``base_deltas`` upward; return the root delta-sets."""
+        """Propagate ``base_deltas`` upward; return the root delta-sets.
+
+        ``base_deltas`` is normally one ``{relation: DeltaSet}`` map —
+        the current transaction's net change.  It may instead be a
+        *sequence* of such maps (multi-origin seeding, e.g. the member
+        transactions of a commit group in arrival order): they are
+        merged per relation with the n-ary delta-union
+        (:func:`~repro.algebra.delta.merge_delta_maps`) before seeding,
+        so cross-origin churn cancels and ONE wave serves the whole
+        group.  Old-state reconstruction uses the same merged map, i.e.
+        the state before the *first* origin.
+        """
+        if not isinstance(base_deltas, Mapping):
+            base_deltas = merge_delta_maps(base_deltas)
         tracer = PropagationTrace() if trace else None
         if self.batch:
             # exactly two evaluators per run: derived-predicate memos

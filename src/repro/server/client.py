@@ -58,6 +58,12 @@ class AmosClient:
         self.session_id: Optional[str] = None
         #: snapshot epoch of the last query_ro/execute_ro response
         self.last_ro_epoch: Optional[int] = None
+        #: epoch published by this client's last successful commit
+        #: (protocol v3 servers; None before the first commit)
+        self.last_commit_epoch: Optional[int] = None
+        #: size of the group-commit batch the last commit rode in
+        #: (1 on a serial-commit server; see docs/SERVER.md)
+        self.last_commit_coalesced: Optional[int] = None
         self._sock: Optional[socket.socket] = None
         self._seq = 0
 
@@ -158,6 +164,10 @@ class AmosClient:
         ``commit;`` (as that statement's result list).
         """
         response = self._call("execute", script=script)
+        for result in response["results"]:
+            if isinstance(result, dict) and result.get("kind") == "committed":
+                self.last_commit_epoch = result.get("epoch")
+                self.last_commit_coalesced = result.get("coalesced")
         return [codec.decode_result(result) for result in response["results"]]
 
     def query(self, select_text: str) -> List[Row]:
@@ -168,34 +178,47 @@ class AmosClient:
             raise ServerError("query() expects exactly one select statement")
         return results[0]
 
-    def execute_ro(self, script: str) -> Tuple[int, List[List[Row]]]:
+    def execute_ro(
+        self, script: str, epoch: Optional[int] = None
+    ) -> Tuple[int, List[List[Row]]]:
         """Run a script of selects via ``query_ro``; lock-free on the server.
 
         Returns ``(epoch, results)``: the snapshot epoch the server
         read from, and one row list per select.  All selects in one
-        call see the SAME snapshot.  The epoch is also kept in
-        :attr:`last_ro_epoch`.
+        call see the SAME snapshot.  Passing ``epoch`` (protocol v3)
+        pins that exact epoch from the server's bounded snapshot
+        history — e.g. ``client.last_ro_epoch`` from an earlier call,
+        or ``client.last_commit_epoch`` to read your own writes —
+        raising :class:`~repro.errors.RemoteError` (remote type
+        ``SnapshotEpochError``) when it was evicted.  The served epoch
+        is also kept in :attr:`last_ro_epoch`.
         """
-        response = self._call("query_ro", script=script)
-        epoch = response.get("epoch")
-        self.last_ro_epoch = epoch
+        fields = {"script": script}
+        if epoch is not None:
+            fields["epoch"] = epoch
+        response = self._call("query_ro", **fields)
+        served = response.get("epoch")
+        self.last_ro_epoch = served
         results = [codec.decode_result(result) for result in response["results"]]
-        return epoch, results
+        return served, results
 
-    def query_ro(self, select_text: str) -> List[Row]:
+    def query_ro(
+        self, select_text: str, epoch: Optional[int] = None
+    ) -> List[Row]:
         """Run one ``select`` against the latest published snapshot.
 
         Unlike :meth:`query` this never waits on the server's engine
         lock: a commit in progress on another session cannot delay it.
         The rows are from the last *published* epoch — at most one
-        commit behind the live state (see :attr:`last_ro_epoch`).
+        commit behind the live state (see :attr:`last_ro_epoch`) — or,
+        with ``epoch``, from exactly that pinned historic epoch.
         """
         script = (
             select_text
             if select_text.rstrip().endswith(";")
             else select_text + ";"
         )
-        epoch, results = self.execute_ro(script)
+        served, results = self.execute_ro(script, epoch=epoch)
         if len(results) != 1:
             raise ServerError("query_ro() expects exactly one select statement")
         return results[0]

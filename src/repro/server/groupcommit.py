@@ -1,0 +1,135 @@
+"""The commit queue behind the server's group-commit pipeline.
+
+Group commit coalesces transactions from concurrent sessions into one
+merged check phase (``docs/SERVER.md``).  The moving parts here are
+deliberately tiny and engine-agnostic:
+
+* a :class:`PendingCommit` is one session's commit request — its
+  buffered statements plus a completion event the committing thread
+  blocks on until some *leader* processes the batch containing it;
+* a :class:`CommitQueue` is the thread-safe queue those requests wait
+  in while a check phase is running.
+
+The leader election itself is the server's engine lock
+(``AmosServer._commit_grouped``): every committer enqueues its pending
+request *first* and then contends for the lock.  Whoever acquires the
+lock with its own request still unprocessed becomes the leader, drains
+the queue — picking up everything that piled up while the previous
+check phase ran — and processes the whole batch as one merged
+transaction.  Threads whose request was drained by another leader find
+it completed by the time they get the lock (acks happen under the
+lock) and simply return the recorded result.  Because every thread
+enqueues before contending, no request can be stranded: its own thread
+is always available to lead it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["PendingCommit", "CommitQueue"]
+
+
+class PendingCommit:
+    """One session's commit request, waiting to ride a group batch."""
+
+    __slots__ = (
+        "session",
+        "statements",
+        "enqueued_at",
+        "results",
+        "error",
+        "epoch",
+        "batch_size",
+        "retried",
+        "_done",
+    )
+
+    def __init__(self, session, statements: List[object]) -> None:
+        self.session = session
+        self.statements = statements
+        self.enqueued_at = time.perf_counter()
+        #: encoded per-statement results (set by the leader on success)
+        self.results: Optional[List[Dict]] = None
+        #: the exception that rejected this member (on failure)
+        self.error: Optional[BaseException] = None
+        #: snapshot epoch the batch published (shared by all members)
+        self.epoch: Optional[int] = None
+        #: how many transactions the batch contained
+        self.batch_size: Optional[int] = None
+        #: True when this member succeeded via the serial retry pass
+        self.retried = False
+        self._done = threading.Event()
+
+    # -- completion ---------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def succeed(
+        self,
+        results: List[Dict],
+        epoch: Optional[int],
+        batch_size: int,
+        retried: bool = False,
+    ) -> None:
+        self.results = results
+        self.epoch = epoch
+        self.batch_size = batch_size
+        self.retried = retried
+        self._done.set()
+
+    def fail(self, error: BaseException, batch_size: Optional[int] = None) -> None:
+        self.error = error
+        self.batch_size = batch_size
+        self._done.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._done.wait(timeout)
+
+    def wait_seconds(self, now: Optional[float] = None) -> float:
+        """Seconds this request spent queued so far."""
+        return (now if now is not None else time.perf_counter()) - self.enqueued_at
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "pending"
+        return (
+            f"PendingCommit(session={self.session.id!r}, "
+            f"statements={len(self.statements)}, {state})"
+        )
+
+
+class CommitQueue:
+    """Thread-safe FIFO of :class:`PendingCommit` requests.
+
+    ``put`` happens before the committer contends for the engine lock;
+    ``drain`` happens while holding it.  Arrival order is preserved —
+    the merged delta folds members with the n-ary delta-union in
+    exactly this order.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pending: List[PendingCommit] = []
+
+    def put(self, pending: PendingCommit) -> int:
+        """Enqueue; returns the queue depth after insertion."""
+        with self._lock:
+            self._pending.append(pending)
+            return len(self._pending)
+
+    def drain(self) -> List[PendingCommit]:
+        """Take every queued request (the new leader's batch)."""
+        with self._lock:
+            batch, self._pending = self._pending, []
+            return batch
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def __repr__(self) -> str:
+        return f"CommitQueue(depth={len(self)})"

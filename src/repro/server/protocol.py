@@ -20,6 +20,17 @@ Conversation shape:
   latest published snapshot, off the engine lock; the response carries
   ``"epoch"`` (the snapshot's commit epoch) and ``"results"`` (one
   ``{"kind": "rows", ...}`` entry per select, all from that one epoch);
+* protocol version 3 adds an optional integer ``"epoch"`` field to
+  ``query_ro``: the read pins that exact epoch from the server's
+  bounded snapshot history ring (still off the engine lock), so a
+  client can keep reading one consistent version across intervening
+  commits; an evicted or unpublished epoch fails the request with a
+  ``SnapshotEpochError``;
+* protocol version 3 also extends the ``{"kind": "committed"}`` result
+  of a ``commit;`` statement with ``"epoch"`` (the snapshot epoch the
+  commit published) and ``"coalesced"`` (how many transactions the
+  server's group-commit batch contained — 1 on the serial path; see
+  ``docs/SERVER.md``);
 * either side may close; the server answers ``{"op": "close"}`` with a
   ``bye`` event before doing so.
 
@@ -45,8 +56,9 @@ __all__ = [
     "recv_exact",
 ]
 
-#: bumped to 2 when the query_ro snapshot-read op was added
-PROTOCOL_VERSION = 2
+#: 2: query_ro snapshot reads; 3: epoch-pinned query_ro + commit acks
+#: carrying the published epoch and the group-commit batch size
+PROTOCOL_VERSION = 3
 
 #: default upper bound on one frame's JSON body, in bytes
 MAX_FRAME = 8 * 1024 * 1024

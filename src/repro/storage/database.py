@@ -25,6 +25,7 @@ from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Sequence
 from repro.algebra.delta import DeltaSet, MutableDelta
 from repro.errors import (
     DuplicateRelationError,
+    SnapshotEpochError,
     TransactionError,
     UnknownRelationError,
 )
@@ -54,6 +55,13 @@ class Database:
         #: users publish on demand via :meth:`publish_snapshot`)
         self.auto_publish = False
         self._snapshot = DatabaseSnapshot(0, {})
+        #: how many published epochs stay addressable via
+        #: :meth:`snapshot_at` (the bounded snapshot history ring)
+        self.snapshot_history = 8
+        #: the ring itself: an immutable tuple replaced wholesale on
+        #: publication, so lock-free readers iterating it never observe
+        #: a mutation (same discipline as ``_snapshot``)
+        self._snapshot_ring: Tuple[DatabaseSnapshot, ...] = (self._snapshot,)
         #: per-relation versions captured by the last publication, used
         #: to detect staleness without instrumenting every mutation path
         self._snapshot_versions: Dict[str, int] = {}
@@ -320,6 +328,35 @@ class Database:
         """
         return self._snapshot
 
+    def snapshot_at(self, epoch: int) -> DatabaseSnapshot:
+        """The published snapshot of exactly ``epoch``, from the ring.
+
+        Lock-free like :meth:`snapshot`: one reference read of the ring
+        tuple, then a scan of at most ``snapshot_history`` entries.
+        Raises :class:`SnapshotEpochError` when the epoch was evicted
+        (too old) or not yet published, naming the addressable window
+        so callers can re-pin.
+        """
+        ring = self._snapshot_ring
+        for snapshot in reversed(ring):
+            if snapshot.epoch == epoch:
+                return snapshot
+        latest = ring[-1].epoch
+        if epoch > latest:
+            raise SnapshotEpochError(
+                f"epoch {epoch} has not been published yet "
+                f"(latest is {latest})"
+            )
+        raise SnapshotEpochError(
+            f"epoch {epoch} was evicted from the snapshot history "
+            f"(addressable epochs: {ring[0].epoch}..{latest}, "
+            f"history size {len(ring)})"
+        )
+
+    def snapshot_epochs(self) -> Tuple[int, ...]:
+        """Epochs currently addressable via :meth:`snapshot_at`."""
+        return tuple(snapshot.epoch for snapshot in self._snapshot_ring)
+
     def publish_snapshot(self) -> DatabaseSnapshot:
         """Capture and publish the current committed state (writer-side).
 
@@ -362,6 +399,10 @@ class Database:
         self._snapshot_versions = versions
         # single reference assignment: readers switch epochs atomically
         self._snapshot = published
+        # the history ring is likewise replaced, never mutated: readers
+        # holding the old tuple still see a consistent (older) window
+        limit = max(1, int(self.snapshot_history))
+        self._snapshot_ring = (self._snapshot_ring + (published,))[-limit:]
         reg = metrics.ACTIVE
         if reg is not None:
             reg.counter("snapshot.publishes").inc()

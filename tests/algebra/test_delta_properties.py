@@ -1,0 +1,165 @@
+"""Property tests for the delta-union algebra behind the n-ary merge.
+
+Group commit (``docs/SERVER.md``) merges the per-relation delta-sets
+of several member transactions via :func:`delta_union_all` and runs ONE
+check phase over the result.  Its correctness rests on the algebraic
+facts pinned here:
+
+* **disjointness** — ``plus & minus == ∅`` survives every operation;
+* **cancellation** — an insert/delete pair across members nets out;
+* **commutativity** — the *formula* is symmetric in its operands;
+* **associativity on sequentially compatible chains** — the deltas of
+  consecutive committed transactions (each applicable to the state its
+  predecessors produced) fold the same way however you group the fold,
+  so "merge as they arrive" equals "one merged transaction";
+* **non-associativity in general** — the documented counterexample:
+  arbitrary disjoint pairs do NOT associate, which is why the merge
+  must fold in occurrence order.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.algebra.delta import (
+    DeltaSet,
+    MutableDelta,
+    apply_delta,
+    delta_union,
+    delta_union_all,
+    merge_delta_maps,
+)
+
+rows = st.frozensets(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=5)
+
+
+@st.composite
+def delta_sets(draw):
+    plus = draw(rows)
+    minus = draw(rows) - plus
+    return DeltaSet(plus, minus)
+
+
+@st.composite
+def compatible_chain(draw, min_size=2, max_size=5):
+    """A start state plus a sequence of *sequentially compatible* deltas.
+
+    Each delta is applicable to the state produced by its predecessors:
+    its insertions are absent from that state and its deletions present
+    in it — the shape every chain of consecutive committed transactions
+    has (a transaction cannot re-insert a present row or delete an
+    absent one).
+    """
+    state = draw(rows)
+    start = state
+    chain = []
+    for _ in range(draw(st.integers(min_size, max_size))):
+        universe = st.tuples(st.integers(0, 5), st.integers(0, 5))
+        plus = draw(st.frozensets(universe, max_size=4)) - state
+        minus = (
+            draw(st.frozensets(st.sampled_from(sorted(state)), max_size=4))
+            if state
+            else frozenset()
+        )
+        delta = DeltaSet(plus, minus)
+        chain.append(delta)
+        state = apply_delta(state, delta)
+    return start, chain
+
+
+@given(delta_sets(), delta_sets())
+def test_union_preserves_disjointness(a, b):
+    merged = delta_union(a, b)
+    assert not (merged.plus & merged.minus)
+
+
+@given(delta_sets(), delta_sets())
+def test_union_formula_is_commutative(a, b):
+    assert delta_union(a, b) == delta_union(b, a)
+
+
+@given(rows)
+def test_cancellation_nets_to_nothing(universe):
+    """+row followed by -row (across members) leaves no trace."""
+    inserts = DeltaSet(plus=universe)
+    deletes = DeltaSet(minus=universe)
+    assert delta_union(inserts, deletes).empty
+    assert delta_union_all([inserts, deletes]).empty
+
+
+@given(compatible_chain())
+def test_fold_equals_state_difference(start_and_chain):
+    """The n-ary fold IS the net logical change of the whole chain."""
+    start, chain = start_and_chain
+    merged = delta_union_all(chain)
+    final = start
+    for delta in chain:
+        final = apply_delta(final, delta)
+    assert apply_delta(start, merged) == final
+    # and it is a *minimal* description: no phantom events
+    assert merged.plus == final - start
+    assert merged.minus == start - final
+
+
+@given(compatible_chain(min_size=3, max_size=5))
+def test_associative_on_compatible_chains(start_and_chain):
+    """Any grouping of a sequentially compatible fold agrees."""
+    _, chain = start_and_chain
+    left = delta_union_all(chain)
+    # right-to-left grouping: a ∪ (b ∪ (c ∪ ...))
+    right = chain[-1]
+    for delta in reversed(chain[:-1]):
+        right = delta_union(delta, right)
+    # split at every point: (prefix fold) ∪ (suffix fold)
+    for cut in range(1, len(chain)):
+        split = delta_union(
+            delta_union_all(chain[:cut]), delta_union_all(chain[cut:])
+        )
+        assert split == left
+    assert right == left
+
+
+def test_not_associative_in_general():
+    """The documented counterexample: arbitrary pairs don't associate.
+
+    ``b`` deletes a row ``a`` just inserted (fine — they cancel), but
+    ``c`` deletes it AGAIN — no sequential state admits that, and the
+    grouping changes the answer.  This is why ``delta_union_all`` folds
+    in occurrence order and why the group-commit merge accumulates
+    members in arrival order.
+    """
+    x = (1, 1)
+    a = DeltaSet(plus={x})
+    b = DeltaSet(minus={x})
+    c = DeltaSet(minus={x})
+    left = delta_union(delta_union(a, b), c)
+    right = delta_union(a, delta_union(b, c))
+    assert left == DeltaSet(minus={x})
+    assert right == DeltaSet()
+    assert left != right
+
+
+@given(delta_sets(), delta_sets())
+def test_mutable_merge_matches_union(a, b):
+    accumulator = MutableDelta()
+    accumulator.merge(a)
+    cancelled = accumulator.merge(b)
+    assert accumulator.freeze() == delta_union(a, b)
+    assert cancelled == len(a.plus & b.minus) + len(a.minus & b.plus)
+
+
+@given(
+    st.lists(
+        st.dictionaries(st.sampled_from(["r", "s", "t"]), delta_sets(), max_size=3),
+        max_size=4,
+    )
+)
+def test_merge_delta_maps_per_relation(maps):
+    merged = merge_delta_maps(maps)
+    for name in {key for delta_map in maps for key in delta_map}:
+        expected = delta_union_all(
+            delta_map[name] for delta_map in maps if name in delta_map
+        )
+        if expected.empty:
+            assert name not in merged  # net-empty relations are dropped
+        else:
+            assert merged[name] == expected
+    assert all(merged[name] for name in merged)

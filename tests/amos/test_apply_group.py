@@ -1,0 +1,214 @@
+"""``apply_group``: several member transactions, ONE merged commit.
+
+This is the engine half of group commit (docs/SERVER.md): the members
+run sequentially inside a single storage transaction, their deltas fold
+with the n-ary delta-union as they land, and the one ``commit()`` at
+the end drives a single check phase over the merged net Δ.  Unlike the
+server tests, member ORDER is fully controlled here, so the
+order-sensitive semantics (cross-member churn cancellation, savepoint
+isolation, the serial retry after a failed merged check phase) are
+pinned deterministically.
+"""
+
+import pytest
+
+from repro.amos.database import AmosDatabase, GroupUnitOutcome
+from repro.amosql.interpreter import AmosqlEngine
+from repro.bench.workload import build_inventory
+from repro.errors import TransactionError
+
+SEED = 3
+MAX_STOCK = 5000  # order(i, max_stock(i) - quantity(i))
+
+
+def inventory(n_items=3):
+    workload = build_inventory(n_items, seed=SEED)
+    workload.activate()
+    return workload
+
+
+def set_quantity(workload, index, value, result=None):
+    """A member unit: one quantity update, returning ``result``."""
+
+    def unit():
+        workload.amos.set_value(
+            "quantity", (workload.items[index],), value
+        )
+        return result
+
+    return unit
+
+
+class TestMergedCommit:
+    def test_outcomes_in_order_with_member_values(self):
+        workload = inventory()
+        outcomes = workload.amos.apply_group(
+            [
+                set_quantity(workload, 0, 120, result="first"),
+                set_quantity(workload, 1, 130, result="second"),
+            ]
+        )
+        assert [outcome.ok for outcome in outcomes] == [True, True]
+        assert [outcome.value for outcome in outcomes] == ["first", "second"]
+        assert not any(outcome.retried for outcome in outcomes)
+        # one merged wave fired both entering rows
+        assert sorted(workload.orders) == sorted(
+            [
+                (workload.items[0], MAX_STOCK - 120),
+                (workload.items[1], MAX_STOCK - 130),
+            ]
+        )
+
+    def test_one_check_phase_one_epoch_for_the_whole_group(self):
+        workload = inventory()
+        workload.amos.storage.auto_publish = True
+        workload.amos.storage.publish_snapshot()
+        before = workload.amos.storage.snapshot_epoch
+        workload.amos.apply_group(
+            [set_quantity(workload, index, 120) for index in range(3)]
+        )
+        assert workload.amos.storage.snapshot_epoch == before + 1
+
+    def test_empty_group_is_a_noop(self):
+        workload = inventory(1)
+        assert workload.amos.apply_group([]) == []
+        assert not workload.amos.storage.in_transaction
+        assert workload.orders == []
+
+    def test_cross_member_churn_cancels_in_the_merged_wave(self):
+        # member A dips item 0 below the threshold, member B recovers
+        # it within the SAME batch: the merged net Δ never shows the
+        # dip, so the rule does not fire...
+        grouped = inventory(1)
+        outcomes = grouped.amos.apply_group(
+            [set_quantity(grouped, 0, 120), set_quantity(grouped, 0, 4800)]
+        )
+        assert all(outcome.ok for outcome in outcomes)
+        assert grouped.orders == []
+        # ...whereas the same two transactions committed serially fire
+        # on the dip — THE observable difference group commit documents
+        serial = inventory(1)
+        with serial.amos.transaction():
+            serial.amos.set_value("quantity", (serial.items[0],), 120)
+        with serial.amos.transaction():
+            serial.amos.set_value("quantity", (serial.items[0],), 4800)
+        assert serial.orders == [(serial.items[0], MAX_STOCK - 120)]
+        # the final STATE is identical either way
+        assert (
+            grouped.amos.snapshot_extensions()
+            == serial.amos.snapshot_extensions()
+        )
+
+    def test_must_run_outside_any_transaction(self):
+        workload = inventory(1)
+        workload.amos.begin()
+        try:
+            with pytest.raises(TransactionError):
+                workload.amos.apply_group([set_quantity(workload, 0, 120)])
+        finally:
+            workload.amos.rollback()
+
+
+class TestMemberIsolation:
+    def test_failed_member_rolls_back_to_its_savepoint(self):
+        workload = inventory(3)
+        initial = workload.amos.value("quantity", workload.items[1])
+
+        def bad_member():
+            workload.amos.set_value(
+                "quantity", (workload.items[1],), 120
+            )
+            raise RuntimeError("member exploded mid-apply")
+
+        outcomes = workload.amos.apply_group(
+            [
+                set_quantity(workload, 0, 120),
+                bad_member,
+                set_quantity(workload, 2, 130),
+            ]
+        )
+        assert [outcome.ok for outcome in outcomes] == [True, False, True]
+        assert isinstance(outcomes[1].error, RuntimeError)
+        assert not any(outcome.retried for outcome in outcomes)
+        # the bad member's write was undone; the survivors committed
+        assert workload.amos.value("quantity", workload.items[0]) == 120
+        assert workload.amos.value("quantity", workload.items[1]) == initial
+        assert workload.amos.value("quantity", workload.items[2]) == 130
+        # and its rolled-back dip never reached the check phase
+        assert sorted(workload.orders) == sorted(
+            [
+                (workload.items[0], MAX_STOCK - 120),
+                (workload.items[2], MAX_STOCK - 130),
+            ]
+        )
+
+
+class TestSerialRetry:
+    """A merged CHECK PHASE failure cannot be attributed to one member,
+    so the group rolls back and the survivors re-run serially."""
+
+    def make_db(self):
+        """A db whose rule action raises whenever ``val(n) == 13``."""
+        amos = AmosDatabase()
+        fired = []
+        amos.create_type("node")
+        amos.create_stored_function("val", ["node"], ["integer"])
+
+        def act(node):
+            if amos.value("val", node) == 13:
+                raise RuntimeError("boom")
+            fired.append(node)
+
+        amos.create_procedure("act", ("node",), act)
+        engine = AmosqlEngine(amos)
+        engine.execute(
+            """
+            create rule r() as
+                when for each node n where val(n) > 0 do act(n);
+            activate r();
+            """
+        )
+        x = amos.create_object("node")
+        y = amos.create_object("node")
+        with amos.transaction():
+            amos.set_value("val", (x,), -1)
+            amos.set_value("val", (y,), -1)
+        return amos, fired, x, y
+
+    def set_val(self, amos, node, value):
+        def unit():
+            amos.set_value("val", (node,), value)
+
+        return unit
+
+    def test_survivors_retry_serially_and_blame_lands_on_the_culprit(self):
+        amos, fired, x, y = self.make_db()
+        outcomes = amos.apply_group(
+            [self.set_val(amos, x, 13), self.set_val(amos, y, 5)]
+        )
+        # the merged wave raised; the retry attributes the failure to x
+        assert outcomes[0].ok is False
+        assert isinstance(outcomes[0].error, RuntimeError)
+        assert outcomes[1].ok is True and outcomes[1].retried is True
+        assert amos.value("val", x) == -1  # rolled back
+        assert amos.value("val", y) == 5  # retried and committed
+        assert set(fired) == {y}
+        assert not amos.storage.in_transaction
+
+    def test_retry_serial_false_reraises_and_rolls_everything_back(self):
+        amos, fired, x, y = self.make_db()
+        with pytest.raises(RuntimeError, match="boom"):
+            amos.apply_group(
+                [self.set_val(amos, x, 13), self.set_val(amos, y, 5)],
+                retry_serial=False,
+            )
+        assert amos.value("val", x) == -1
+        assert amos.value("val", y) == -1
+        assert not amos.storage.in_transaction
+
+
+class TestGroupUnitOutcome:
+    def test_defaults(self):
+        outcome = GroupUnitOutcome(True, value=7)
+        assert outcome.ok and outcome.value == 7
+        assert outcome.error is None and outcome.retried is False

@@ -188,3 +188,53 @@ class TestRulesViaAmosql:
         )
         # strict would fire once; nervous fires on every confirming update
         assert fired == [engine.get("a"), engine.get("a")]
+
+
+class TestEpochPinnedQueries:
+    """``query(..., epoch=...)`` / ``execute_readonly(..., epoch=...)``
+    read one pinned version from the bounded snapshot history ring."""
+
+    QUERY = "select q for each item i, integer q where quantity(i) = q"
+
+    def test_query_pins_an_epoch_across_updates(self, engine):
+        engine.amos.storage.publish_snapshot()
+        pinned = engine.amos.storage.snapshot_epoch
+        engine.execute("set quantity(:a) = 1;")
+        engine.amos.storage.publish_snapshot()
+        assert sorted(engine.query(self.QUERY, epoch=pinned)) == [
+            (10,),
+            (99,),
+        ]
+        assert sorted(engine.query(self.QUERY)) == [(1,), (99,)]
+
+    def test_execute_readonly_pins_an_epoch(self, engine):
+        engine.amos.storage.publish_snapshot()
+        pinned = engine.amos.storage.snapshot_epoch
+        engine.execute("set quantity(:a) = 1;")
+        engine.amos.storage.publish_snapshot()
+        snapshot, results = engine.execute_readonly(
+            f"{self.QUERY};", epoch=pinned
+        )
+        assert snapshot.epoch == pinned
+        assert sorted(results[0]) == [(10,), (99,)]
+
+    def test_evicted_epoch_raises(self, engine):
+        from repro.errors import SnapshotEpochError
+
+        storage = engine.amos.storage
+        storage.snapshot_history = 1
+        storage.publish_snapshot()
+        stale = storage.snapshot_epoch
+        engine.execute("set quantity(:a) = 1;")
+        storage.publish_snapshot()
+        with pytest.raises(SnapshotEpochError, match="evicted"):
+            engine.query(self.QUERY, epoch=stale)
+
+    def test_epoch_and_snapshot_are_mutually_exclusive(self, engine):
+        snapshot = engine.amos.storage.publish_snapshot()
+        with pytest.raises(AmosError, match="not both"):
+            engine.execute_readonly(
+                f"{self.QUERY};", snapshot=snapshot, epoch=snapshot.epoch
+            )
+        with pytest.raises(AmosError, match="not both"):
+            engine.query(self.QUERY, snapshot=snapshot, epoch=snapshot.epoch)

@@ -1,0 +1,257 @@
+"""Group commit: concurrent transactions coalesce into ONE merged wave.
+
+Deterministic coalescing uses the engine lock directly: it is an RLock,
+so the test thread can hold it while client handler threads block on
+it.  Every member then enqueues its commit on the commit queue; when
+the test releases the lock, the first handler through becomes the
+leader and processes the WHOLE queue as one merged transaction — one
+check phase, one snapshot epoch, acks for everyone (docs/SERVER.md).
+
+The organic (no lock held) interleavings are covered by reusing the
+equivalence harness of ``test_concurrency`` with ``group_commit=True``:
+disjoint-item workloads must match the sequential baseline no matter
+how the batches form.
+"""
+
+import threading
+import time
+
+from repro.bench.workload import build_inventory
+from repro.errors import RemoteError
+from repro.server import AmosClient, AmosServer
+
+from tests.server.test_concurrency import (
+    firing_multiset,
+    run_on_server,
+    run_sequentially,
+)
+
+SEED = 13
+MAX_STOCK = 5000  # the rule action orders max_stock(i) - quantity(i)
+
+
+def start_group_server(n_items=6, observe=True, **amos_options):
+    workload = build_inventory(n_items, seed=SEED, **amos_options)
+    workload.activate()
+    server = AmosServer(
+        amos=workload.amos, observe=observe, group_commit=True
+    )
+    server.start()
+    return workload, server
+
+
+def run_coalesced(workload, server, members, timeout=30.0):
+    """Force one commit per member into a single group-commit batch.
+
+    ``members`` is a list of statement lists; an ``(index, quantity)``
+    tuple is shorthand for ``set quantity(:i<index>) = <quantity>;``
+    with the item bound up front.  The test thread holds the engine
+    lock (reentrant — only the handler threads block on it) until every
+    member's commit request is enqueued, then releases it so exactly
+    one leader drains the whole batch.
+
+    Returns ``(acks, errors)`` indexed like ``members``: ``acks[k]`` is
+    ``(epoch, coalesced)`` from the commit response, ``errors[k]`` the
+    exception the member's commit raised (None on success).
+    """
+    host, port = server.address
+    n = len(members)
+    acks, errors = [None] * n, [None] * n
+    buffered = threading.Barrier(n + 1)
+
+    def worker(index, statements):
+        try:
+            with AmosClient(host, port, timeout=timeout) as client:
+                for statement in statements:
+                    if isinstance(statement, tuple):
+                        item_index = statement[0]
+                        client.bind(f"i{item_index}", workload.items[item_index])
+                client.begin()
+                for statement in statements:
+                    if isinstance(statement, tuple):
+                        item_index, quantity = statement
+                        client.execute(
+                            f"set quantity(:i{item_index}) = {quantity};"
+                        )
+                    else:
+                        client.execute(statement)
+                buffered.wait(timeout=timeout)
+                client.commit()
+                acks[index] = (
+                    client.last_commit_epoch,
+                    client.last_commit_coalesced,
+                )
+        except BaseException as exc:  # noqa: BLE001 - reported to the test
+            errors[index] = exc
+
+    threads = [
+        threading.Thread(target=worker, args=(index, statements))
+        for index, statements in enumerate(members)
+    ]
+    with server._engine_lock:
+        for thread in threads:
+            thread.start()
+        buffered.wait(timeout=timeout)  # every member buffered its txn
+        deadline = time.monotonic() + timeout
+        while len(server._commit_queue) < n:
+            assert time.monotonic() < deadline, "commits never enqueued"
+            time.sleep(0.002)
+    for thread in threads:
+        thread.join(timeout=timeout)
+        assert not thread.is_alive()
+    return acks, errors
+
+
+class TestDeterministicCoalescing:
+    def test_concurrent_commits_share_one_batch_and_epoch(self):
+        workload, server = start_group_server(n_items=6)
+        try:
+            epoch_before = workload.amos.storage.snapshot_epoch
+            # four sessions, four disjoint items, all dipping below the
+            # threshold (140) — the merged wave must fire all four
+            members = [[(index, 120 + index)] for index in range(4)]
+            acks, errors = run_coalesced(workload, server, members)
+            assert errors == [None] * 4
+            epochs = {epoch for epoch, _ in acks}
+            assert len(epochs) == 1, acks  # the shared batch epoch
+            assert epochs == {epoch_before + 1}  # ONE publication, not 4
+            assert [coalesced for _, coalesced in acks] == [4] * 4
+            assert sorted(workload.orders) == sorted(
+                (workload.items[index], MAX_STOCK - (120 + index))
+                for index in range(4)
+            )
+
+            stats = server.stats()
+            assert stats["counters"]["server.group_commits"] == 1
+            assert stats["counters"]["server.commits"] == 4
+            assert stats["counters"]["server.commits_coalesced"] == 3
+            batch_hist = stats["histograms"]["server.commit_queue.batch_size"]
+            assert batch_hist["count"] == 1 and batch_hist["max"] == 4
+            wait_hist = stats["histograms"]["server.commit_queue.wait_ms"]
+            assert wait_hist["count"] == 4
+            # every member's session recorded that its commit rode a
+            # batch (a session may still be live while its handler
+            # thread unwinds, so merge the live and closed views)
+            sessions = list(stats["closed_sessions"]) + [
+                snap for snap in stats["sessions"].values()
+            ]
+            assert sorted(
+                snap["counters"]["commits_coalesced"]
+                for snap in sessions
+                if snap["counters"]["commits"]
+            ) == [1, 1, 1, 1]
+        finally:
+            server.stop()
+
+    def test_uncontended_commit_is_a_batch_of_one(self):
+        workload, server = start_group_server(n_items=2)
+        try:
+            host, port = server.address
+            with AmosClient(host, port) as client:
+                client.bind("i0", workload.items[0])
+                with client.transaction():
+                    client.execute("set quantity(:i0) = 120;")
+                assert client.last_commit_coalesced == 1
+                assert (
+                    client.last_commit_epoch
+                    == workload.amos.storage.snapshot_epoch
+                )
+            assert workload.orders == [(workload.items[0], MAX_STOCK - 120)]
+            stats = server.stats()
+            assert stats["counters"]["server.group_commits"] == 1
+            assert stats["counters"]["server.commits"] == 1
+            assert stats["counters"].get("server.commits_coalesced", 0) == 0
+        finally:
+            server.stop()
+
+    def test_member_error_is_isolated_from_the_batch(self):
+        workload, server = start_group_server(n_items=3)
+        try:
+            members = [
+                [(0, 120)],
+                # parses and buffers fine; fails at replay (the interface
+                # variable is never bound in that session)
+                ["set quantity(:never_bound) = 1;"],
+            ]
+            acks, errors = run_coalesced(workload, server, members)
+            assert errors[0] is None
+            assert acks[0] is not None and acks[0][1] == 2  # still a 2-batch
+            assert isinstance(errors[1], RemoteError)
+            assert acks[1] is None
+            # the good member's update survived the bad one
+            assert workload.amos.value("quantity", workload.items[0]) == 120
+            assert workload.orders == [(workload.items[0], MAX_STOCK - 120)]
+            stats = server.stats()
+            assert stats["counters"]["server.commits"] == 1  # only the survivor
+            assert stats["counters"]["server.group_commits"] == 1
+        finally:
+            server.stop()
+
+    def test_group_commit_trace_wraps_one_check_phase(self):
+        workload, server = start_group_server(n_items=4)
+        try:
+            members = [[(index, 130)] for index in range(3)]
+            _, errors = run_coalesced(workload, server, members)
+            assert errors == [None] * 3
+            trace = server.last_commit_trace
+            assert trace is not None and trace.name == "server.group_commit"
+            assert trace.attributes["members"] == 3
+            assert trace.find("check_phase")
+        finally:
+            server.stop()
+
+    def test_last_check_stats_show_the_coalescing_window(self):
+        # the DATABASE needs observe=True here: last_check_stats() reads
+        # the per-commit registry the rule manager keeps
+        workload = build_inventory(4, seed=SEED, observe=True)
+        workload.activate()
+        server = AmosServer(
+            amos=workload.amos, observe=True, group_commit=True
+        )
+        server.start()
+        try:
+            members = [[(index, 125)] for index in range(3)]
+            _, errors = run_coalesced(workload, server, members)
+            assert errors == [None] * 3
+            derived = workload.amos.last_check_stats()["derived"]
+            assert derived["commit_batch_size"] == 3
+            assert derived["commits_coalesced"] == 2
+            assert derived["commit_queue_wait_ms_max"] >= 0
+        finally:
+            server.stop()
+
+
+class TestOrganicEquivalence:
+    # same shape as test_concurrency: four sessions over disjoint items,
+    # quantities straddling the threshold so firings enter/net/recover
+    SCRIPTS = [
+        [
+            ([(base + 0, 120)], True),
+            ([(base + 1, 130), (base + 1, 150)], True),
+            ([(base + 2, 100)], False),  # rolled back
+            ([(base + 0, 5000), (base + 2, 135)], True),
+        ]
+        for base in (0, 3, 6, 9)
+    ]
+
+    def test_any_batching_matches_the_sequential_baseline(self):
+        concurrent, server = run_on_server(
+            12, self.SCRIPTS, group_commit=True
+        )
+        sequential = run_sequentially(12, self.SCRIPTS)
+        assert (
+            concurrent.amos.snapshot_extensions()
+            == sequential.amos.snapshot_extensions()
+        )
+        assert firing_multiset(concurrent) == firing_multiset(sequential)
+        stats = server.stats()
+        commits = sum(
+            1 for txns in self.SCRIPTS for _, commit in txns if commit
+        )
+        assert stats["counters"]["server.commits"] == commits
+        # however the batches formed, every commit went through a group
+        assert stats["counters"]["server.group_commits"] >= 1
+        assert (
+            stats["histograms"]["server.commit_queue.batch_size"]["sum"]
+            == commits
+        )

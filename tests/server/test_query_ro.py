@@ -114,6 +114,82 @@ class TestQueryRo:
         )
 
 
+class TestEpochPinnedReads:
+    """Protocol v3: ``query_ro(epoch=...)`` pins one historic snapshot
+    from the server's bounded history ring (``db.snapshot_history``)."""
+
+    def test_pin_holds_a_past_epoch_across_commits(self):
+        with start_server() as server:
+            host, port = server.address
+            with AmosClient(host, port) as client:
+                client.execute(SCHEMA)
+                client.query_ro(QUERY)
+                pinned = client.last_ro_epoch
+                with client.transaction():
+                    client.execute("set quantity(:a) = 11;")
+                with client.transaction():
+                    client.execute("set quantity(:a) = 12;")
+                # the pinned epoch still serves its original rows
+                assert sorted(client.query_ro(QUERY, epoch=pinned)) == [
+                    (10,),
+                    (50,),
+                ]
+                assert client.last_ro_epoch == pinned
+                assert sorted(client.query_ro(QUERY)) == [(12,), (50,)]
+
+    def test_read_your_own_commit_via_its_acked_epoch(self):
+        with start_server() as server:
+            host, port = server.address
+            with AmosClient(host, port) as writer, AmosClient(
+                host, port
+            ) as reader:
+                writer.execute(SCHEMA)
+                with writer.transaction():
+                    writer.execute("set quantity(:a) = 11;")
+                committed = writer.last_commit_epoch
+                assert committed == server.amos.snapshot_epoch
+                assert writer.last_commit_coalesced == 1  # serial server
+                rows = reader.query_ro(QUERY, epoch=committed)
+                assert sorted(rows) == [(11,), (50,)]
+
+    def test_evicted_epoch_fails_with_a_clear_error(self):
+        with start_server() as server:
+            server.amos.storage.snapshot_history = 2
+            host, port = server.address
+            with AmosClient(host, port) as client:
+                client.execute(SCHEMA)
+                client.query_ro(QUERY)
+                ancient = client.last_ro_epoch
+                for value in (11, 12, 13):
+                    with client.transaction():
+                        client.execute(f"set quantity(:a) = {value};")
+                with pytest.raises(RemoteError) as excinfo:
+                    client.query_ro(QUERY, epoch=ancient)
+                assert excinfo.value.remote_type == "SnapshotEpochError"
+                assert "evicted" in str(excinfo.value)
+                # the connection survives; the live snapshot still works
+                assert sorted(client.query_ro(QUERY)) == [(13,), (50,)]
+
+    def test_future_epoch_rejected(self):
+        with start_server() as server:
+            host, port = server.address
+            with AmosClient(host, port) as client:
+                client.execute(SCHEMA)
+                with pytest.raises(RemoteError) as excinfo:
+                    client.query_ro(QUERY, epoch=10_000)
+                assert excinfo.value.remote_type == "SnapshotEpochError"
+                assert "not been published" in str(excinfo.value)
+
+    def test_non_integer_epoch_is_a_protocol_error(self):
+        with start_server() as server:
+            host, port = server.address
+            with AmosClient(host, port) as client:
+                client.execute(SCHEMA)
+                with pytest.raises(RemoteError) as excinfo:
+                    client._call("query_ro", script=f"{QUERY};", epoch="new")
+                assert excinfo.value.remote_type == "ProtocolError"
+
+
 class TestReadsOffTheCommitLock:
     def test_query_ro_completes_while_commit_holds_the_engine_lock(self):
         """THE acceptance test: block a commit mid-check-phase (it holds

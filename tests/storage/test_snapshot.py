@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import UnknownRelationError
+from repro.errors import SnapshotEpochError, UnknownRelationError
 from repro.obs import metrics
 from repro.storage import Database, DatabaseSnapshot, SnapshotView
 
@@ -176,3 +176,68 @@ class TestDatabaseSnapshot:
         db.insert("a", (3, 4))
         db.delete("a", (1, 2))
         assert snap.rows("a") == frozenset({(1, 2)})
+
+
+class TestSnapshotHistory:
+    """The bounded epoch ring behind ``query_ro(epoch=...)``."""
+
+    def publish_epochs(self, db, n):
+        """Publish ``n`` distinct epochs; returns the published list."""
+        published = []
+        for value in range(n):
+            db.insert("a", (value, value))
+            published.append(db.publish_snapshot())
+        return published
+
+    def test_defaults(self):
+        db = make_db()
+        assert db.snapshot_history == 8
+
+    def test_ring_keeps_the_last_k_epochs_addressable(self):
+        db = make_db()
+        db.snapshot_history = 3
+        published = self.publish_epochs(db, 5)
+        assert db.snapshot_epochs() == (3, 4, 5)
+        for snap in published[-3:]:
+            assert db.snapshot_at(snap.epoch) is snap
+
+    def test_evicted_epoch_raises_with_the_addressable_window(self):
+        db = make_db()
+        db.snapshot_history = 2
+        self.publish_epochs(db, 4)
+        with pytest.raises(SnapshotEpochError, match="evicted"):
+            db.snapshot_at(1)
+        with pytest.raises(SnapshotEpochError, match="3..4"):
+            db.snapshot_at(2)
+
+    def test_future_epoch_raises_not_yet_published(self):
+        db = make_db()
+        self.publish_epochs(db, 2)
+        with pytest.raises(SnapshotEpochError, match="not been published"):
+            db.snapshot_at(99)
+
+    def test_history_of_one_keeps_only_the_latest(self):
+        db = make_db()
+        db.snapshot_history = 1
+        published = self.publish_epochs(db, 3)
+        assert db.snapshot_epochs() == (3,)
+        assert db.snapshot_at(3) is published[-1]
+        with pytest.raises(SnapshotEpochError):
+            db.snapshot_at(2)
+
+    def test_noop_publish_does_not_grow_the_ring(self):
+        db = make_db()
+        self.publish_epochs(db, 2)
+        before = db.snapshot_epochs()
+        db.publish_snapshot()  # nothing changed: same snapshot object
+        assert db.snapshot_epochs() == before
+
+    def test_pinned_snapshot_survives_eviction(self):
+        # the ring bounds ADDRESSABILITY, not lifetime: a reader that
+        # already holds a snapshot keeps reading it lock-free
+        db = make_db()
+        db.snapshot_history = 1
+        (first, *_rest) = self.publish_epochs(db, 3)
+        with pytest.raises(SnapshotEpochError):
+            db.snapshot_at(first.epoch)
+        assert first.rows("a") == frozenset({(0, 0)})
