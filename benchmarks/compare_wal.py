@@ -1,0 +1,105 @@
+"""Compare a fresh BENCH_wal.json against the committed baseline.
+
+CI's bench-regression gate for the durable commit path: the ``wal_on``
+and ``recover`` cells' cost (ms/commit) must not regress more than
+``--tolerance`` (default 25%) against the baseline committed at the
+repository root.  The ``wal_off`` series is the host-dependent
+in-memory baseline — reported, not failed.  The fresh run's own
+overhead ratio (wal_on vs wal_off, measured on the SAME host) is also
+gated against the budget recorded in the artifact meta, which is the
+acceptance bar of ISSUE 6: WAL-on commit overhead <= 25% vs WAL-off.
+
+Usage::
+
+    python benchmarks/compare_wal.py BASELINE FRESH [--tolerance 0.25]
+
+Exit status 0 when every gated cell is within tolerance, 1 otherwise.
+Re-baseline by committing the regenerated artifact together with the
+change that justifies it.
+"""
+
+import argparse
+import json
+import sys
+
+#: series prefixes whose regression fails the gate (the durable path)
+GATED_PREFIXES = ("wal_on", "recover")
+
+
+def cells(payload):
+    x_label = payload.get("x_label", "commits")
+    return {
+        (row["series"], row[x_label]): row["ms_per_transaction"]
+        for row in payload["rows"]
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as handle:
+        baseline = cells(json.load(handle))
+    with open(args.fresh) as handle:
+        fresh_payload = json.load(handle)
+    fresh = cells(fresh_payload)
+
+    failures = []
+    for key, base_ms in sorted(baseline.items()):
+        series, x = key
+        now_ms = fresh.get(key)
+        if now_ms is None:
+            failures.append(f"{series}@{x}: missing from fresh run")
+            continue
+        ratio = now_ms / base_ms if base_ms else float("inf")
+        gated = series.startswith(GATED_PREFIXES)
+        verdict = "ok"
+        if gated and ratio > 1.0 + args.tolerance:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{series}@{x}: {base_ms:.4f} -> {now_ms:.4f} "
+                f"ms/commit ({ratio:.2f}x, tolerance "
+                f"{1.0 + args.tolerance:.2f}x)"
+            )
+        print(
+            f"  {series}@{x}: baseline {base_ms:.4f} ms/commit, "
+            f"fresh {now_ms:.4f} ms/commit ({ratio:.2f}x) "
+            f"[{'gated' if gated else 'informational'}] {verdict}"
+        )
+
+    meta = fresh_payload.get("meta", {})
+    overhead = meta.get("overhead_ratio")
+    budget = meta.get("overhead_budget", 0.25)
+    if overhead is not None:
+        verdict = "ok" if overhead <= 1.0 + budget else "OVER BUDGET"
+        if overhead > 1.0 + budget:
+            failures.append(
+                f"overhead_ratio: wal_on is {overhead:.2f}x wal_off "
+                f"(budget {1.0 + budget:.2f}x)"
+            )
+        print(
+            f"  fresh wal_on/wal_off overhead: {100 * (overhead - 1):.1f}% "
+            f"(budget {100 * budget:.0f}%) {verdict}"
+        )
+    recovery = meta.get("recovery")
+    if recovery:
+        print(
+            f"  fresh recovery: {recovery['commits']} commits in "
+            f"{recovery['recover_seconds']:.3f}s "
+            f"({recovery['commits_per_second']:.0f} commits/sec)"
+        )
+
+    if failures:
+        print("\nbench-regression FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nbench-regression ok: all gated cells within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -96,6 +96,10 @@ class AmosDatabase:
         self._oid_counter = itertools.count(1)
         #: per rule: (condition predicate, auxiliary NOT-predicates)
         self._rule_artifacts: Dict[str, Tuple[str, Tuple[str, ...]]] = {}
+        #: the attached write-ahead log (None = not durable); see
+        #: :meth:`open_wal` / :meth:`attach_wal` and docs/DURABILITY.md
+        self.wal = None
+        self._wal_last_epoch = 0
 
     # -- types and objects -------------------------------------------------------
 
@@ -506,9 +510,73 @@ class AmosDatabase:
 
     def activate(self, rule_name: str, params: Tuple = ()) -> None:
         self.rules.activate(rule_name, params)
+        if self.wal is not None:
+            self.wal.append_rule("activate", rule_name, params)
 
     def deactivate(self, rule_name: str, params: Tuple = ()) -> None:
         self.rules.deactivate(rule_name, params)
+        if self.wal is not None:
+            self.wal.append_rule("deactivate", rule_name, params)
+
+    # -- durability (write-ahead Δ-log) ------------------------------------------------------
+
+    def open_wal(self, directory: str, **wal_options):
+        """Make this database durable: recover ``directory`` into it,
+        then log every later commit there (see docs/DURABILITY.md).
+
+        Call right after the schema bootstrap (types, functions, rules,
+        procedures) — the log stores only data and monitor changes, the
+        schema is code.  An empty/new directory starts a fresh log; an
+        existing one is replayed first, so this is also the restart
+        path.  Returns the :class:`~repro.storage.wal.RecoveryReport`.
+        """
+        from repro.storage import wal as wal_module
+
+        wal_module.recover(directory, amos=self, **wal_options)
+        return self.wal.last_recovery
+
+    def attach_wal(self, wal) -> None:
+        """Attach an open :class:`~repro.storage.wal.WriteAheadLog`.
+
+        From here on every committed transaction appends one fsync'd
+        commit record BEFORE ``commit()`` returns (= before the caller
+        can ack), and rule activations/deactivations and relation
+        create/drop append rule/catalog records.  Read-only commits
+        (no physical events, no epoch movement) are not logged.
+        """
+        if self.wal is not None:
+            raise AmosError("a write-ahead log is already attached")
+        self.wal = wal
+        self._wal_last_epoch = self.storage.snapshot_epoch
+        self.storage.add_commit_listener(self._wal_on_commit)
+        self.storage.add_catalog_listener(self._wal_on_catalog)
+
+    def detach_wal(self) -> None:
+        """Stop logging and close the attached log (tests, shutdown)."""
+        if self.wal is None:
+            return
+        self.storage.remove_commit_listener(self._wal_on_commit)
+        self.storage.remove_catalog_listener(self._wal_on_catalog)
+        self.wal.close()
+        self.wal = None
+
+    def _wal_on_commit(self, committed) -> None:
+        if not committed.events and committed.epoch <= self._wal_last_epoch:
+            return  # read-only commit: nothing to make durable
+        self.wal.append_commit(
+            committed.epoch, committed.deltas, committed.group
+        )
+        self._wal_last_epoch = committed.epoch
+
+    def _wal_on_catalog(self, op: str, relation) -> None:
+        self.wal.append_catalog(
+            op, relation.name, relation.arity, relation.column_names
+        )
+
+    def advance_oid_counter(self, highest: int) -> None:
+        """Ensure new OIDs are allocated strictly above ``highest``."""
+        current = next(self._oid_counter)
+        self._oid_counter = itertools.count(max(current, highest + 1))
 
     # -- persistence ------------------------------------------------------------------------
 
@@ -539,7 +607,7 @@ class AmosDatabase:
                 for value in row:
                     if isinstance(value, OID):
                         highest = max(highest, value.id)
-        self._oid_counter = itertools.count(highest + 1)
+        self.advance_oid_counter(highest)
         return loaded
 
     def snapshot_extensions(self) -> Dict[str, List[str]]:
@@ -628,7 +696,16 @@ class AmosDatabase:
                 else:
                     outcomes[index] = GroupUnitOutcome(True, value=value)
                     applied.append(index)
-            self.commit()  # ONE check phase over the merged delta
+            # the commit record of the merged transaction carries the
+            # group boundary (WAL commit listeners read it)
+            self.storage.group_meta = {
+                "members": len(units),
+                "applied": len(applied),
+            }
+            try:
+                self.commit()  # ONE check phase over the merged delta
+            finally:
+                self.storage.group_meta = None
         except BaseException:
             if self.storage.in_transaction:
                 self.rollback()

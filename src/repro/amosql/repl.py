@@ -233,6 +233,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "merged-delta check phase (see docs/SERVER.md)",
     )
     parser.add_argument(
+        "--wal-dir",
+        metavar="DIR",
+        default=None,
+        help="server only: durable write-ahead delta-log directory; "
+        "existing committed records are recovered before the server "
+        "accepts connections (see docs/DURABILITY.md)",
+    )
+    parser.add_argument(
         "script",
         nargs="?",
         help="AMOSQL script to execute instead of the interactive loop",
@@ -253,6 +261,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             script=script_text,
             idle_timeout=options.idle_timeout,
             group_commit=options.group_commit,
+            wal_dir=options.wal_dir,
         )
     repl = Repl(mode=options.mode)
     if options.script:

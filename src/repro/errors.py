@@ -44,6 +44,25 @@ class TransactionError(StorageError):
     """Illegal use of the transaction API (nested begin, commit w/o begin...)."""
 
 
+class WalError(StorageError):
+    """Illegal use or unavailable state of the write-ahead log.
+
+    Notably raised by every append after a previous append failed: the
+    log is then *poisoned* (the in-memory state contains a commit that
+    never became durable), and the only safe continuation is a restart
+    with :func:`repro.storage.wal.recover`.
+    """
+
+
+class WalCorruptionError(WalError):
+    """A WAL segment contains an invalid frame outside the torn tail.
+
+    A torn final record (crash mid-append) is truncated silently; a bad
+    magic number, checksum, or sequence anywhere else means the log
+    cannot be trusted and recovery refuses to proceed.
+    """
+
+
 class SnapshotEpochError(StorageError):
     """A pinned snapshot epoch is not addressable.
 

@@ -200,6 +200,19 @@ class RuleManager:
         self._monitored = needed
         self.engine.rebuild(conditions)
 
+    def resync_engine(self) -> None:
+        """Re-baseline the engine's materialized state from the database.
+
+        WAL recovery (:func:`repro.storage.wal.recover`) replays
+        committed Δ-sets *beneath* the monitoring machinery, so any
+        previous-state the engine materialized (naive extensions,
+        propagation network node states) predates the replay.  Rebuild
+        it from the recovered relations so the next check phase
+        differences against the correct previous state.
+        """
+        self.engine.rebuild(self._conditions())
+        self._dirty = False
+
     # -- the check phase ---------------------------------------------------------------
 
     def maybe_immediate_check(self) -> None:

@@ -69,6 +69,13 @@ class AmosServer:
         (:meth:`AmosDatabase.apply_group`) — one propagation wave, one
         snapshot epoch, per-member error isolation via savepoints.
         Semantics and tuning: ``docs/SERVER.md`` / ``docs/PERFORMANCE.md``.
+    wal_dir:
+        Directory of the durable write-ahead Δ-log.  On :meth:`start`
+        the server first *recovers* — replays any committed records the
+        directory holds (truncating a torn tail) — and only then binds
+        and accepts connections; afterwards every commit is fsync'd to
+        the log before its ack leaves the server.  None (the default)
+        keeps the database memory-only.  See ``docs/DURABILITY.md``.
     """
 
     def __init__(
@@ -81,6 +88,7 @@ class AmosServer:
         max_frame: int = protocol.MAX_FRAME,
         observe: Optional[bool] = None,
         group_commit: bool = False,
+        wal_dir: Optional[str] = None,
         clock=None,
         **amos_options,
     ) -> None:
@@ -111,6 +119,9 @@ class AmosServer:
         self._reap_interval = reap_interval
         #: coalesce concurrent commits into one merged check phase
         self.group_commit = group_commit
+        #: durable Δ-log directory (recovery happens in start())
+        self.wal_dir = wal_dir
+        self.last_recovery = None
         self._commit_queue = CommitQueue()
         #: serializes every statement's apply + check phase (one writer)
         self._engine_lock = threading.RLock()
@@ -133,6 +144,13 @@ class AmosServer:
         # has a snapshot matching the (possibly script-bootstrapped) db
         with self._engine_lock:
             self.amos.storage.publish_snapshot()
+            # recover the durable Δ-log BEFORE accepting connections:
+            # no client may observe (or commit over) pre-replay state
+            if self.wal_dir is not None and self.amos.wal is None:
+                report = self.amos.open_wal(self.wal_dir)
+                self.last_recovery = report
+                self._count("wal.recovered_records", report.records)
+                self._count("wal.recovered_commits", report.commits)
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((self.host, self.port))
@@ -168,6 +186,10 @@ class AmosServer:
             if thread is not threading.current_thread():
                 thread.join(timeout=5.0)
         self._threads = []
+        # every acked commit is already on disk; just release the fd so
+        # a restart (or another server) can reopen the same directory
+        if self.wal_dir is not None:
+            self.amos.detach_wal()
 
     def serve_forever(self) -> None:
         """Block until :meth:`stop` is called (start()s when needed)."""
@@ -637,6 +659,7 @@ class AmosServer:
         counters for live and recently closed sessions."""
         with self._stats_lock:
             registry_dump = self.registry.as_dict()
+        wal = self.amos.wal
         return {
             "counters": registry_dump["counters"],
             "gauges": registry_dump["gauges"],
@@ -647,6 +670,7 @@ class AmosServer:
             },
             "closed_sessions": self.sessions.recent_closed(),
             "address": list(self.address) if self.address else None,
+            "wal": wal.stats() if wal is not None else None,
         }
 
     def __repr__(self) -> str:
@@ -677,6 +701,7 @@ def serve(
     script: Optional[str] = None,
     idle_timeout: Optional[float] = None,
     group_commit: bool = False,
+    wal_dir: Optional[str] = None,
     out=None,
 ) -> int:
     """Run a server until interrupted (the ``--serve`` entry point).
@@ -684,6 +709,10 @@ def serve(
     Registers the shell's ``print_`` procedures (so rule actions in
     example scripts work over the wire) and optionally bootstraps the
     database from an AMOSQL ``script`` before accepting connections.
+    With ``wal_dir``, the bootstrap script must be the SAME one the
+    directory's log was recorded against: schema is code, the log
+    stores only the committed changes made on top of it (replayed by
+    ``start()`` before the listener opens; see docs/DURABILITY.md).
     """
     out = out or sys.stdout
     server = AmosServer(
@@ -694,6 +723,7 @@ def serve(
         explain=True,
         idle_timeout=idle_timeout,
         group_commit=group_commit,
+        wal_dir=wal_dir,
     )
     for arity in range(1, 5):
         name = "print_" if arity == 1 else f"print_{arity}"
@@ -708,10 +738,19 @@ def serve(
     if script:
         AmosqlEngine(server.amos).execute(script)
     server.start()
+    if server.last_recovery is not None:
+        report = server.last_recovery
+        print(
+            f"recovered {report.commits} commit(s) "
+            f"({report.records} record(s), epoch {report.last_epoch}) "
+            f"from {wal_dir}",
+            file=out,
+            flush=True,
+        )
     print(
         f"repro server listening on {server.address[0]}:{server.address[1]} "
         f"(mode={mode}, idle_timeout={idle_timeout}, "
-        f"group_commit={group_commit})",
+        f"group_commit={group_commit}, wal_dir={wal_dir})",
         file=out,
         flush=True,
     )

@@ -1,15 +1,19 @@
 """Storage substrate: relations, indexes, undo/redo log, transactions,
-savepoints, versioned snapshots, and JSON data persistence."""
+savepoints, versioned snapshots, JSON data persistence, and the durable
+write-ahead Δ-log (``repro.storage.wal``)."""
 
-from repro.storage import persistence
-from repro.storage.database import Database
+from repro.storage import persistence, wal
+from repro.storage.database import CommittedTransaction, Database
 from repro.storage.index import HashIndex
 from repro.storage.log import EventKind, PhysicalEvent, UndoRedoLog
 from repro.storage.relation import BaseRelation
 from repro.storage.snapshot import DatabaseSnapshot, SnapshotView
+from repro.storage.wal import RecoveryReport, WalRecord, WriteAheadLog, recover
 
 __all__ = [
     "persistence",
+    "wal",
+    "CommittedTransaction",
     "Database",
     "HashIndex",
     "EventKind",
@@ -18,4 +22,8 @@ __all__ = [
     "BaseRelation",
     "DatabaseSnapshot",
     "SnapshotView",
+    "WalRecord",
+    "WriteAheadLog",
+    "RecoveryReport",
+    "recover",
 ]

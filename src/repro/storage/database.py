@@ -20,6 +20,7 @@ rollback replays the log backwards and discards the delta-sets.
 from __future__ import annotations
 
 import contextlib
+import dataclasses
 from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from repro.algebra.delta import DeltaSet, MutableDelta
@@ -36,6 +37,31 @@ from repro.storage.snapshot import DatabaseSnapshot
 
 Row = Tuple
 CheckHook = Callable[["Database"], None]
+
+
+@dataclasses.dataclass(frozen=True)
+class CommittedTransaction:
+    """What a commit listener sees, after the commit is in memory.
+
+    ``deltas`` is the transaction's NET physical change per relation —
+    every relation, not just monitored ones, and including the effects
+    of rule actions fired during the check phase (the listener runs
+    after the check hooks).  ``epoch`` is the snapshot epoch in force
+    when the listener runs (the one this commit published under
+    ``auto_publish``).  ``events`` counts the raw physical events, so a
+    churn transaction that nets to nothing is distinguishable from a
+    read-only one.  ``group`` carries the group-commit batch boundary
+    when the transaction was an ``apply_group`` merge.
+    """
+
+    epoch: int
+    deltas: Dict[str, DeltaSet]
+    events: int
+    group: Optional[Dict] = None
+
+
+CommitListener = Callable[[CommittedTransaction], None]
+CatalogListener = Callable[[str, BaseRelation], None]
 
 
 class Database:
@@ -65,6 +91,18 @@ class Database:
         #: per-relation versions captured by the last publication, used
         #: to detect staleness without instrumenting every mutation path
         self._snapshot_versions: Dict[str, int] = {}
+        #: durability seam: commit listeners run inside :meth:`commit`
+        #: AFTER the check phase and snapshot publication but BEFORE
+        #: commit returns — i.e. before the caller can acknowledge the
+        #: transaction.  A listener that raises aborts the ack (the
+        #: in-memory commit stands; the WAL uses this to refuse acks
+        #: for commits it could not make durable).
+        self._commit_listeners: List[CommitListener] = []
+        #: catalog listeners observe committed create/drop of relations
+        self._catalog_listeners: List[CatalogListener] = []
+        #: set by the group-commit leader around its merged commit so
+        #: commit listeners can record the batch boundary
+        self.group_meta: Optional[Dict] = None
 
     # -- catalog ---------------------------------------------------------------
 
@@ -80,6 +118,8 @@ class Database:
         self._relations[name] = relation
         if self.auto_publish and not self._in_transaction:
             self.publish_snapshot()
+        for listener in self._catalog_listeners:
+            listener("create", relation)
         return relation
 
     def relation(self, name: str) -> BaseRelation:
@@ -97,11 +137,13 @@ class Database:
     def drop_relation(self, name: str) -> None:
         if name not in self._relations:
             raise UnknownRelationError(name)
-        del self._relations[name]
+        relation = self._relations.pop(name)
         self._monitored.pop(name, None)
         self._deltas.pop(name, None)
         if self.auto_publish and not self._in_transaction:
             self.publish_snapshot()
+        for listener in self._catalog_listeners:
+            listener("drop", relation)
 
     # -- monitoring --------------------------------------------------------------
 
@@ -227,7 +269,15 @@ class Database:
         self._txn_savepoint = self.log.savepoint()
 
     def commit(self) -> None:
-        """Run the deferred check phase, then make the changes permanent."""
+        """Run the deferred check phase, then make the changes permanent.
+
+        With commit listeners registered (the WAL), the transaction's
+        net physical change is captured from the undo/redo log *after*
+        the check phase — so rule-action updates are part of it — and
+        the listeners run before commit returns.  A listener exception
+        propagates to the caller: the in-memory commit stands, but it
+        was never acknowledged (and never became durable).
+        """
         if not self._in_transaction:
             raise TransactionError("commit without begin")
         try:
@@ -237,12 +287,44 @@ class Database:
             self._rollback_to_savepoint()
             self._in_transaction = False
             raise
+        events = (
+            self.log.events_since(self._txn_savepoint)
+            if self._commit_listeners
+            else ()
+        )
         self._in_transaction = False
         self._clear_deltas()
         self.log.truncate(self._txn_savepoint)
         self._statistics["transactions"] += 1
         if self.auto_publish:
             self.publish_snapshot()
+        if self._commit_listeners:
+            self._notify_commit(events)
+
+    def _notify_commit(self, events: Sequence) -> None:
+        """Fold raw physical events into net Δ-sets and tell listeners."""
+        accumulators: Dict[str, MutableDelta] = {}
+        for event in events:
+            accumulator = accumulators.get(event.relation)
+            if accumulator is None:
+                accumulator = accumulators[event.relation] = MutableDelta()
+            if event.kind is EventKind.INSERT:
+                accumulator.add_insert(event.row)
+            else:
+                accumulator.add_delete(event.row)
+        deltas = {
+            name: accumulator.freeze()
+            for name, accumulator in accumulators.items()
+            if accumulator
+        }
+        committed = CommittedTransaction(
+            epoch=self._snapshot.epoch,
+            deltas=deltas,
+            events=len(events),
+            group=self.group_meta,
+        )
+        for listener in self._commit_listeners:
+            listener(committed)
 
     def rollback(self) -> None:
         if not self._in_transaction:
@@ -410,6 +492,33 @@ class Database:
             reg.histogram("snapshot.dirty_relations").observe(dirty)
         return published
 
+    def restore_epoch(self, epoch: int) -> DatabaseSnapshot:
+        """Publish the current state under an *explicit* epoch (recovery).
+
+        WAL replay uses this to reproduce the exact epoch sequence the
+        original process published — including gaps left by rollback
+        churn — so epoch-pinned readers see the same numbering after a
+        crash.  Only moves forward; never use outside recovery.
+        """
+        if self._in_transaction:
+            raise TransactionError("restore_epoch inside a transaction")
+        if epoch <= self._snapshot.epoch:
+            raise SnapshotEpochError(
+                f"cannot restore epoch {epoch}: already at "
+                f"{self._snapshot.epoch} (epochs only move forward)"
+            )
+        tables = {
+            name: relation.freeze() for name, relation in self._relations.items()
+        }
+        published = DatabaseSnapshot(epoch, tables)
+        self._snapshot_versions = {
+            name: relation.version for name, relation in self._relations.items()
+        }
+        self._snapshot = published
+        limit = max(1, int(self.snapshot_history))
+        self._snapshot_ring = (self._snapshot_ring + (published,))[-limit:]
+        return published
+
     # -- hooks ---------------------------------------------------------------------
 
     def add_check_hook(self, hook: CheckHook) -> None:
@@ -418,6 +527,20 @@ class Database:
 
     def remove_check_hook(self, hook: CheckHook) -> None:
         self._check_hooks.remove(hook)
+
+    def add_commit_listener(self, listener: CommitListener) -> None:
+        """Register a post-check, pre-ack commit listener (the WAL)."""
+        self._commit_listeners.append(listener)
+
+    def remove_commit_listener(self, listener: CommitListener) -> None:
+        self._commit_listeners.remove(listener)
+
+    def add_catalog_listener(self, listener: CatalogListener) -> None:
+        """Register a listener for relation create/drop."""
+        self._catalog_listeners.append(listener)
+
+    def remove_catalog_listener(self, listener: CatalogListener) -> None:
+        self._catalog_listeners.remove(listener)
 
     # -- introspection ----------------------------------------------------------------
 

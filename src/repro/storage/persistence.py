@@ -18,7 +18,9 @@ Supported values inside tuples: int, float, str, bool, None, and
 from __future__ import annotations
 
 import json
-from typing import Dict
+import os
+import tempfile
+from typing import Callable, Dict, Optional
 
 from repro.amos.oid import OID
 from repro.errors import StorageError
@@ -133,10 +135,46 @@ def restore(db: Database, snapshot: Dict, create_missing: bool = False) -> int:
     return loaded
 
 
-def save(db: Database, path: str) -> None:
-    """Dump ``db`` to a JSON file."""
-    with open(path, "w") as handle:
-        json.dump(dump(db), handle, indent=1, sort_keys=True)
+def save(
+    db: Database,
+    path: str,
+    fault_hook: Optional[Callable[[str], None]] = None,
+) -> None:
+    """Dump ``db`` to a JSON file, atomically.
+
+    The snapshot is written to a temporary file in the target
+    directory, flushed and fsync'd, then renamed over ``path`` — so a
+    crash at any point leaves either the complete old snapshot or the
+    complete new one, never a torn JSON file.  ``fault_hook`` is the
+    test seam used by ``tests/fault`` (called with ``"save.mid_write"``
+    after the partial write and ``"save.pre_rename"`` before the
+    rename); production leaves it ``None``.
+    """
+    path = os.path.abspath(path)
+    payload = json.dumps(dump(db), indent=1, sort_keys=True)
+    fd, temp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp",
+        dir=os.path.dirname(path),
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            midpoint = len(payload) // 2
+            handle.write(payload[:midpoint])
+            if fault_hook is not None:
+                handle.flush()
+                fault_hook("save.mid_write")
+            handle.write(payload[midpoint:])
+            handle.flush()
+            os.fsync(handle.fileno())
+        if fault_hook is not None:
+            fault_hook("save.pre_rename")
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
 
 
 def load(db: Database, path: str, create_missing: bool = False) -> int:

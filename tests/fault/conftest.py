@@ -1,0 +1,17 @@
+import pytest
+
+from tests.fault.harness import FaultPoint
+
+
+@pytest.fixture
+def fault_point():
+    """Factory for armed (or observing) :class:`FaultPoint` hooks."""
+
+    created = []
+
+    def make(point=None, after=0):
+        fp = FaultPoint(point, after=after)
+        created.append(fp)
+        return fp
+
+    return make

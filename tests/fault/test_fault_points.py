@@ -1,0 +1,262 @@
+"""Deterministic crashes at every named WAL fault point.
+
+Each test arms ONE point from :data:`~repro.storage.wal.FAULT_POINTS`,
+drives the inventory workload into it, and checks the durability
+contract of docs/DURABILITY.md:
+
+* a crash BEFORE the fsync completes loses at most the in-flight
+  (never-acked) commit — recovery yields exactly the acked prefix, or
+  the acked prefix plus the in-flight commit when its bytes happened
+  to reach the disk intact;
+* a crash AFTER the fsync may recover the commit even though its ack
+  never left — allowed, because acked ⊆ durable always holds;
+* a torn tail (mid-record kill) is truncated, never "repaired";
+* after any failed append the log is poisoned: no later commit can
+  pretend to be durable.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.workload import build_inventory
+from repro.errors import WalError
+from repro.storage import wal as walmod
+from tests.fault.harness import FaultPoint, InjectedCrash
+
+pytestmark = pytest.mark.fault
+
+SEED = 7
+N_ITEMS = 4
+
+
+def fresh_workload():
+    workload = build_inventory(N_ITEMS, seed=SEED, explain=True)
+    workload.activate()
+    workload.amos.storage.auto_publish = True
+    workload.amos.storage.publish_snapshot()
+    return workload
+
+
+def open_walled(wal_dir, fault_hook=None, **wal_options):
+    workload = fresh_workload()
+    workload.amos.open_wal(
+        str(wal_dir), fault_hook=fault_hook, **wal_options
+    )
+    return workload
+
+
+def commit_quantity(workload, index, value):
+    with workload.amos.transaction():
+        workload.amos.set_value(
+            "quantity", (workload.items[index],), value
+        )
+
+
+def run_reference(n_commits):
+    """Naive re-execution: the first ``n_commits`` of the workload."""
+    workload = fresh_workload()
+    for i in range(n_commits):
+        commit_quantity(workload, i % N_ITEMS, 100 + i)
+    return workload
+
+
+def recover_fresh(wal_dir):
+    workload = fresh_workload()
+    report = workload.amos.open_wal(str(wal_dir))
+    return workload, report
+
+
+def crash_on_commit(workload, commit_index, updates_done):
+    """Drive commits until the armed fault point kills one; return how
+    many commits were ACKED (completed without the crash)."""
+    acked = 0
+    for i in range(commit_index + 1):
+        try:
+            commit_quantity(workload, i % N_ITEMS, 100 + i)
+        except InjectedCrash:
+            return acked, True
+        acked += 1
+    return acked, False
+
+
+class TestKillPoints:
+    @pytest.mark.parametrize("kill_at", [0, 1, 3])
+    def test_pre_write_kill_loses_only_the_inflight_commit(
+        self, tmp_path, kill_at
+    ):
+        fp = FaultPoint("append.pre_write", after=kill_at)
+        live = open_walled(tmp_path, fault_hook=fp)
+        acked, crashed = crash_on_commit(live, kill_at, None)
+        assert crashed and acked == kill_at
+        recovered, report = recover_fresh(tmp_path)
+        assert report.commits == acked
+        reference = run_reference(acked)
+        assert (
+            recovered.amos.snapshot_extensions()
+            == reference.amos.snapshot_extensions()
+        )
+        assert (
+            recovered.amos.storage.snapshot_epoch
+            == reference.amos.storage.snapshot_epoch
+        )
+
+    def test_mid_record_kill_leaves_a_torn_tail_that_is_truncated(
+        self, tmp_path
+    ):
+        fp = FaultPoint("append.mid_record", after=2)
+        live = open_walled(tmp_path, fault_hook=fp)
+        acked, crashed = crash_on_commit(live, 2, None)
+        assert crashed and acked == 2
+        # the header of the torn record is on disk
+        (segment,) = [p for p in os.listdir(tmp_path)]
+        size_before = os.path.getsize(tmp_path / segment)
+        recovered, report = recover_fresh(tmp_path)
+        assert report.truncated_bytes > 0
+        assert report.truncated_segment == segment
+        assert os.path.getsize(tmp_path / segment) < size_before
+        assert report.commits == acked
+        reference = run_reference(acked)
+        assert (
+            recovered.amos.snapshot_extensions()
+            == reference.amos.snapshot_extensions()
+        )
+
+    @pytest.mark.parametrize("point", ["append.pre_fsync", "append.post_fsync"])
+    def test_fsync_straddling_kills_never_lose_an_acked_commit(
+        self, tmp_path, point
+    ):
+        # pre_fsync: the frame bytes reached the file but were never
+        # fsync'd — the test filesystem keeps them, a real power cut
+        # may not, so BOTH prefix lengths are legal outcomes.
+        # post_fsync: the record is durable, the ack never happened —
+        # recovery MUST include it (acked ⊆ durable, not equality).
+        fp = FaultPoint(point, after=1)
+        live = open_walled(tmp_path, fault_hook=fp)
+        acked, crashed = crash_on_commit(live, 1, None)
+        assert crashed and acked == 1
+        recovered, report = recover_fresh(tmp_path)
+        if point == "append.post_fsync":
+            assert report.commits == acked + 1
+        else:
+            assert acked <= report.commits <= acked + 1
+        reference = run_reference(report.commits)
+        assert (
+            recovered.amos.snapshot_extensions()
+            == reference.amos.snapshot_extensions()
+        )
+        assert (
+            recovered.amos.storage.snapshot_epoch
+            == reference.amos.storage.snapshot_epoch
+        )
+
+    @pytest.mark.parametrize("point", ["rotate.pre", "rotate.mid", "rotate.post"])
+    def test_mid_rotation_kills_keep_every_sealed_record(self, tmp_path, point):
+        # tiny segments force a rotation within a few commits
+        fp = FaultPoint(point)
+        live = open_walled(tmp_path, fault_hook=fp, segment_bytes=256)
+        acked, crashed = crash_on_commit(live, 10, None)
+        assert crashed  # the rotation point was reached and killed us
+        recovered, report = recover_fresh(tmp_path)
+        # rotate.post crashes after the append path is already past the
+        # write+fsync of nothing (rotation happens BEFORE the record is
+        # written), so in every rotation case the in-flight record was
+        # never written: recovery is exactly the acked prefix
+        assert report.commits == acked
+        reference = run_reference(acked)
+        assert (
+            recovered.amos.snapshot_extensions()
+            == reference.amos.snapshot_extensions()
+        )
+
+    def test_rotation_produces_multiple_segments_and_survives_reopen(
+        self, tmp_path
+    ):
+        live = open_walled(tmp_path, segment_bytes=256)
+        for i in range(8):
+            commit_quantity(live, i % N_ITEMS, 100 + i)
+        segments = live.amos.wal.segment_paths()
+        assert len(segments) > 1
+        live.amos.detach_wal()
+        recovered, report = recover_fresh(tmp_path)
+        assert report.commits == 8
+        reference = run_reference(8)
+        assert (
+            recovered.amos.snapshot_extensions()
+            == reference.amos.snapshot_extensions()
+        )
+
+
+class TestPoisoning:
+    def test_failed_append_poisons_the_log(self, tmp_path):
+        fp = FaultPoint("append.pre_fsync", after=1)
+        live = open_walled(tmp_path, fault_hook=fp)
+        acked, crashed = crash_on_commit(live, 1, None)
+        assert crashed
+        # the process (in reality) is dead; a buggy caller that caught
+        # the crash and soldiers on must NOT get durability acks
+        with pytest.raises(WalError, match="offline"):
+            commit_quantity(live, 0, 999)
+
+    def test_fsync_ordering_is_write_then_fsync_then_ack(self, tmp_path):
+        observer = FaultPoint(point=None)  # record, never crash
+        live = open_walled(tmp_path, fault_hook=observer)
+        commit_quantity(live, 0, 111)
+        appends = [
+            name for name in observer.sequence() if name.startswith("append.")
+        ]
+        # the last 4 entries belong to the commit we just made
+        assert appends[-4:] == [
+            "append.pre_write",
+            "append.mid_record",
+            "append.pre_fsync",
+            "append.post_fsync",
+        ]
+
+
+class TestAtomicPersistenceSave:
+    """Satellite: ``persistence.save`` is temp-file + atomic rename."""
+
+    @pytest.mark.parametrize("point", ["save.mid_write", "save.pre_rename"])
+    def test_crash_during_save_preserves_the_old_snapshot(
+        self, tmp_path, point
+    ):
+        from repro.storage import persistence
+
+        live = fresh_workload()
+        path = tmp_path / "data.json"
+        live.amos.save_data(str(path))
+        before = path.read_bytes()
+        commit_quantity(live, 0, 123)
+        fp = FaultPoint(point)
+        with pytest.raises(InjectedCrash):
+            persistence.save(live.amos.storage, str(path), fault_hook=fp)
+        # the old snapshot is byte-identical — no torn JSON, ever
+        assert path.read_bytes() == before
+        json.loads(path.read_text())
+
+    def test_completed_save_is_the_new_snapshot(self, tmp_path):
+        from repro.storage import persistence
+
+        live = fresh_workload()
+        path = tmp_path / "data.json"
+        live.amos.save_data(str(path))
+        commit_quantity(live, 0, 123)
+        persistence.save(live.amos.storage, str(path))
+        fresh = fresh_workload()
+        fresh.amos.load_data(str(path))
+        assert (
+            fresh.amos.snapshot_extensions()
+            == live.amos.snapshot_extensions()
+        )
+
+    def test_no_temp_file_droppings_on_crash(self, tmp_path):
+        from repro.storage import persistence
+
+        live = fresh_workload()
+        path = tmp_path / "data.json"
+        fp = FaultPoint("save.pre_rename")
+        with pytest.raises(InjectedCrash):
+            persistence.save(live.amos.storage, str(path), fault_hook=fp)
+        assert os.listdir(tmp_path) == []

@@ -1,0 +1,183 @@
+"""The crash-recovery oracle: replay ≡ naive re-execution.
+
+DBSP's composability argument (PAPERS.md) gives durability a free
+correctness oracle: the stream of committed Δ-sets *is* the database,
+so recovering from the write-ahead log must equal simply re-running
+the committed transactions on a fresh bootstrap.  Hypothesis generates
+a workload (transactions over the inventory schema, quantities
+straddling the rule threshold), a kill point from the WAL's named
+fault points, and a kill position; the test then:
+
+1. runs the workload against a WAL-attached database with the fault
+   armed, counting the commits that were ACKED before the crash;
+2. recovers a fresh bootstrap from the log — the recovered commit
+   count ``n`` must satisfy ``acked <= n <= acked + 1`` (the ``+1`` is
+   the post-fsync-pre-ack window: durable but never acknowledged);
+3. naively re-executes the first ``n`` transactions on another fresh
+   bootstrap and asserts the recovered database matches it on every
+   axis: extensions, snapshot epoch, monitored relations, active
+   rules;
+4. probes liveness: one more transaction on both databases must fire
+   the same rules and land in the same state — i.e. recovery also
+   re-baselined the incremental engine's previous-state correctly.
+
+Run size: ``ORACLE_EXAMPLES`` (default 25 so tier-1 stays fast; CI's
+fault job runs 500 with a random, logged seed — docs/TESTING.md).
+"""
+
+import os
+import shutil
+import tempfile
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.workload import build_inventory
+from tests.fault.harness import FaultPoint, InjectedCrash
+
+pytestmark = [pytest.mark.oracle, pytest.mark.fault]
+
+MAX_EXAMPLES = int(os.environ.get("ORACLE_EXAMPLES", "25"))
+
+N_ITEMS = 4
+SEED = 99
+
+KILL_POINTS = [
+    None,  # no crash: recovery of a cleanly closed log
+    "append.pre_write",
+    "append.mid_record",
+    "append.pre_fsync",
+    "append.post_fsync",
+    "rotate.pre",
+    "rotate.mid",
+]
+
+# straddle the constant threshold (140) so rules fire and recover
+quantity = st.integers(min_value=100, max_value=180)
+update = st.tuples(st.integers(0, N_ITEMS - 1), quantity)
+txn = st.lists(update, min_size=1, max_size=3)
+workload_txns = st.lists(txn, min_size=1, max_size=6)
+
+
+def fresh_workload():
+    workload = build_inventory(N_ITEMS, seed=SEED, explain=True)
+    workload.activate()
+    workload.amos.storage.auto_publish = True
+    workload.amos.storage.publish_snapshot()
+    return workload
+
+
+def apply_txn(workload, updates):
+    with workload.amos.transaction():
+        for index, value in updates:
+            workload.amos.set_value(
+                "quantity", (workload.items[index],), value
+            )
+
+
+def run_live(wal_dir, txns, kill_point, kill_at, segment_bytes):
+    """The crashing run; returns (acked_commits, crashed)."""
+    live = fresh_workload()
+    fault = FaultPoint(kill_point, after=kill_at)
+    live.amos.open_wal(
+        wal_dir, fault_hook=fault, segment_bytes=segment_bytes
+    )
+    acked = 0
+    for updates in txns:
+        try:
+            apply_txn(live, updates)
+        except InjectedCrash:
+            return acked, True
+        acked += 1
+    live.amos.detach_wal()
+    return acked, False
+
+
+def equivalent(recovered, reference):
+    assert (
+        recovered.amos.snapshot_extensions()
+        == reference.amos.snapshot_extensions()
+    )
+    assert (
+        recovered.amos.storage.snapshot_epoch
+        == reference.amos.storage.snapshot_epoch
+    )
+    assert (
+        recovered.amos.storage.monitored_relations()
+        == reference.amos.storage.monitored_relations()
+    )
+    assert (
+        recovered.amos.rules.active_rules()
+        == reference.amos.rules.active_rules()
+    )
+
+
+class TestRecoveryOracle:
+    @given(
+        txns=workload_txns,
+        kill_point=st.sampled_from(KILL_POINTS),
+        kill_at=st.integers(0, 5),
+        small_segments=st.booleans(),
+    )
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_recovery_equals_naive_reexecution(
+        self, txns, kill_point, kill_at, small_segments
+    ):
+        wal_dir = tempfile.mkdtemp(prefix="repro-wal-oracle-")
+        try:
+            segment_bytes = 256 if small_segments else 4 * 1024 * 1024
+            acked, crashed = run_live(
+                wal_dir, txns, kill_point, kill_at, segment_bytes
+            )
+
+            recovered = fresh_workload()
+            report = recovered.amos.open_wal(wal_dir)
+            n = report.commits
+            # acked ⊆ durable ⊆ attempted: a crash may cost exactly the
+            # in-flight (unacked) commit, or keep it (post-fsync kill)
+            if crashed:
+                assert acked <= n <= acked + 1
+            else:
+                assert n == acked == len(txns)
+
+            reference = fresh_workload()
+            for updates in txns[:n]:
+                apply_txn(reference, updates)
+            equivalent(recovered, reference)
+
+            # liveness probe: the recovered engine's previous-state
+            # must difference exactly like the never-crashed one
+            fired_before = len(reference.orders)
+            probe = [(0, 120), (1, 170)]
+            apply_txn(recovered, probe)
+            apply_txn(reference, probe)
+            equivalent(recovered, reference)
+            assert recovered.orders == reference.orders[fired_before:]
+            recovered.amos.detach_wal()
+        finally:
+            shutil.rmtree(wal_dir, ignore_errors=True)
+
+    @given(txns=workload_txns)
+    @settings(max_examples=max(1, MAX_EXAMPLES // 5), deadline=None)
+    def test_double_recovery_is_idempotent(self, txns):
+        """Recovering the same log twice (e.g. a crash between recovery
+        and the first new commit) yields the same database."""
+        wal_dir = tempfile.mkdtemp(prefix="repro-wal-idem-")
+        try:
+            run_live(wal_dir, txns, None, 0, 4 * 1024 * 1024)
+            first = fresh_workload()
+            first.amos.open_wal(wal_dir)
+            first.amos.detach_wal()
+            second = fresh_workload()
+            second.amos.open_wal(wal_dir)
+            second.amos.detach_wal()
+            assert (
+                first.amos.snapshot_extensions()
+                == second.amos.snapshot_extensions()
+            )
+            assert (
+                first.amos.storage.snapshot_epoch
+                == second.amos.storage.snapshot_epoch
+            )
+        finally:
+            shutil.rmtree(wal_dir, ignore_errors=True)

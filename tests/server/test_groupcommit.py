@@ -16,8 +16,12 @@ how the batches form.
 import threading
 import time
 
+import pytest
+
+from repro.amosql.interpreter import AmosqlEngine
+from repro.amosql.parser import parse
 from repro.bench.workload import build_inventory
-from repro.errors import RemoteError
+from repro.errors import RemoteError, ReproError
 from repro.server import AmosClient, AmosServer
 
 from tests.server.test_concurrency import (
@@ -217,6 +221,110 @@ class TestDeterministicCoalescing:
             assert derived["commit_batch_size"] == 3
             assert derived["commits_coalesced"] == 2
             assert derived["commit_queue_wait_ms_max"] >= 0
+        finally:
+            server.stop()
+
+
+class TestLeaderHandoff:
+    """The leader's OWN member failing must never strand the batch.
+
+    The enqueue-before-lock invariant guarantees a request can always
+    be led by its own thread; the dual obligation is that a leader
+    whose own savepoint fails still acknowledges every drained member
+    before surfacing its error.  The engine lock is an RLock, so the
+    test thread can (a) hold it while follower commits pile up in the
+    queue, then (b) call ``_commit_grouped`` itself for a failing
+    session — reentrancy makes the test thread the leader
+    deterministically, with its bad member in the drained batch.
+    """
+
+    def test_leader_with_failing_member_acks_the_followers(self):
+        workload, server = start_group_server(n_items=4)
+        try:
+            host, port = server.address
+            n = 3
+            acks, errors = [None] * n, [None] * n
+            buffered = threading.Barrier(n + 1)
+
+            def follower(index):
+                try:
+                    with AmosClient(host, port, timeout=30.0) as client:
+                        client.bind(f"i{index}", workload.items[index])
+                        client.begin()
+                        client.execute(
+                            f"set quantity(:i{index}) = {120 + index};"
+                        )
+                        buffered.wait(timeout=30.0)
+                        client.commit()
+                        acks[index] = (
+                            client.last_commit_epoch,
+                            client.last_commit_coalesced,
+                        )
+                except BaseException as exc:  # noqa: BLE001
+                    errors[index] = exc
+
+            threads = [
+                threading.Thread(target=follower, args=(index,))
+                for index in range(n)
+            ]
+            # the leader's member: parses fine, fails at savepoint
+            # replay (the interface variable was never bound)
+            leader = server.sessions.open(engine=AmosqlEngine(server.amos))
+            doomed = parse("set quantity(:never_bound) = 1;")
+
+            with server._engine_lock:
+                for thread in threads:
+                    thread.start()
+                buffered.wait(timeout=30.0)
+                deadline = time.monotonic() + 30.0
+                while len(server._commit_queue) < n:
+                    assert time.monotonic() < deadline, "never enqueued"
+                    time.sleep(0.002)
+                # still holding the lock: lead the batch from THIS
+                # thread on behalf of the failing session
+                with pytest.raises(ReproError, match="never_bound"):
+                    server._commit_grouped(leader, doomed)
+            for thread in threads:
+                thread.join(timeout=30.0)
+                assert not thread.is_alive(), "a follower stranded"
+
+            # every follower was acked by the failing leader, in the
+            # SAME batch (coalesced=4: three followers + the leader)
+            assert errors == [None] * n
+            assert all(ack is not None for ack in acks)
+            epochs = {epoch for epoch, _ in acks}
+            assert len(epochs) == 1
+            assert [coalesced for _, coalesced in acks] == [4] * n
+            assert len(server._commit_queue) == 0
+
+            # the followers' updates stand; the leader applied nothing
+            for index in range(n):
+                assert (
+                    workload.amos.value("quantity", workload.items[index])
+                    == 120 + index
+                )
+            stats = server.stats()
+            assert stats["counters"]["server.group_commits"] == 1
+            assert stats["counters"]["server.commits"] == n  # not the leader
+        finally:
+            server.stop()
+
+    def test_every_member_failing_still_completes_the_batch(self):
+        # degenerate handoff: the whole batch (leader included) fails
+        # its savepoints — everyone must still get an answer
+        workload, server = start_group_server(n_items=2)
+        try:
+            members = [
+                ["set quantity(:nope_a) = 1;"],
+                ["set quantity(:nope_b) = 2;"],
+            ]
+            acks, errors = run_coalesced(workload, server, members)
+            assert acks == [None, None]
+            assert all(isinstance(error, RemoteError) for error in errors)
+            assert len(server._commit_queue) == 0
+            stats = server.stats()
+            assert stats["counters"].get("server.commits", 0) == 0
+            assert stats["counters"]["server.group_commits"] == 1
         finally:
             server.stop()
 

@@ -241,3 +241,85 @@ class TestSnapshotHistory:
         with pytest.raises(SnapshotEpochError):
             db.snapshot_at(first.epoch)
         assert first.rows("a") == frozenset({(0, 0)})
+
+
+class TestSnapshotHistoryBoundaries:
+    """Satellite coverage: the exact edges of the addressable window."""
+
+    def publish_epochs(self, db, n):
+        published = []
+        for value in range(n):
+            db.insert("a", (value, value))
+            published.append(db.publish_snapshot())
+        return published
+
+    def test_epoch_exactly_at_the_window_edge_is_addressable(self):
+        db = make_db()
+        db.snapshot_history = 4
+        self.publish_epochs(db, 10)
+        oldest = db.snapshot_epochs()[0]
+        assert oldest == 7  # epochs 7..10 addressable with history 4
+        assert db.snapshot_at(oldest).epoch == oldest  # edge: succeeds
+        with pytest.raises(SnapshotEpochError):
+            db.snapshot_at(oldest - 1)  # one past the edge: evicted
+        latest = db.snapshot_epochs()[-1]
+        assert db.snapshot_at(latest).epoch == latest
+        with pytest.raises(SnapshotEpochError):
+            db.snapshot_at(latest + 1)  # one past the other edge
+
+    def test_eviction_error_names_the_exact_addressable_window(self):
+        db = make_db()
+        db.snapshot_history = 3
+        self.publish_epochs(db, 6)
+        with pytest.raises(SnapshotEpochError) as info:
+            db.snapshot_at(2)
+        message = str(info.value)
+        assert "4..6" in message  # the window, precisely
+        assert "history size 3" in message
+
+    def test_future_error_names_the_latest_epoch(self):
+        db = make_db()
+        self.publish_epochs(db, 3)
+        with pytest.raises(SnapshotEpochError) as info:
+            db.snapshot_at(50)
+        assert "latest is 3" in str(info.value)
+
+    def test_pinned_reads_across_a_history_evicting_commit_storm(self):
+        # a reader pins one epoch, then a storm of commits evicts it
+        # from the ring; the PINNED OBJECT keeps answering consistently
+        # even though snapshot_at() for its epoch now fails
+        db = make_db()
+        db.snapshot_history = 2
+        db.insert("a", (0, 0))
+        pinned = db.publish_snapshot()
+        pinned_rows = pinned.rows("a")
+        for value in range(1, 40):  # storm: 39 evicting publications
+            db.insert("a", (value, value))
+            db.publish_snapshot()
+        assert pinned.epoch not in db.snapshot_epochs()
+        with pytest.raises(SnapshotEpochError, match="evicted"):
+            db.snapshot_at(pinned.epoch)
+        # the pinned snapshot is frozen at its epoch: same object, same
+        # content, no torn reads, regardless of 39 later commits
+        assert pinned.rows("a") is pinned_rows
+        assert pinned.rows("a") == frozenset({(0, 0)})
+        assert db.snapshot().rows("a") != pinned_rows
+
+    def test_shrinking_history_trims_on_next_publication(self):
+        db = make_db()
+        db.snapshot_history = 8
+        self.publish_epochs(db, 6)
+        assert db.snapshot_epochs() == (0, 1, 2, 3, 4, 5, 6)
+        db.snapshot_history = 2
+        db.insert("a", (99, 99))
+        db.publish_snapshot()
+        assert db.snapshot_epochs() == (6, 7)
+
+    def test_restore_epoch_refuses_to_move_backwards(self):
+        db = make_db()
+        self.publish_epochs(db, 3)
+        with pytest.raises(SnapshotEpochError, match="only move forward"):
+            db.restore_epoch(2)
+        db.restore_epoch(9)
+        assert db.snapshot_epoch == 9
+        assert db.snapshot_epochs()[-1] == 9

@@ -1,0 +1,187 @@
+"""Satellite: property tests for the WAL record codec.
+
+Round-trip: any record payload built from the persistable value domain
+(ints, floats including -0.0/±inf, str, bool, None, OIDs, empty
+Δ-sets) survives frame → bytes → frame bit-exactly.  Corruption: ANY
+single-byte flip anywhere in a frame is rejected by the magic, length,
+or CRC32 check — never silently decoded.
+"""
+
+import math
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.amos.oid import OID
+from repro.algebra.delta import DeltaSet
+from repro.errors import WalCorruptionError
+from repro.storage.wal import (
+    HEADER_SIZE,
+    WalRecord,
+    decode_delta_map,
+    encode_delta_map,
+    encode_frame,
+    iter_frames,
+)
+
+MAX_EXAMPLES = int(os.environ.get("ORACLE_EXAMPLES", "25"))
+
+# the persistable value domain (matches persistence.encode_value)
+scalar = st.one_of(
+    st.integers(min_value=-(2**63), max_value=2**63),
+    st.floats(allow_nan=False),  # includes -0.0 and ±inf
+    st.text(max_size=20),
+    st.booleans(),
+    st.none(),
+    st.builds(
+        OID,
+        st.integers(min_value=1, max_value=2**31),
+        st.sampled_from(["item", "supplier", "order"]),
+    ),
+)
+row = st.lists(scalar, min_size=1, max_size=4).map(tuple)
+
+
+@st.composite
+def delta_sets(draw):
+    plus = draw(st.lists(row, max_size=4))
+    minus = draw(st.lists(row, max_size=4))
+    plus = {r for r in plus}
+    # DeltaSet requires disjoint sides
+    minus = {r for r in minus if r not in plus}
+    return DeltaSet(plus, minus)
+
+
+delta_maps = st.dictionaries(
+    st.text(min_size=1, max_size=10), delta_sets(), max_size=3
+)
+
+
+def same_value(a, b):
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isinf(a) or math.isinf(b):
+            return a == b
+        return a == b and math.copysign(1, a) == math.copysign(1, b)
+    return a == b and type(a) is type(b)
+
+
+def same_rows(rows_a, rows_b):
+    ka = sorted(rows_a, key=repr)
+    kb = sorted(rows_b, key=repr)
+    return len(ka) == len(kb) and all(
+        len(ra) == len(rb) and all(same_value(x, y) for x, y in zip(ra, rb))
+        for ra, rb in zip(ka, kb)
+    )
+
+
+class TestRoundTrip:
+    @given(deltas=delta_maps, epoch=st.integers(0, 2**31), lsn=st.integers(0, 2**31))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_commit_record_round_trips(self, deltas, epoch, lsn):
+        record = WalRecord(
+            "commit", lsn, {"epoch": epoch, "deltas": encode_delta_map(deltas)}
+        )
+        frame = encode_frame(record.payload())
+        ((offset, payload),) = list(iter_frames(frame))
+        assert offset == 0
+        decoded = WalRecord.from_payload(payload)
+        assert decoded.kind == "commit"
+        assert decoded.lsn == lsn
+        assert decoded.epoch == epoch
+        out = decoded.deltas
+        assert set(out) == {name for name, d in deltas.items()}
+        for name, original in deltas.items():
+            assert same_rows(out[name].plus, original.plus)
+            assert same_rows(out[name].minus, original.minus)
+
+    def test_special_floats_round_trip(self):
+        deltas = {
+            "f": DeltaSet(
+                [(-0.0,), (float("inf"),), (float("-inf"),), (0.0, 1.5)], []
+            )
+        }
+        out = decode_delta_map(encode_delta_map(deltas))
+        assert same_rows(out["f"].plus, deltas["f"].plus)
+
+    def test_empty_delta_set_round_trips(self):
+        out = decode_delta_map(encode_delta_map({"r": DeltaSet()}))
+        assert out["r"].empty
+
+    def test_oid_round_trips_with_identity(self):
+        deltas = {"quantity": DeltaSet([(OID(7, "item"), 140)], [])}
+        out = decode_delta_map(encode_delta_map(deltas))
+        ((oid, value),) = out["quantity"].plus
+        assert isinstance(oid, OID)
+        assert oid == OID(7, "item") and value == 140
+
+    @given(st.data())
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_multiple_frames_scan_in_order(self, data):
+        records = [
+            WalRecord("commit", lsn, {"epoch": lsn, "deltas": {}})
+            for lsn in range(data.draw(st.integers(1, 5)))
+        ]
+        blob = b"".join(encode_frame(r.payload()) for r in records)
+        decoded = [
+            WalRecord.from_payload(payload) for _, payload in iter_frames(blob)
+        ]
+        assert [r.lsn for r in decoded] == [r.lsn for r in records]
+
+
+class TestCorruptionRejection:
+    @given(
+        deltas=delta_maps,
+        data=st.data(),
+    )
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_any_single_byte_flip_is_rejected(self, deltas, data):
+        record = WalRecord(
+            "commit", 3, {"epoch": 5, "deltas": encode_delta_map(deltas)}
+        )
+        frame = bytearray(encode_frame(record.payload()))
+        position = data.draw(st.integers(0, len(frame) - 1))
+        flip = data.draw(st.integers(1, 255))
+        frame[position] ^= flip
+        try:
+            decoded = list(iter_frames(bytes(frame)))
+        except WalCorruptionError:
+            return  # rejected: the expected outcome
+        # a flip inside the LENGTH field can make the (intact) payload
+        # appear shorter; the CRC over the truncated payload then fails,
+        # so reaching here with a *different* but valid decode is the
+        # only unacceptable outcome
+        assert not decoded or decoded[0][1] == record.payload(), (
+            f"byte {position} flip by {flip:#x} silently decoded to "
+            f"{decoded[0][1]!r}"
+        )
+
+    def test_truncated_tail_is_reported_as_torn(self):
+        record = WalRecord("commit", 0, {"epoch": 1, "deltas": {}})
+        frame = encode_frame(record.payload())
+        for cut in (1, HEADER_SIZE - 1, HEADER_SIZE + 1, len(frame) - 1):
+            with pytest.raises(WalCorruptionError) as info:
+                list(iter_frames(frame[:cut]))
+            assert info.value.torn, f"cut at {cut} not seen as torn"
+            assert info.value.offset == 0
+
+    def test_bad_magic_is_corruption_not_torn(self):
+        record = WalRecord("commit", 0, {"epoch": 1, "deltas": {}})
+        frame = bytearray(encode_frame(record.payload()))
+        frame[0] ^= 0xFF
+        with pytest.raises(WalCorruptionError) as info:
+            list(iter_frames(bytes(frame)))
+        assert not info.value.torn
+
+    def test_mid_log_corruption_is_not_torn(self):
+        frames = [
+            encode_frame(WalRecord("commit", lsn, {"epoch": lsn, "deltas": {}}).payload())
+            for lsn in range(3)
+        ]
+        blob = bytearray(b"".join(frames))
+        # flip a payload byte of the SECOND record
+        blob[len(frames[0]) + HEADER_SIZE + 2] ^= 0x01
+        with pytest.raises(WalCorruptionError) as info:
+            list(iter_frames(bytes(blob)))
+        assert info.value.offset == len(frames[0])
+        assert not info.value.torn
