@@ -1,0 +1,104 @@
+"""Compare a fresh BENCH_replication.json against the committed baseline.
+
+CI's bench-regression gate for the replication cells: the replica-side
+series' cost must not regress more than ``--tolerance`` (default 25%)
+against the baseline committed at the repository root — ``apply``
+(ms/record through the replica apply loop) and ``reads`` at 2 nodes
+(ms/read over the scale-out fan-out path).  The primary-only cells move
+with the host and are reported, not failed.  The fresh run must also
+clear the absolute scale-out bar: ≥ 2× aggregate reads/sec with two
+replicas (``meta.read_scaleout``).
+
+Usage::
+
+    python benchmarks/compare_replication.py BASELINE FRESH [--tolerance 0.25]
+
+Exit status 0 when every gated cell is within tolerance, 1 otherwise.
+Re-baseline by committing the regenerated artifact together with the
+change that justifies it.
+"""
+
+import argparse
+import json
+import sys
+
+#: (series, nodes) cells whose regression fails the gate: the replica
+#: apply loop and the scale-out read path
+GATED_CELLS = (("apply", 1), ("reads", 2))
+
+#: the fresh run must reach this aggregate read speedup at 2 replicas
+SCALEOUT_BAR = 2.0
+
+
+def cells(payload):
+    x_label = payload.get("x_label", "nodes")
+    return {
+        (row["series"], row[x_label]): row["ms_per_transaction"]
+        for row in payload["rows"]
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as handle:
+        baseline = cells(json.load(handle))
+    with open(args.fresh) as handle:
+        fresh_payload = json.load(handle)
+    fresh = cells(fresh_payload)
+
+    failures = []
+    for key, base_ms in sorted(baseline.items()):
+        series, nodes = key
+        now_ms = fresh.get(key)
+        if now_ms is None:
+            failures.append(f"{series}@{nodes}: missing from fresh run")
+            continue
+        ratio = now_ms / base_ms if base_ms else float("inf")
+        gated = key in GATED_CELLS
+        verdict = "ok"
+        if gated and ratio > 1.0 + args.tolerance:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{series}@{nodes}: {base_ms:.4f} -> {now_ms:.4f} "
+                f"ms/op ({ratio:.2f}x, tolerance "
+                f"{1.0 + args.tolerance:.2f}x)"
+            )
+        print(
+            f"  {series}@{nodes}: baseline {base_ms:.4f} ms/op, "
+            f"fresh {now_ms:.4f} ms/op ({ratio:.2f}x) "
+            f"[{'gated' if gated else 'informational'}] {verdict}"
+        )
+
+    meta = fresh_payload.get("meta", {})
+    scaleout = meta.get("read_scaleout")
+    if scaleout is not None:
+        print(f"  fresh read scale-out at 2 replicas: {scaleout:.2f}x")
+        if scaleout < SCALEOUT_BAR:
+            failures.append(
+                f"read_scaleout: {scaleout:.2f}x below the "
+                f"{SCALEOUT_BAR:.1f}x bar"
+            )
+    else:
+        failures.append("meta.read_scaleout missing from fresh run")
+    if meta.get("max_lag_epochs") is not None:
+        print(
+            f"  fresh storm lag: max={meta['max_lag_epochs']} epochs, "
+            f"drain={meta.get('drain_seconds', 0.0):.2f}s"
+        )
+
+    if failures:
+        print("\nbench-regression FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nbench-regression ok: all gated cells within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -241,11 +241,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         "accepts connections (see docs/DURABILITY.md)",
     )
     parser.add_argument(
+        "--replicate-from",
+        metavar="HOST:PORT",
+        default=None,
+        help="with --serve: run as a read replica of the primary at "
+        "HOST:PORT instead of a writable server; --wal-dir becomes the "
+        "replica's own durable copy of the stream and the script "
+        "argument must be the primary's bootstrap script "
+        "(see docs/REPLICATION.md)",
+    )
+    parser.add_argument(
+        "--switch-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="server only: thread switch interval "
+        "(sys.setswitchinterval) for this process; coarser slices "
+        "favour check-phase throughput over read latency under load",
+    )
+    parser.add_argument(
         "script",
         nargs="?",
         help="AMOSQL script to execute instead of the interactive loop",
     )
     options = parser.parse_args(argv)
+    if options.switch_interval is not None:
+        sys.setswitchinterval(options.switch_interval)
     if options.serve:
         from repro.server.server import parse_hostport, serve
 
@@ -254,6 +275,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         if options.script:
             with open(options.script) as handle:
                 script_text = handle.read()
+        if options.replicate_from:
+            from repro.replication.replica import serve_replica
+
+            return serve_replica(
+                host,
+                port,
+                primary=options.replicate_from,
+                mode=options.mode,
+                script=script_text,
+                idle_timeout=options.idle_timeout,
+                wal_dir=options.wal_dir,
+            )
         return serve(
             host,
             port,

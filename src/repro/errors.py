@@ -169,6 +169,32 @@ class RemoteError(ServerError):
         self.remote_message = message
 
 
+class ReplicationError(ServerError):
+    """Base class for replication (repro.replication) errors."""
+
+
+class ReplicaReadOnlyError(ReplicationError):
+    """A write/transactional op was sent to a read replica.
+
+    The message names the primary's address so clients (and humans)
+    know where writes go.
+    """
+
+
+class ReplicaLagError(ReplicationError):
+    """A freshness-bounded read found every eligible replica lagging.
+
+    Raised by ``AmosClient`` when ``min_epoch`` is not satisfied within
+    the freshness timeout; carries the freshest epoch actually seen so
+    callers can decide to retry, relax the bound, or fall back to the
+    primary themselves.
+    """
+
+    def __init__(self, message: str, freshest_epoch: "int | None" = None) -> None:
+        super().__init__(message)
+        self.freshest_epoch = freshest_epoch
+
+
 class RuleError(ReproError):
     """Base class for rule-system errors."""
 

@@ -13,6 +13,7 @@ from repro.obs.export import (
     export_run,
     registry_to_dict,
     trace_to_dict,
+    wal_to_dict,
     write_bench_artifact,
 )
 from repro.obs.metrics import (
@@ -39,6 +40,7 @@ __all__ = [
     "export_run",
     "registry_to_dict",
     "trace_to_dict",
+    "wal_to_dict",
     "bench_artifact_dir",
     "write_bench_artifact",
 ]

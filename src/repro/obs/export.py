@@ -21,6 +21,7 @@ from repro.obs.tracing import Span, Tracer
 __all__ = [
     "registry_to_dict",
     "trace_to_dict",
+    "wal_to_dict",
     "export_run",
     "bench_artifact_dir",
     "write_bench_artifact",
@@ -43,16 +44,38 @@ def trace_to_dict(trace) -> Optional[object]:
     raise TypeError(f"cannot serialize trace of type {type(trace).__name__}")
 
 
+def wal_to_dict(wal) -> Optional[Dict[str, object]]:
+    """JSON-shaped dump of a :class:`~repro.storage.wal.WriteAheadLog`.
+
+    Accepts the log object itself (its ``stats()`` is called), an
+    already-built stats mapping, or None.  The replication counters
+    (``wal.ship.*``, ``replica.*``) live in the metrics registry and
+    come along via :func:`registry_to_dict`; this adds the log's own
+    accounting — next_lsn, segment count, appended records/bytes.
+    """
+    if wal is None:
+        return None
+    stats = wal.stats() if hasattr(wal, "stats") else wal
+    return dict(stats)
+
+
 def export_run(
     path: str,
     registry: Optional[Registry] = None,
     trace=None,
     meta: Optional[Dict[str, object]] = None,
+    wal=None,
 ) -> str:
-    """Write one run's metrics (and optional trace) as a JSON document."""
+    """Write one run's metrics (and optional trace) as a JSON document.
+
+    ``wal`` (a :class:`~repro.storage.wal.WriteAheadLog`, its
+    ``stats()`` dict, or None) embeds the write-ahead log's accounting
+    under a ``"wal"`` key next to the metrics.
+    """
     payload: Dict[str, object] = {"meta": dict(meta or {})}
     payload["metrics"] = registry_to_dict(registry)
     payload["trace"] = trace_to_dict(trace)
+    payload["wal"] = wal_to_dict(wal)
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=1, default=str)
     return path

@@ -1,0 +1,234 @@
+"""ReplicationHub: fan the primary's WAL record stream out to replicas.
+
+One hub serves one :class:`~repro.storage.wal.WriteAheadLog`.  Each
+subscriber connection is driven by the thread that accepted it (the
+server's per-connection handler): after the ``replicate`` handshake the
+handler calls :meth:`ReplicationHub.stream`, which loops a private
+:class:`~repro.storage.wal.WalTailer` — reading sealed frames straight
+off the segment files — and pushes two kinds of events:
+
+* ``{"event": "wal", "records": [...], "next_lsn": N}`` — a batch of
+  record payloads (the same canonical JSON the frames hold);
+* ``{"event": "heartbeat", "next_lsn": N, "epoch": E}`` — sent when the
+  log is idle, carrying the primary's current epoch/LSN so a replica
+  can measure its lag even with no traffic.
+
+The engine lock is NEVER touched: the tailer reads only durable bytes
+(the appender publishes them before its fsync notify), and backpressure
+is per-subscriber — a slow replica blocks only its own socket write.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ReplicationError
+from repro.obs import metrics
+from repro.server import protocol
+from repro.storage.wal import WalRecord, WalTailer, WriteAheadLog
+
+__all__ = ["ReplicationHub"]
+
+#: how often an idle stream emits a heartbeat (seconds)
+DEFAULT_HEARTBEAT_INTERVAL = 0.5
+
+#: max records per wal event (frames are also split by byte budget)
+DEFAULT_BATCH_RECORDS = 256
+
+
+class ReplicationHub:
+    """Primary-side fan-out of the WAL stream to N subscribers.
+
+    Parameters
+    ----------
+    wal:
+        The primary's open write-ahead log.
+    epoch_of:
+        Zero-argument callable returning the primary's current snapshot
+        epoch (stamped into heartbeats).
+    registry:
+        Optional server-local :class:`~repro.obs.metrics.Registry` the
+        ``wal.ship.*`` metrics tee into (the global ``metrics.ACTIVE``
+        registry is always updated too, when installed).
+    """
+
+    def __init__(
+        self,
+        wal: WriteAheadLog,
+        epoch_of: Optional[Callable[[], int]] = None,
+        registry: Optional[metrics.Registry] = None,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        batch_records: int = DEFAULT_BATCH_RECORDS,
+        max_frame: int = protocol.MAX_FRAME,
+    ) -> None:
+        self.wal = wal
+        self.epoch_of = epoch_of or (lambda: 0)
+        self.heartbeat_interval = heartbeat_interval
+        self.batch_records = batch_records
+        self.max_frame = max_frame
+        self.registry = registry
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._subscribers: Dict[int, Dict] = {}
+        self._tailers: Dict[int, WalTailer] = {}
+        self._closed = False
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return len(self._subscribers)
+
+    def subscribers(self) -> List[Dict]:
+        """Snapshot of per-subscriber shipping state (for ``stats``)."""
+        with self._lock:
+            return [dict(info) for info in self._subscribers.values()]
+
+    # -- streaming ----------------------------------------------------------------
+
+    def handshake(self, last_lsn: int, request_id=None) -> Dict:
+        """The ``replicate`` handshake ack for a subscriber at ``last_lsn``."""
+        if not isinstance(last_lsn, int) or last_lsn < -1:
+            raise ReplicationError(
+                f"replicate 'last_lsn' must be an integer >= -1, got {last_lsn!r}"
+            )
+        next_lsn = self.wal.next_lsn
+        if last_lsn >= next_lsn:
+            raise ReplicationError(
+                f"replica is ahead of this primary (last_lsn {last_lsn}, "
+                f"primary next_lsn {next_lsn}) — it was built from a "
+                "different log; wipe the replica's WAL copy to re-seed"
+            )
+        return {
+            "ok": True,
+            "id": request_id,
+            "event": "replicate",
+            "resume_lsn": last_lsn + 1,
+            "next_lsn": next_lsn,
+            "epoch": self.epoch_of(),
+        }
+
+    def stream(self, conn, last_lsn: int, peer=None) -> None:
+        """Push the record stream from ``last_lsn + 1`` until the peer
+        drops (or the hub/log closes).  Runs on the caller's thread."""
+        tailer = WalTailer(self.wal, start_lsn=last_lsn + 1)
+        sub_id = next(self._ids)
+        info = {
+            "id": sub_id,
+            "peer": list(peer) if peer else None,
+            "start_lsn": last_lsn + 1,
+            "last_sent_lsn": last_lsn,
+            "records": 0,
+        }
+        with self._lock:
+            if self._closed:
+                raise ReplicationError("replication hub is closed")
+            self._subscribers[sub_id] = info
+            self._tailers[sub_id] = tailer
+        self._gauge("wal.ship.subscribers", +1)
+        try:
+            last_beat = time.monotonic()
+            while not self._closed:
+                batch = tailer.next_batch(
+                    timeout=self.heartbeat_interval,
+                    max_records=self.batch_records,
+                )
+                if self._closed:
+                    break
+                if batch:
+                    sent = self._send_records(conn, batch)
+                    info["last_sent_lsn"] = batch[-1].lsn
+                    info["records"] += sent
+                    last_beat = time.monotonic()
+                    continue
+                if self.wal.closed:
+                    break
+                now = time.monotonic()
+                if now - last_beat >= self.heartbeat_interval:
+                    protocol.write_frame(
+                        conn,
+                        {
+                            "ok": True,
+                            "event": "heartbeat",
+                            "next_lsn": tailer.last_lsn + 1,
+                            "epoch": self.epoch_of(),
+                        },
+                        self.max_frame,
+                    )
+                    self._count("wal.ship.heartbeats")
+                    last_beat = now
+        finally:
+            tailer.stop()
+            with self._lock:
+                self._subscribers.pop(sub_id, None)
+                self._tailers.pop(sub_id, None)
+            self._gauge("wal.ship.subscribers", -1)
+
+    def _send_records(self, conn, batch: List[WalRecord]) -> int:
+        """Write ``batch`` as one or more wal events, splitting so no
+        frame exceeds the negotiated size.  Returns records sent."""
+        sent = 0
+        payloads: List[Dict] = []
+        budget = 0
+        # leave generous headroom for the envelope + JSON separators
+        byte_limit = max(self.max_frame // 2, 64 * 1024)
+        for record in batch:
+            payload = record.payload()
+            cost = len(repr(payload))
+            if payloads and budget + cost > byte_limit:
+                sent += self._flush(conn, payloads)
+                payloads, budget = [], 0
+            payloads.append(payload)
+            budget += cost
+        if payloads:
+            sent += self._flush(conn, payloads)
+        return sent
+
+    def _flush(self, conn, payloads: List[Dict]) -> int:
+        frame = {
+            "ok": True,
+            "event": "wal",
+            "records": payloads,
+            "next_lsn": payloads[-1]["lsn"] + 1,
+        }
+        written = protocol.write_frame(conn, frame, self.max_frame)
+        self._count("wal.ship.batches")
+        self._count("wal.ship.records", len(payloads))
+        self._count("wal.ship.bytes", written or 0)
+        return len(payloads)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every live stream (their handler threads unwind)."""
+        with self._lock:
+            self._closed = True
+            tailers = list(self._tailers.values())
+        for tailer in tailers:
+            tailer.stop()
+
+    # -- metrics ------------------------------------------------------------------
+
+    def _count(self, name: str, n: int = 1) -> None:
+        if self.registry is not None:
+            self.registry.counter(name).inc(n)
+        reg = metrics.ACTIVE
+        if reg is not None:
+            reg.counter(name).inc(n)
+
+    def _gauge(self, name: str, delta: int) -> None:
+        if self.registry is not None:
+            self.registry.gauge(name).inc(delta)
+        reg = metrics.ACTIVE
+        if reg is not None:
+            reg.gauge(name).inc(delta)
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicationHub(subscribers={self.subscriber_count}, "
+            f"next_lsn={self.wal.next_lsn})"
+        )

@@ -31,6 +31,16 @@ Conversation shape:
   commit published) and ``"coalesced"`` (how many transactions the
   server's group-commit batch contained — 1 on the serial path; see
   ``docs/SERVER.md``);
+* protocol version 4 adds the **replication stream**
+  (:mod:`repro.replication`): ``{"id": n, "op": "replicate",
+  "last_lsn": L}`` asks a primary to push its WAL records after ``L``.
+  The server acks with ``{"event": "replicate", "resume_lsn": L+1,
+  "next_lsn": ..., "epoch": ...}`` and the connection then switches to
+  **push mode**: the server sends unsolicited ``{"event": "wal",
+  "records": [...], "next_lsn": ...}`` batches (each entry is one WAL
+  record payload, canonical JSON) interleaved with ``{"event":
+  "heartbeat", "next_lsn": ..., "epoch": ...}`` while idle; the
+  subscriber sends nothing further and just closes to unsubscribe;
 * either side may close; the server answers ``{"op": "close"}`` with a
   ``bye`` event before doing so.
 
@@ -57,8 +67,9 @@ __all__ = [
 ]
 
 #: 2: query_ro snapshot reads; 3: epoch-pinned query_ro + commit acks
-#: carrying the published epoch and the group-commit batch size
-PROTOCOL_VERSION = 3
+#: carrying the published epoch and the group-commit batch size;
+#: 4: the replicate op + wal/heartbeat push events
+PROTOCOL_VERSION = 4
 
 #: default upper bound on one frame's JSON body, in bytes
 MAX_FRAME = 8 * 1024 * 1024
@@ -116,8 +127,13 @@ def read_frame(
 
 def write_frame(
     sock: socket.socket, payload: Dict, max_frame: int = MAX_FRAME
-) -> None:
-    """Serialize ``payload`` and send it as one frame."""
+) -> int:
+    """Serialize ``payload`` and send it as one frame.
+
+    Returns the number of payload bytes written (excluding the 4-byte
+    length header) — the replication hub feeds this into its
+    ``wal.ship.bytes`` counter.
+    """
     data = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode(
         "utf-8"
     )
@@ -127,3 +143,4 @@ def write_frame(
             f"(limit {max_frame} bytes)"
         )
     sock.sendall(_HEADER.pack(len(data)) + data)
+    return len(data)

@@ -123,6 +123,9 @@ class AmosServer:
         self.wal_dir = wal_dir
         self.last_recovery = None
         self._commit_queue = CommitQueue()
+        #: fans the WAL stream out to replicas (created in start() when
+        #: a write-ahead log is attached; see repro.replication)
+        self.replication_hub = None
         #: serializes every statement's apply + check phase (one writer)
         self._engine_lock = threading.RLock()
         self._stats_lock = threading.Lock()
@@ -151,6 +154,16 @@ class AmosServer:
                 self.last_recovery = report
                 self._count("wal.recovered_records", report.records)
                 self._count("wal.recovered_commits", report.commits)
+            if self.amos.wal is not None and self.replication_hub is None:
+                # local import: repro.replication imports repro.server
+                from repro.replication.hub import ReplicationHub
+
+                self.replication_hub = ReplicationHub(
+                    self.amos.wal,
+                    epoch_of=lambda: self.amos.storage.snapshot_epoch,
+                    registry=self.registry,
+                    max_frame=self.max_frame,
+                )
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((self.host, self.port))
@@ -174,8 +187,16 @@ class AmosServer:
     def stop(self) -> None:
         """Close the listener and every live connection; join threads."""
         self._stop.set()
+        if self.replication_hub is not None:
+            self.replication_hub.close()
         listener, self._listener = self._listener, None
         if listener is not None:
+            # shutdown() wakes a thread blocked in accept(); close()
+            # alone leaves it stuck until the join timeout below
+            try:
+                listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 listener.close()
             except OSError:
@@ -285,6 +306,15 @@ class AmosServer:
                 session.touch()
                 response = self._dispatch(session, request)
                 protocol.write_frame(conn, response, self.max_frame)
+                if response.get("event") == "replicate":
+                    # the connection switches to push mode: this thread
+                    # now belongs to the replication hub until the
+                    # subscriber hangs up (never touches the engine lock)
+                    self._count("server.replicate_streams")
+                    self.replication_hub.stream(
+                        conn, response["resume_lsn"] - 1, peer=addr
+                    )
+                    break
                 if response.get("event") == "bye":
                     break
         except OSError:
@@ -330,6 +360,15 @@ class AmosServer:
                     raise ProtocolError("bind needs a string 'name'")
                 session.engine.iface[name] = codec.decode_value(value)
                 return {"ok": True, "id": request_id}
+            if op == "replicate":
+                if self.replication_hub is None:
+                    raise ServerError(
+                        "replication requires a write-ahead log — start "
+                        "the primary with wal_dir= (--wal-dir)"
+                    )
+                return self.replication_hub.handshake(
+                    request.get("last_lsn", -1), request_id
+                )
             if op == "ping":
                 return {"ok": True, "id": request_id, "pong": time.time()}
             if op == "stats":
@@ -671,6 +710,11 @@ class AmosServer:
             "closed_sessions": self.sessions.recent_closed(),
             "address": list(self.address) if self.address else None,
             "wal": wal.stats() if wal is not None else None,
+            "replication": (
+                self.replication_hub.subscribers()
+                if self.replication_hub is not None
+                else None
+            ),
         }
 
     def __repr__(self) -> str:

@@ -54,8 +54,11 @@ from repro.storage.persistence import decode_value, encode_value
 __all__ = [
     "WalRecord",
     "WriteAheadLog",
+    "WalTailer",
     "RecoveryReport",
     "recover",
+    "replay_catalog_record",
+    "replay_commit_record",
     "encode_frame",
     "iter_frames",
     "MAGIC",
@@ -275,6 +278,8 @@ class WriteAheadLog:
         self.fsync_enabled = fsync
         self.fault_hook = fault_hook
         self._lock = threading.Lock()
+        #: notified after every durable append; WalTailer blocks on it
+        self._watch = threading.Condition()
         self._fd: Optional[int] = None
         self._failed = False
         self._closed = False
@@ -350,6 +355,12 @@ class WriteAheadLog:
         self._segment_size = os.fstat(self._fd).st_size
         if not paths:
             self._sync_directory()
+        self._update_segment_gauge()
+
+    def _update_segment_gauge(self) -> None:
+        reg = metrics.ACTIVE
+        if reg is not None:
+            reg.gauge("wal.segment_count").set(len(self.segment_paths()))
 
     @staticmethod
     def _index_of(path: str) -> int:
@@ -428,42 +439,64 @@ class WriteAheadLog:
             data["columns"] = list(columns)
         return self._append("catalog", data)
 
+    def append_record(self, record: WalRecord) -> WalRecord:
+        """Append an already-sequenced record verbatim (replication).
+
+        The replica apply loop uses this to persist records exactly as
+        the primary framed them, so the replica's own log copy is a
+        byte-faithful continuation it can recover from after a crash.
+        The record's lsn must be exactly :attr:`next_lsn` — a gap means
+        the stream lost records and the copy would be unrecoverable.
+        """
+        with self._lock:
+            if record.lsn != self._next_lsn:
+                raise WalError(
+                    f"cannot append record with lsn {record.lsn}: "
+                    f"the log expects lsn {self._next_lsn} (gapless)"
+                )
+            return self._append_locked(record)
+
     def _append(self, kind: str, data: Dict) -> WalRecord:
         with self._lock:
-            if self._closed:
-                raise WalError("write-ahead log is closed")
-            if self._failed:
-                raise WalError(
-                    "write-ahead log is offline after a failed append; "
-                    "the database is no longer durable — restart and recover"
-                )
-            record = WalRecord(kind, self._next_lsn, data)
-            frame = encode_frame(record.payload())
-            try:
-                if (
-                    self._segment_size > 0
-                    and self._segment_size + len(frame) > self.segment_bytes
-                ):
-                    self._rotate()
-                self._fault("append.pre_write", kind=kind, lsn=record.lsn)
-                self._write(frame[:HEADER_SIZE])
-                self._fault("append.mid_record", kind=kind, lsn=record.lsn)
-                self._write(frame[HEADER_SIZE:])
-                self._fault("append.pre_fsync", kind=kind, lsn=record.lsn)
-                self._fsync()
-                self._fault("append.post_fsync", kind=kind, lsn=record.lsn)
-            except BaseException:
-                self._failed = True
-                raise
-            self._next_lsn += 1
-            self._segment_size += len(frame)
-            self.appended_records += 1
-            self.appended_bytes += len(frame)
-            reg = metrics.ACTIVE
-            if reg is not None:
-                reg.counter("wal.appends").inc()
-                reg.counter("wal.bytes").inc(len(frame))
-            return record
+            return self._append_locked(WalRecord(kind, self._next_lsn, data))
+
+    def _append_locked(self, record: WalRecord) -> WalRecord:
+        if self._closed:
+            raise WalError("write-ahead log is closed")
+        if self._failed:
+            raise WalError(
+                "write-ahead log is offline after a failed append; "
+                "the database is no longer durable — restart and recover"
+            )
+        kind = record.kind
+        frame = encode_frame(record.payload())
+        try:
+            if (
+                self._segment_size > 0
+                and self._segment_size + len(frame) > self.segment_bytes
+            ):
+                self._rotate()
+            self._fault("append.pre_write", kind=kind, lsn=record.lsn)
+            self._write(frame[:HEADER_SIZE])
+            self._fault("append.mid_record", kind=kind, lsn=record.lsn)
+            self._write(frame[HEADER_SIZE:])
+            self._fault("append.pre_fsync", kind=kind, lsn=record.lsn)
+            self._fsync()
+            self._fault("append.post_fsync", kind=kind, lsn=record.lsn)
+        except BaseException:
+            self._failed = True
+            raise
+        self._next_lsn = record.lsn + 1
+        self._segment_size += len(frame)
+        self.appended_records += 1
+        self.appended_bytes += len(frame)
+        reg = metrics.ACTIVE
+        if reg is not None:
+            reg.counter("wal.appends").inc()
+            reg.counter("wal.bytes").inc(len(frame))
+        with self._watch:
+            self._watch.notify_all()
+        return record
 
     def _write(self, data: bytes) -> None:
         view = memoryview(data)
@@ -501,6 +534,7 @@ class WriteAheadLog:
         reg = metrics.ACTIVE
         if reg is not None:
             reg.counter("wal.rotations").inc()
+        self._update_segment_gauge()
         self._fault("rotate.post", segment=self._segment_index)
 
     def _fault(self, point: str, **context) -> None:
@@ -524,6 +558,28 @@ class WriteAheadLog:
                     os.close(self._fd)
                 finally:
                     self._fd = None
+        # wake any tailer blocked in wait_for_lsn so it can observe
+        # the closed flag instead of sleeping out its full timeout
+        with self._watch:
+            self._watch.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def wait_for_lsn(self, lsn: int, timeout: Optional[float] = None) -> bool:
+        """Block until the record with ``lsn`` is durably appended.
+
+        Returns True when ``next_lsn > lsn`` (the record exists on
+        disk), False on timeout or when the log is closed first.  This
+        is the blocking half of the follow API: a
+        :class:`WalTailer` that drained everything waits here for the
+        next commit instead of polling the directory.
+        """
+        with self._watch:
+            return self._watch.wait_for(
+                lambda: self._next_lsn > lsn or self._closed, timeout
+            ) and self._next_lsn > lsn
 
     def __enter__(self) -> "WriteAheadLog":
         return self
@@ -546,6 +602,150 @@ class WriteAheadLog:
             f"segment={getattr(self, '_segment_index', '?')}, "
             f"fsync={self.fsync_enabled})"
         )
+
+
+# -- following (the replication read side) ----------------------------------------
+
+
+class WalTailer:
+    """Follow a live :class:`WriteAheadLog`: committed records in lsn
+    order, blocking for new ones across segment rotations.
+
+    The tailer reads the segment files directly — never the appender's
+    in-memory state — so it observes exactly what is durable, and
+    reading takes no lock the appender (or the engine) holds.  The
+    race with an in-flight append is benign: a partially written tail
+    frame parses as torn, the tailer stops in front of it, and the
+    appender's post-fsync notification wakes it to re-read once the
+    frame is whole.  Because the appender only ever *appends* within a
+    segment and rotates to a brand-new file, a consumed ``(segment,
+    offset)`` position is never invalidated.
+
+    ``start_lsn`` skips everything below it, which is how a replica
+    resumes mid-stream after reconnecting: records already applied are
+    filtered out without re-reading cost beyond the scan.
+
+    One tailer is single-consumer; the primary's ReplicationHub makes
+    one per subscriber.
+    """
+
+    def __init__(self, wal: WriteAheadLog, start_lsn: int = 0) -> None:
+        self.wal = wal
+        self.start_lsn = int(start_lsn)
+        #: lsn of the last record handed out (start_lsn - 1 initially)
+        self.last_lsn = self.start_lsn - 1
+        self._segment_pos = 0  # index into the sorted segment list
+        self._offset = 0  # byte offset within the current segment
+        self._stopped = False
+
+    def stop(self) -> None:
+        """Make a blocked :meth:`next_batch` return promptly."""
+        self._stopped = True
+        with self.wal._watch:
+            self.wal._watch.notify_all()
+
+    def poll(self, max_records: int = 512) -> List[WalRecord]:
+        """Every new complete record on disk, without blocking."""
+        records: List[WalRecord] = []
+        while len(records) < max_records:
+            paths = self.wal.segment_paths()
+            if self._segment_pos >= len(paths):
+                break
+            path = paths[self._segment_pos]
+            with open(path, "rb") as handle:
+                handle.seek(self._offset)
+                data = handle.read()
+            consumed = 0
+            try:
+                for offset, payload in iter_frames(data):
+                    record = WalRecord.from_payload(payload)
+                    consumed = offset + _frame_length(data, offset)
+                    if record.lsn > self.last_lsn:
+                        records.append(record)
+                        self.last_lsn = record.lsn
+                    if len(records) >= max_records:
+                        break
+            except WalCorruptionError as error:
+                if not getattr(error, "torn", False):
+                    raise
+                # an append (or the final, crashed record) in flight:
+                # stop in front of it and resume from here next poll
+                consumed = getattr(error, "offset", consumed)
+            self._offset += consumed
+            if len(records) >= max_records:
+                break
+            # advance to the next segment only once this one is fully
+            # consumed AND a newer one exists (rotation seals segments
+            # with complete frames, so a clean parse to EOF is the
+            # hand-off point)
+            if (
+                self._segment_pos < len(paths) - 1
+                and consumed == len(data)
+            ):
+                self._segment_pos += 1
+                self._offset = 0
+                continue
+            break
+        return records
+
+    def next_batch(
+        self,
+        timeout: Optional[float] = None,
+        max_records: int = 512,
+    ) -> List[WalRecord]:
+        """New records, blocking up to ``timeout`` for the first one.
+
+        Returns an empty list on timeout, on :meth:`stop`, or when the
+        log was closed with nothing left to read — callers distinguish
+        idleness via :attr:`closed`/:attr:`stopped` if they need to.
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        while True:
+            records = self.poll(max_records)
+            if records or self._stopped or self.wal.closed:
+                return records
+            remaining = (
+                None if deadline is None else deadline - time.monotonic()
+            )
+            if remaining is not None and remaining <= 0:
+                return records
+            target = self.last_lsn
+            with self.wal._watch:
+                # the predicate is re-checked under the watch lock, so a
+                # record (or stop/close) landing between the poll above
+                # and this wait can never be missed
+                self.wal._watch.wait_for(
+                    lambda: (
+                        self.wal._next_lsn > target + 1
+                        or self.wal._closed
+                        or self._stopped
+                    ),
+                    remaining,
+                )
+
+    def __iter__(self) -> Iterator[WalRecord]:
+        """Blocking record iterator; ends on :meth:`stop` / log close."""
+        while True:
+            batch = self.next_batch(timeout=0.5)
+            if batch:
+                for record in batch:
+                    yield record
+            elif self._stopped or self.wal.closed:
+                return
+
+    def __repr__(self) -> str:
+        return (
+            f"WalTailer(last_lsn={self.last_lsn}, "
+            f"segment_pos={self._segment_pos}, offset={self._offset})"
+        )
+
+
+def _frame_length(data: bytes, offset: int) -> int:
+    """Total byte length of the frame starting at ``offset``."""
+    _magic, length, _crc = _HEADER.unpack_from(data, offset)
+    return HEADER_SIZE + length
 
 
 # -- recovery ---------------------------------------------------------------------
@@ -660,7 +860,9 @@ def _replay_catalog(storage, record: WalRecord) -> None:
             storage.drop_relation(name)
 
 
-def _replay_commit(storage, record: WalRecord, create_missing: bool) -> int:
+def _replay_commit(
+    storage, record: WalRecord, create_missing: bool = True
+) -> int:
     applied = 0
     for name, delta in sorted(record.deltas.items()):
         if not storage.has_relation(name):
@@ -684,3 +886,10 @@ def _replay_commit(storage, record: WalRecord, create_missing: bool) -> int:
     if record.epoch > storage.snapshot_epoch:
         storage.restore_epoch(record.epoch)
     return applied
+
+
+#: public aliases: the replication apply loop (repro.replication)
+#: replays records through the exact code path recovery uses, so a
+#: replica converges to the same state a post-crash recovery would
+replay_catalog_record = _replay_catalog
+replay_commit_record = _replay_commit

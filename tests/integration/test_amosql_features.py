@@ -194,6 +194,18 @@ class TestReplScriptMode:
         script.write_text("create type item;\n")
         assert repl_main(["--mode", "naive", str(script)]) == 0
 
+    def test_main_switch_interval_flag(self, tmp_path):
+        import sys
+
+        script = tmp_path / "demo.amosql"
+        script.write_text("create type item;\n")
+        before = sys.getswitchinterval()
+        try:
+            assert repl_main(["--switch-interval", "0.02", str(script)]) == 0
+            assert sys.getswitchinterval() == pytest.approx(0.02)
+        finally:
+            sys.setswitchinterval(before)
+
 
 class TestShippedPaperScript:
     def test_inventory_script_runs_and_orders(self, capsys):

@@ -1,0 +1,55 @@
+"""Shared fixtures for the replication suite.
+
+Server hygiene mirrors ``tests/server/conftest.py`` (no leaked global
+observers).  Every server here binds port 0 — the OS picks a free
+port — so parallel CI runs can't collide (see ``test_ports.py``).
+"""
+
+import pytest
+
+from repro.bench.workload import build_inventory
+from repro.obs import metrics, tracing
+from repro.server.server import AmosServer
+
+
+@pytest.fixture(autouse=True)
+def no_observer_leaks():
+    assert metrics.ACTIVE is None, "a metrics registry leaked into this test"
+    assert tracing.ACTIVE is None, "a tracer leaked into this test"
+    yield
+    leaked_metrics = metrics.ACTIVE is not None
+    leaked_tracing = tracing.ACTIVE is not None
+    metrics.uninstall()
+    tracing.uninstall()
+    assert not leaked_metrics, "test leaked an installed metrics registry"
+    assert not leaked_tracing, "test leaked an installed tracer"
+
+
+N_ITEMS = 4
+SEED = 99
+
+
+def make_workload():
+    """The shared schema bootstrap: primary and replicas must agree."""
+    workload = build_inventory(N_ITEMS, seed=SEED, explain=True)
+    workload.activate()
+    return workload
+
+
+def bootstrap_factory():
+    return make_workload().amos
+
+
+@pytest.fixture
+def primary(tmp_path):
+    """A WAL-backed primary serving the inventory workload."""
+    workload = make_workload()
+    server = AmosServer(
+        amos=workload.amos, wal_dir=str(tmp_path / "primary-wal")
+    )
+    server.start()
+    server.workload = workload
+    try:
+        yield server
+    finally:
+        server.stop()

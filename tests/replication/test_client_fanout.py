@@ -1,0 +1,187 @@
+"""Client-side read fan-out: ``AmosClient(replicas=[...])``.
+
+The scale-out read path: ``query_ro`` round-robins across replicas,
+``min_epoch`` bounds staleness (read-your-writes through replicas),
+unreachable replicas are skipped, and a total replica outage falls
+back to the primary connection.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ReplicaLagError, ServerError
+from repro.server.client import AmosClient
+
+from .test_replica import converge, start_replica
+
+QUERY = "select q for each item i, integer q where quantity(i) = q"
+
+
+def fanout_client(primary, *replicas, **kwargs):
+    client = AmosClient(
+        *primary.address,
+        replicas=[replica.address for replica in replicas],
+        **kwargs,
+    )
+    client.connect()
+    return client
+
+
+def write(primary, client, index, quantity):
+    client.bind(f"w{index}", primary.workload.items[index])
+    client.execute(f"set quantity(:w{index}) = {quantity};")
+
+
+class TestFanout:
+    def test_round_robin_distributes_reads(self, primary, tmp_path):
+        first = start_replica(primary, tmp_path, name="r1")
+        second = start_replica(primary, tmp_path, name="r2")
+        try:
+            with fanout_client(primary, first, second) as client:
+                write(primary, client, 0, 777)
+                converge(first, primary)
+                converge(second, primary)
+                for _ in range(6):
+                    assert (777,) in client.query_ro(QUERY)
+            served_first = first.stats()["counters"]["server.query_ro"]
+            served_second = second.stats()["counters"]["server.query_ro"]
+            assert served_first + served_second == 6
+            assert served_first == 3
+            assert served_second == 3
+            # the primary answered none of them
+            assert (
+                primary.stats()["counters"].get("server.query_ro", 0) == 0
+            )
+        finally:
+            first.stop()
+            second.stop()
+
+    def test_min_epoch_gives_read_your_writes(self, primary, tmp_path):
+        replica = start_replica(primary, tmp_path)
+        try:
+            with fanout_client(primary, replica) as client:
+                client.bind("w0", primary.workload.items[0])
+                client.begin()
+                client.execute("set quantity(:w0) = 4242;")
+                client.commit()
+                committed = client.last_commit_epoch
+                assert committed is not None
+                rows = client.query_ro(QUERY, min_epoch=committed)
+                assert (4242,) in rows
+                assert client.last_ro_epoch >= committed
+        finally:
+            replica.stop()
+
+    def test_lag_error_carries_the_freshest_epoch_seen(
+        self, primary, tmp_path
+    ):
+        replica = start_replica(primary, tmp_path)
+        try:
+            with fanout_client(primary, replica) as client:
+                write(primary, client, 0, 100)
+                converge(replica, primary)
+                stale = replica.amos.storage.snapshot_epoch
+
+                # park the apply loop: _apply_record runs under the
+                # REPLICA's engine lock, which we now hold — yet the
+                # replica keeps serving (stale) lock-free reads
+                with replica._engine_lock:
+                    write(primary, client, 0, 200)
+                    target = primary.amos.storage.snapshot_epoch
+                    assert target > stale
+                    with pytest.raises(ReplicaLagError) as excinfo:
+                        client.query_ro(
+                            QUERY, min_epoch=target, freshness_timeout=0.3
+                        )
+                    assert excinfo.value.freshest_epoch == stale
+                    # unbounded reads still answer, from the old epoch
+                    assert (100,) in client.query_ro(QUERY)
+                    assert client.last_ro_epoch == stale
+                # released: the same read now gets fresh within bound
+                rows = client.query_ro(QUERY, min_epoch=target)
+                assert (200,) in rows
+        finally:
+            replica.stop()
+
+    def test_failover_to_the_surviving_replica(self, primary, tmp_path):
+        first = start_replica(primary, tmp_path, name="r1")
+        second = start_replica(primary, tmp_path, name="r2")
+        try:
+            with fanout_client(primary, first, second) as client:
+                write(primary, client, 0, 314)
+                converge(first, primary)
+                converge(second, primary)
+                assert (314,) in client.query_ro(QUERY)
+                first.stop()
+                # every subsequent read lands on the survivor
+                for _ in range(4):
+                    assert (314,) in client.query_ro(QUERY)
+                served = second.stats()["counters"]["server.query_ro"]
+                assert served >= 4
+        finally:
+            first.stop()
+            second.stop()
+
+    def test_total_replica_outage_falls_back_to_the_primary(
+        self, primary, tmp_path
+    ):
+        replica = start_replica(primary, tmp_path)
+        with fanout_client(primary, replica) as client:
+            write(primary, client, 0, 271)
+            converge(replica, primary)
+            replica.stop()
+            rows = client.query_ro(QUERY)
+            assert (271,) in rows
+            assert client.last_ro_epoch == primary.amos.storage.snapshot_epoch
+            assert primary.stats()["counters"]["server.query_ro"] >= 1
+
+    def test_dead_replicas_and_no_primary_raise_server_error(
+        self, primary, tmp_path
+    ):
+        replica = start_replica(primary, tmp_path)
+        client = fanout_client(primary, replica, freshness_timeout=0.3)
+        replica.stop()
+        client._drop()  # primary connection gone too
+        with pytest.raises(ServerError, match="no replica"):
+            client.query_ro(QUERY)
+        client.close()
+
+    def test_pinned_epoch_waits_out_replica_lag(self, primary, tmp_path):
+        """A pinned-epoch read for an epoch the replica has not applied
+        yet retries (it is lag, not an error) until it is published."""
+        replica = start_replica(primary, tmp_path)
+        try:
+            with fanout_client(primary, replica) as client:
+                write(primary, client, 0, 111)
+                converge(replica, primary)
+
+                release = threading.Event()
+                parked = threading.Event()
+
+                def park():
+                    with replica._engine_lock:
+                        parked.set()
+                        release.wait(10.0)
+
+                blocker = threading.Thread(target=park, daemon=True)
+                blocker.start()
+                assert parked.wait(5.0)
+                write(primary, client, 0, 222)
+                pinned = primary.amos.storage.snapshot_epoch
+
+                def unpark():
+                    time.sleep(0.3)
+                    release.set()
+
+                threading.Thread(target=unpark, daemon=True).start()
+                rows = client.query_ro(
+                    QUERY, epoch=pinned, min_epoch=pinned,
+                    freshness_timeout=10.0,
+                )
+                assert (222,) in rows
+                assert client.last_ro_epoch == pinned
+                blocker.join(timeout=5.0)
+        finally:
+            replica.stop()

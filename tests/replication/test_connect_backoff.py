@@ -1,0 +1,109 @@
+"""``AmosClient.connect()`` robustness (ISSUE 7 satellite).
+
+A refused connection — a server still booting, the normal race in every
+replica/benchmark startup — is retried with exponential backoff; any
+other socket error fails fast.  Either way the error names the target.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServerError
+from repro.server import client as client_module
+from repro.server import protocol
+from repro.server.client import AmosClient
+
+
+class TestBackoff:
+    def refusing_client(self, monkeypatch, error, **kwargs):
+        """A client whose dials always fail with ``error``; sleeps are
+        recorded instead of slept."""
+        calls = {"dials": 0}
+        sleeps = []
+
+        def refuse(address, timeout=None):
+            calls["dials"] += 1
+            raise error
+
+        monkeypatch.setattr(
+            client_module.socket, "create_connection", refuse
+        )
+        monkeypatch.setattr(
+            client_module.time, "sleep", lambda s: sleeps.append(s)
+        )
+        client = AmosClient("198.51.100.7", 4900, **kwargs)
+        return client, calls, sleeps
+
+    def test_refused_connections_back_off_exponentially(self, monkeypatch):
+        client, calls, sleeps = self.refusing_client(
+            monkeypatch,
+            ConnectionRefusedError(),
+            connect_retries=6,
+            retry_delay=0.01,
+            retry_backoff=2.0,
+            max_retry_delay=0.05,
+        )
+        with pytest.raises(ServerError) as excinfo:
+            client.connect()
+        assert calls["dials"] == 7  # initial try + 6 retries
+        # doubling from 10ms, capped at 50ms; no sleep after the last try
+        assert sleeps == [0.01, 0.02, 0.04, 0.05, 0.05, 0.05]
+        message = str(excinfo.value)
+        assert "198.51.100.7:4900" in message
+        assert "7 attempt(s)" in message
+
+    def test_non_refused_errors_fail_fast(self, monkeypatch):
+        client, calls, sleeps = self.refusing_client(
+            monkeypatch,
+            OSError("network unreachable"),
+            connect_retries=6,
+        )
+        with pytest.raises(ServerError) as excinfo:
+            client.connect()
+        assert calls["dials"] == 1
+        assert sleeps == []
+        assert "198.51.100.7:4900" in str(excinfo.value)
+        assert "network unreachable" in str(excinfo.value)
+
+    def test_zero_retries_fails_on_the_first_refusal(self, monkeypatch):
+        client, calls, sleeps = self.refusing_client(
+            monkeypatch, ConnectionRefusedError(), connect_retries=0
+        )
+        with pytest.raises(ServerError, match="1 attempt"):
+            client.connect()
+        assert calls["dials"] == 1
+        assert sleeps == []
+
+    def test_connect_succeeds_once_the_server_appears(self):
+        """Real sockets: dial a port nothing listens on yet, bring the
+        listener up while the client is mid-backoff."""
+        placeholder = socket.socket()
+        placeholder.bind(("127.0.0.1", 0))
+        host, port = placeholder.getsockname()[:2]
+        placeholder.close()  # free the port; nothing listens now
+
+        def late_server():
+            time.sleep(0.2)
+            listener = socket.socket()
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((host, port))
+            listener.listen(1)
+            conn, _ = listener.accept()
+            protocol.write_frame(
+                conn,
+                {"ok": True, "event": "hello", "session": "s1", "version": 4},
+            )
+            conn.close()
+            listener.close()
+
+        thread = threading.Thread(target=late_server, daemon=True)
+        thread.start()
+        client = AmosClient(
+            host, port, connect_retries=100, retry_delay=0.02
+        )
+        assert client.connect() == "s1"
+        client._drop()
+        thread.join(timeout=5.0)

@@ -1,0 +1,187 @@
+"""Wire-level tests of the replicate handshake and the push stream.
+
+These speak the protocol with a raw socket — no ReplicaServer — to pin
+the contract a third-party follower would code against: the handshake
+ack (resume point negotiation, error shapes), WAL batches starting at
+exactly the negotiated resume LSN, and heartbeats while idle.
+"""
+
+import socket
+
+from repro.server import protocol
+from repro.server.client import AmosClient
+
+
+def dial(server):
+    sock = socket.create_connection(server.address, timeout=10.0)
+    sock.settimeout(10.0)
+    hello = protocol.read_frame(sock, protocol.MAX_FRAME)
+    assert hello["event"] == "hello"
+    return sock
+
+
+def commit_n(primary, n, start=200):
+    with AmosClient(*primary.address) as client:
+        client.bind("i0", primary.workload.items[0])
+        for step in range(n):
+            client.execute(f"set quantity(:i0) = {start + step};")
+
+
+class TestHandshake:
+    def test_fresh_follower_resumes_at_zero(self, primary):
+        commit_n(primary, 3)
+        sock = dial(primary)
+        try:
+            protocol.write_frame(
+                sock, {"id": 1, "op": "replicate", "last_lsn": -1}
+            )
+            ack = protocol.read_frame(sock, protocol.MAX_FRAME)
+            assert ack["ok"] is True
+            assert ack["event"] == "replicate"
+            assert ack["resume_lsn"] == 0
+            assert ack["next_lsn"] == primary.amos.wal.next_lsn
+            assert ack["epoch"] == primary.amos.storage.snapshot_epoch
+        finally:
+            sock.close()
+
+    def test_follower_ahead_of_primary_is_refused(self, primary):
+        commit_n(primary, 1)
+        sock = dial(primary)
+        try:
+            protocol.write_frame(
+                sock, {"id": 1, "op": "replicate", "last_lsn": 10_000}
+            )
+            ack = protocol.read_frame(sock, protocol.MAX_FRAME)
+            assert ack["ok"] is False
+            assert ack["error"]["type"] == "ReplicationError"
+            assert "ahead of this primary" in ack["error"]["message"]
+        finally:
+            sock.close()
+
+    def test_malformed_last_lsn_is_refused(self, primary):
+        for bad in ("zero", -2, 1.5, None):
+            sock = dial(primary)
+            try:
+                protocol.write_frame(
+                    sock, {"id": 1, "op": "replicate", "last_lsn": bad}
+                )
+                ack = protocol.read_frame(sock, protocol.MAX_FRAME)
+                assert ack["ok"] is False, bad
+                assert ack["error"]["type"] == "ReplicationError"
+            finally:
+                sock.close()
+
+    def test_replicate_on_wal_less_server_names_the_flag(self):
+        from repro.server.server import AmosServer
+
+        from .conftest import make_workload
+
+        server = AmosServer(amos=make_workload().amos)
+        server.start()
+        try:
+            sock = dial(server)
+            try:
+                protocol.write_frame(
+                    sock, {"id": 1, "op": "replicate", "last_lsn": -1}
+                )
+                ack = protocol.read_frame(sock, protocol.MAX_FRAME)
+                assert ack["ok"] is False
+                assert "--wal-dir" in ack["error"]["message"]
+            finally:
+                sock.close()
+        finally:
+            server.stop()
+
+
+class TestStream:
+    def read_until(self, sock, event, limit=50):
+        for _ in range(limit):
+            frame = protocol.read_frame(sock, protocol.MAX_FRAME)
+            assert frame is not None
+            if frame["event"] == event:
+                return frame
+        raise AssertionError(f"no {event!r} frame within {limit} frames")
+
+    def test_wal_batches_start_at_the_negotiated_resume_point(self, primary):
+        commit_n(primary, 4)
+        sock = dial(primary)
+        try:
+            protocol.write_frame(
+                sock, {"id": 1, "op": "replicate", "last_lsn": 1}
+            )
+            ack = protocol.read_frame(sock, protocol.MAX_FRAME)
+            assert ack["resume_lsn"] == 2
+            frame = self.read_until(sock, "wal")
+            lsns = [record["lsn"] for record in frame["records"]]
+            assert lsns[0] == 2
+            assert lsns == list(range(2, 2 + len(lsns)))
+            assert frame["next_lsn"] == lsns[-1] + 1
+        finally:
+            sock.close()
+
+    def test_live_appends_are_pushed(self, primary):
+        sock = dial(primary)
+        try:
+            protocol.write_frame(
+                sock, {"id": 1, "op": "replicate", "last_lsn": -1}
+            )
+            ack = protocol.read_frame(sock, protocol.MAX_FRAME)
+            assert ack["ok"] is True
+            before = primary.amos.wal.next_lsn
+            commit_n(primary, 2)
+            seen = []
+            while len(seen) < primary.amos.wal.next_lsn:
+                frame = self.read_until(sock, "wal")
+                seen.extend(record["lsn"] for record in frame["records"])
+            assert seen == list(range(primary.amos.wal.next_lsn))
+            assert before < len(seen)
+        finally:
+            sock.close()
+
+    def test_heartbeats_flow_while_idle(self, primary):
+        commit_n(primary, 1)
+        primary.replication_hub.heartbeat_interval = 0.05
+        sock = dial(primary)
+        try:
+            protocol.write_frame(
+                sock, {"id": 1, "op": "replicate", "last_lsn": -1}
+            )
+            ack = protocol.read_frame(sock, protocol.MAX_FRAME)
+            assert ack["ok"] is True
+            heartbeat = self.read_until(sock, "heartbeat")
+            assert heartbeat["next_lsn"] == primary.amos.wal.next_lsn
+            assert heartbeat["epoch"] == primary.amos.storage.snapshot_epoch
+            # heartbeats keep coming
+            again = self.read_until(sock, "heartbeat")
+            assert again["next_lsn"] >= heartbeat["next_lsn"]
+        finally:
+            sock.close()
+
+    def test_subscriber_appears_in_hub_listing_and_stats(self, primary):
+        commit_n(primary, 1)
+        assert primary.replication_hub.subscriber_count == 0
+        sock = dial(primary)
+        try:
+            protocol.write_frame(
+                sock, {"id": 1, "op": "replicate", "last_lsn": -1}
+            )
+            ack = protocol.read_frame(sock, protocol.MAX_FRAME)
+            assert ack["ok"] is True
+            self.read_until(sock, "wal")
+            assert primary.replication_hub.subscriber_count == 1
+            (info,) = primary.stats()["replication"]
+            assert info["start_lsn"] == 0
+            assert info["last_sent_lsn"] >= 0
+            assert info["records"] >= 1
+        finally:
+            sock.close()
+        # disconnect unregisters (the handler thread notices the close)
+        import time
+
+        deadline = time.monotonic() + 5.0
+        while (
+            primary.replication_hub.subscriber_count
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.02)
+        assert primary.replication_hub.subscriber_count == 0

@@ -1,0 +1,38 @@
+"""Port hygiene across every socket-spawning suite (ISSUE 7 satellite).
+
+Flaky CI follows from hardcoded listen ports: two test processes (or a
+leaked server from an earlier failure) collide on bind.  The rule is
+that every test server binds port 0 and reads the OS-assigned port back
+from ``server.address``.  This meta-test audits the suites' sources so
+a hardcoded port can't creep back in.
+"""
+
+import pathlib
+import re
+
+SUITES = ("tests/server", "tests/replication", "benchmarks")
+
+#: ``port=<literal>`` with anything but 0 is a hardcoded listen port
+HARDCODED_PORT = re.compile(r"\bport\s*=\s*(?!0\b)\d+")
+
+
+def repo_root():
+    return pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_no_suite_hardcodes_a_listen_port():
+    offenders = []
+    for suite in SUITES:
+        directory = repo_root() / suite
+        if not directory.is_dir():
+            continue
+        for path in sorted(directory.rglob("*.py")):
+            for number, line in enumerate(
+                path.read_text().splitlines(), start=1
+            ):
+                if HARDCODED_PORT.search(line):
+                    offenders.append(f"{path}:{number}: {line.strip()}")
+    assert not offenders, (
+        "hardcoded listen ports (bind port 0 and read server.address "
+        "instead):\n" + "\n".join(offenders)
+    )

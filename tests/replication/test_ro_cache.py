@@ -1,0 +1,148 @@
+"""The replica's epoch-keyed ``query_ro`` result cache.
+
+A replica is a read-optimized node: a published epoch names one
+immutable snapshot, so ``(script, epoch, session binds)`` fully
+determines a read's bytes and caching them is sound by construction.
+The properties under test:
+
+* a hit returns byte-identical rows AND the same served epoch,
+* an applied commit advances the epoch, which IS the invalidation —
+  a reader can never see pre-commit rows after convergence,
+* sessions with different bind environments never share entries,
+* capacity is enforced (LRU), and ``ro_cache_size=0`` disables the
+  cache entirely (the primary never has one).
+"""
+
+from repro.server.client import AmosClient
+
+from .test_replica import converge, primary_client, start_replica
+
+QUERY = "select q for each item i, integer q where quantity(i) = q"
+
+
+def counter(replica, name):
+    return replica.stats()["counters"].get(name, 0)
+
+
+class TestHits:
+    def test_hit_returns_identical_rows_and_epoch(self, primary, tmp_path):
+        replica = start_replica(primary, tmp_path)
+        try:
+            with primary_client(primary) as writer:
+                writer.execute("set quantity(:i0) = 123;")
+            converge(replica, primary)
+            with AmosClient(*replica.address) as reader:
+                first = reader.query_ro(QUERY)
+                first_epoch = reader.last_ro_epoch
+                second = reader.query_ro(QUERY)
+                assert second == first
+                assert reader.last_ro_epoch == first_epoch
+            assert counter(replica, "replica.cache_misses") == 1
+            assert counter(replica, "replica.cache_hits") == 1
+            assert replica.stats()["replica"]["ro_cache"]["size"] == 1
+        finally:
+            replica.stop()
+
+    def test_two_sessions_share_the_cache(self, primary, tmp_path):
+        replica = start_replica(primary, tmp_path)
+        try:
+            converge(replica, primary)
+            with AmosClient(*replica.address) as one:
+                one.query_ro(QUERY)
+            with AmosClient(*replica.address) as two:
+                two.query_ro(QUERY)
+            assert counter(replica, "replica.cache_misses") == 1
+            assert counter(replica, "replica.cache_hits") == 1
+        finally:
+            replica.stop()
+
+
+class TestInvalidation:
+    def test_applied_commit_invalidates_by_epoch(self, primary, tmp_path):
+        replica = start_replica(primary, tmp_path)
+        try:
+            with primary_client(primary) as writer:
+                writer.execute("set quantity(:i0) = 111;")
+                converge(replica, primary)
+                with AmosClient(*replica.address) as reader:
+                    before = reader.query_ro(QUERY)
+                    assert (111,) in before
+                    writer.execute("set quantity(:i0) = 222;")
+                    converge(replica, primary)
+                    after = reader.query_ro(QUERY)
+                    assert (222,) in after
+                    assert (111,) not in after
+            # three distinct epochs served -> three misses, no stale hit
+            assert counter(replica, "replica.cache_hits") == 0
+        finally:
+            replica.stop()
+
+    def test_epoch_pinned_reads_hit_their_own_entries(self, primary, tmp_path):
+        replica = start_replica(primary, tmp_path)
+        try:
+            with primary_client(primary) as writer:
+                writer.execute("set quantity(:i0) = 111;")
+            converge(replica, primary)
+            with AmosClient(*replica.address) as reader:
+                reader.query_ro(QUERY)
+                pinned = reader.last_ro_epoch
+                again = reader.query_ro(QUERY, epoch=pinned)
+                assert (111,) in again
+            assert counter(replica, "replica.cache_hits") == 1
+        finally:
+            replica.stop()
+
+
+class TestBinds:
+    def test_sessions_with_different_binds_do_not_share(
+        self, primary, tmp_path
+    ):
+        items = primary.workload.items
+        with primary_client(primary) as writer:
+            writer.execute("set quantity(:i0) = 111;")
+            writer.execute("set quantity(:i1) = 222;")
+        replica = start_replica(primary, tmp_path)
+        try:
+            converge(replica, primary)
+            query = "select q for each integer q where quantity(:x) = q"
+            with AmosClient(*replica.address) as one:
+                one.bind("x", items[0])
+                assert one.query_ro(query) == [(111,)]
+            with AmosClient(*replica.address) as two:
+                two.bind("x", items[1])
+                assert two.query_ro(query) == [(222,)]
+            assert counter(replica, "replica.cache_misses") == 2
+            assert counter(replica, "replica.cache_hits") == 0
+        finally:
+            replica.stop()
+
+
+class TestCapacity:
+    def test_lru_eviction_respects_capacity(self, primary, tmp_path):
+        replica = start_replica(primary, tmp_path, ro_cache_size=2)
+        try:
+            converge(replica, primary)
+            with AmosClient(*replica.address) as reader:
+                for name in ("quantity", "max_stock", "min_stock"):
+                    reader.query_ro(
+                        f"select q for each item i, integer q "
+                        f"where {name}(i) = q"
+                    )
+            stats = replica.stats()["replica"]["ro_cache"]
+            assert stats == {"size": 2, "capacity": 2}
+        finally:
+            replica.stop()
+
+    def test_zero_capacity_disables_the_cache(self, primary, tmp_path):
+        replica = start_replica(primary, tmp_path, ro_cache_size=0)
+        try:
+            converge(replica, primary)
+            with AmosClient(*replica.address) as reader:
+                first = reader.query_ro(QUERY)
+                assert reader.query_ro(QUERY) == first
+            counters = replica.stats()["counters"]
+            assert "replica.cache_hits" not in counters
+            assert "replica.cache_misses" not in counters
+            assert replica.stats()["replica"]["ro_cache"]["capacity"] == 0
+        finally:
+            replica.stop()

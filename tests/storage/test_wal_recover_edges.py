@@ -1,0 +1,77 @@
+"""recover() edge cases the fault ring never generates (ISSUE 7).
+
+The fault-injection oracle always crashes a log that saw at least some
+traffic; these pin the degenerate directory shapes a deployment can
+still produce — a WAL directory that exists but was never written, a
+crash at the instant segment 1 was created (zero bytes), and a
+rotation that created the next segment but died before its first
+record.
+"""
+
+import os
+
+from repro.amos.database import AmosDatabase
+from repro.storage.wal import WriteAheadLog, recover
+
+
+def make_amos():
+    amos = AmosDatabase(explain=True)
+    amos.create_type("item")
+    amos.create_stored_function("quantity", ("item",), ("integer",))
+    return amos
+
+
+class TestRecoverEdges:
+    def test_empty_wal_directory(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        wal_dir.mkdir()
+        amos = recover(str(wal_dir), amos=make_amos())
+        assert amos.wal is not None
+        report = amos.wal.last_recovery
+        assert report.records == 0
+        assert report.commits == 0
+        assert amos.wal.next_lsn == 0
+        # the recovered (empty) log accepts appends normally
+        amos.storage.auto_publish = True
+        obj = amos.create_object("item")
+        with amos.transaction():
+            amos.set_value("quantity", (obj,), 7)
+        assert amos.wal.next_lsn >= 1
+        amos.detach_wal()
+
+    def test_directory_with_only_a_zero_byte_segment(self, tmp_path):
+        # crash after creat() of wal-00000001.log, before any frame
+        path = tmp_path / "wal-00000001.log"
+        path.write_bytes(b"")
+        amos = recover(str(tmp_path), amos=make_amos())
+        report = amos.wal.last_recovery
+        assert report.records == 0
+        assert report.truncated_bytes == 0
+        assert amos.wal.next_lsn == 0
+        record = amos.wal.append_commit(1, {})
+        assert record.lsn == 0
+        amos.detach_wal()
+
+    def test_single_record_segment_then_empty_rotated_segment(self, tmp_path):
+        # build one real record, then simulate a rotation that died
+        # right after creating the next (empty) segment
+        with WriteAheadLog(str(tmp_path)) as wal:
+            wal.append_commit(1, {})
+            paths = wal.segment_paths()
+            assert len(paths) == 1
+        empty_next = os.path.join(
+            str(tmp_path), os.path.basename(paths[0]).replace("01", "02")
+        )
+        with open(empty_next, "wb"):
+            pass
+        amos = recover(str(tmp_path), amos=make_amos())
+        report = amos.wal.last_recovery
+        assert report.records == 1
+        assert report.commits == 1
+        assert amos.wal.next_lsn == 1
+        # appends continue in the empty rotated segment, gaplessly
+        record = amos.wal.append_commit(2, {})
+        assert record.lsn == 1
+        replay = [r.lsn for r in amos.wal.records()]
+        assert replay == [0, 1]
+        amos.detach_wal()

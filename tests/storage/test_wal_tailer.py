@@ -1,0 +1,192 @@
+"""Unit tests for the WAL follow API (WalTailer, wait_for_lsn).
+
+The tailer is the primary half of replication: it reads committed
+frames straight off the segment files — concurrently with the appender
+— and blocks for new ones.  These tests pin the mechanics: ordering,
+segment hand-off during rotation, torn-tail tolerance (a partially
+written frame stops the poll in front of it and is read once whole),
+resume from an arbitrary start LSN, and clean shutdown semantics.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.algebra.delta import DeltaSet
+from repro.errors import WalError
+from repro.storage.wal import (
+    WalRecord,
+    WalTailer,
+    WriteAheadLog,
+    encode_frame,
+)
+
+
+def append_n(wal, n, start_epoch=1):
+    return [wal.append_commit(start_epoch + i, {}) for i in range(n)]
+
+
+class TestPoll:
+    def test_poll_returns_existing_records_in_order(self, tmp_path):
+        with WriteAheadLog(str(tmp_path)) as wal:
+            append_n(wal, 5)
+            tailer = WalTailer(wal)
+            records = tailer.poll()
+            assert [r.lsn for r in records] == [0, 1, 2, 3, 4]
+            assert tailer.last_lsn == 4
+            assert tailer.poll() == []
+
+    def test_poll_crosses_segment_rotation(self, tmp_path):
+        with WriteAheadLog(str(tmp_path), segment_bytes=128) as wal:
+            tailer = WalTailer(wal)
+            append_n(wal, 8)
+            assert wal.rotations > 0
+            records = []
+            while True:
+                batch = tailer.poll()
+                if not batch:
+                    break
+                records.extend(batch)
+            assert [r.lsn for r in records] == list(range(8))
+
+    def test_poll_respects_max_records(self, tmp_path):
+        with WriteAheadLog(str(tmp_path)) as wal:
+            append_n(wal, 6)
+            tailer = WalTailer(wal)
+            assert [r.lsn for r in tailer.poll(max_records=4)] == [0, 1, 2, 3]
+            assert [r.lsn for r in tailer.poll(max_records=4)] == [4, 5]
+
+    def test_start_lsn_skips_already_applied_records(self, tmp_path):
+        with WriteAheadLog(str(tmp_path)) as wal:
+            append_n(wal, 6)
+            tailer = WalTailer(wal, start_lsn=4)
+            assert [r.lsn for r in tailer.poll()] == [4, 5]
+
+    def test_start_lsn_mid_rotated_history(self, tmp_path):
+        with WriteAheadLog(str(tmp_path), segment_bytes=128) as wal:
+            append_n(wal, 9)
+            assert len(wal.segment_paths()) > 2
+            tailer = WalTailer(wal, start_lsn=5)
+            records = []
+            while True:
+                batch = tailer.poll()
+                if not batch:
+                    break
+                records.extend(batch)
+            assert [r.lsn for r in records] == [5, 6, 7, 8]
+
+    def test_torn_tail_frame_is_not_served_until_whole(self, tmp_path):
+        with WriteAheadLog(str(tmp_path)) as wal:
+            append_n(wal, 2)
+            tailer = WalTailer(wal)
+            assert len(tailer.poll()) == 2
+            # simulate the appender mid-write: half a frame at the tail
+            frame = encode_frame(WalRecord("commit", 2, {"epoch": 3}).payload())
+            path = wal.segment_paths()[-1]
+            with open(path, "ab") as handle:
+                handle.write(frame[: len(frame) // 2])
+            assert tailer.poll() == []  # stops IN FRONT of the torn frame
+            with open(path, "ab") as handle:
+                handle.write(frame[len(frame) // 2:])
+            records = tailer.poll()
+            assert [r.lsn for r in records] == [2]
+
+
+class TestBlocking:
+    def test_next_batch_blocks_until_append(self, tmp_path):
+        with WriteAheadLog(str(tmp_path)) as wal:
+            tailer = WalTailer(wal)
+            got = []
+
+            def consume():
+                got.extend(tailer.next_batch(timeout=5.0))
+
+            thread = threading.Thread(target=consume)
+            thread.start()
+            time.sleep(0.05)
+            wal.append_commit(1, {})
+            thread.join(timeout=5.0)
+            assert not thread.is_alive()
+            assert [r.lsn for r in got] == [0]
+
+    def test_next_batch_times_out_empty(self, tmp_path):
+        with WriteAheadLog(str(tmp_path)) as wal:
+            tailer = WalTailer(wal)
+            start = time.monotonic()
+            assert tailer.next_batch(timeout=0.05) == []
+            assert time.monotonic() - start < 2.0
+
+    def test_stop_unblocks_next_batch(self, tmp_path):
+        with WriteAheadLog(str(tmp_path)) as wal:
+            tailer = WalTailer(wal)
+            done = threading.Event()
+
+            def consume():
+                tailer.next_batch(timeout=30.0)
+                done.set()
+
+            thread = threading.Thread(target=consume, daemon=True)
+            thread.start()
+            time.sleep(0.05)
+            tailer.stop()
+            assert done.wait(5.0)
+
+    def test_close_unblocks_and_ends_iteration(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        append_n(wal, 3)
+        tailer = WalTailer(wal)
+        seen = []
+        done = threading.Event()
+
+        def consume():
+            for record in tailer:
+                seen.append(record.lsn)
+            done.set()
+
+        thread = threading.Thread(target=consume, daemon=True)
+        thread.start()
+        time.sleep(0.1)
+        wal.close()
+        assert done.wait(5.0)
+        assert seen == [0, 1, 2]
+
+    def test_wait_for_lsn(self, tmp_path):
+        with WriteAheadLog(str(tmp_path)) as wal:
+            append_n(wal, 2)
+            assert wal.wait_for_lsn(1, timeout=0.1)
+            assert not wal.wait_for_lsn(2, timeout=0.05)
+
+            def late_append():
+                time.sleep(0.05)
+                wal.append_commit(3, {})
+
+            threading.Thread(target=late_append, daemon=True).start()
+            assert wal.wait_for_lsn(2, timeout=5.0)
+
+
+class TestAppendRecord:
+    def test_append_record_replays_verbatim(self, tmp_path):
+        with WriteAheadLog(str(tmp_path)) as source:
+            source.append_catalog("create", "orders", 2, ("item", "amount"))
+            source.append_commit(1, {"orders": DeltaSet([(1, 2)], [])})
+            originals = list(source.records())
+        copy_dir = str(tmp_path / "copy")
+        with WriteAheadLog(copy_dir) as copy:
+            for record in originals:
+                copy.append_record(record)
+            assert [r.payload() for r in copy.records()] == [
+                r.payload() for r in originals
+            ]
+            assert copy.next_lsn == 2
+
+    def test_append_record_refuses_gaps(self, tmp_path):
+        with WriteAheadLog(str(tmp_path)) as wal:
+            wal.append_record(WalRecord("commit", 0, {"epoch": 1}))
+            with pytest.raises(WalError, match="gapless"):
+                wal.append_record(WalRecord("commit", 2, {"epoch": 2}))
+            with pytest.raises(WalError, match="gapless"):
+                wal.append_record(WalRecord("commit", 0, {"epoch": 1}))
+            wal.append_record(WalRecord("commit", 1, {"epoch": 2}))
+            assert wal.next_lsn == 2
