@@ -1,0 +1,104 @@
+"""Compare a fresh BENCH_shardedcheck.json against the committed baseline.
+
+CI's bench-regression gate for the sharded check phase, in two parts:
+
+* **serial regression** — the ``shards1`` series are today's default
+  path; their cost (ms/transaction) must not regress more than
+  ``--tolerance`` (default 25%) against the committed baseline.  The
+  sharded series are reported but not gated cell-by-cell: their
+  absolute cost is a function of the runner's core count, which the
+  baseline host may not share.
+* **speedup bar** — when the FRESH run had at least
+  ``meta.speedup_bar_min_cpus`` CPUs (CI's runners), the
+  massive-change speedup of shards4 over shards1 must clear
+  ``meta.speedup_bar`` (1.5x, the ISSUE-8 acceptance).  On narrower
+  hosts the bar is reported as informational — there is nothing to
+  propagate in parallel on.
+
+Usage::
+
+    python benchmarks/compare_shardedcheck.py BASELINE FRESH [--tolerance 0.25]
+
+Exit status 0 when every gate passes, 1 otherwise.  Re-baseline by
+committing the regenerated artifact together with the change that
+justifies it.
+"""
+
+import argparse
+import json
+import sys
+
+#: series prefix whose regression fails the gate (the default path)
+GATED_PREFIX = "shards1"
+
+
+def cells(payload):
+    return {
+        (row["series"], row["items"]): row["ms_per_transaction"]
+        for row in payload["rows"]
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as handle:
+        baseline = cells(json.load(handle))
+    with open(args.fresh) as handle:
+        fresh_payload = json.load(handle)
+    fresh = cells(fresh_payload)
+
+    failures = []
+    for key, base_ms in sorted(baseline.items()):
+        series, items = key
+        now_ms = fresh.get(key)
+        if now_ms is None:
+            failures.append(f"{series}@{items}: missing from fresh run")
+            continue
+        ratio = now_ms / base_ms if base_ms else float("inf")
+        gated = series.startswith(GATED_PREFIX)
+        verdict = "ok"
+        if gated and ratio > 1.0 + args.tolerance:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{series}@{items}: {base_ms:.4f} -> {now_ms:.4f} ms/txn "
+                f"({ratio:.2f}x, tolerance {1.0 + args.tolerance:.2f}x)"
+            )
+        print(
+            f"  {series}@{items}: baseline {base_ms:.4f} ms/txn, "
+            f"fresh {now_ms:.4f} ms/txn ({ratio:.2f}x) "
+            f"[{'gated' if gated else 'informational'}] {verdict}"
+        )
+
+    meta = fresh_payload.get("meta", {})
+    speedup = meta.get("speedup_shards4_massive")
+    cpus = meta.get("cpus", 1)
+    bar = meta.get("speedup_bar", 1.5)
+    min_cpus = meta.get("speedup_bar_min_cpus", 4)
+    if speedup is not None:
+        wide_enough = cpus >= min_cpus
+        print(
+            f"  shards4/shards1 massive speedup: {speedup:.2f}x on {cpus} "
+            f"cpu(s) [{'gated, bar %.1fx' % bar if wide_enough else 'informational, host too narrow'}]"
+        )
+        if wide_enough and speedup < bar:
+            failures.append(
+                f"sharded speedup {speedup:.2f}x below the {bar:.1f}x bar "
+                f"on a {cpus}-cpu host"
+            )
+
+    if failures:
+        print("\nbench-regression FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nbench-regression ok: all gated cells within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,8 @@ import time
 
 import pytest
 
+from benchmarks.conftest import CheckPhaseTimer, best_of
+
 from repro.bench.harness import Measurement, Sweep
 from repro.bench.workload import build_inventory
 
@@ -58,40 +60,10 @@ MASSIVE_TRIALS = 5
 ENGINES = {"legacy": False, "batch": True}
 
 
-class CheckPhaseTimer:
-    """Accumulates wall-clock seconds spent inside the monitoring
-    engine's ``process`` (= differential propagation), excluding the
-    update path and rule-action execution around it."""
-
-    def __init__(self, manager):
-        self.seconds = 0.0
-        engine = manager.engine
-        inner = engine.process
-
-        def timed(*args, **kwargs):
-            start = time.perf_counter()
-            try:
-                return inner(*args, **kwargs)
-            finally:
-                self.seconds += time.perf_counter() - start
-
-        engine.process = timed
-
-
 def build(n_items, batch):
     workload = build_inventory(n_items, mode="incremental", batch=batch)
     workload.activate()
     return workload
-
-
-def best_of(trials, run_trial):
-    """(best check-phase seconds, best full-transaction seconds)."""
-    best_check = best_total = float("inf")
-    for _ in range(trials):
-        check, total = run_trial()
-        best_check = min(best_check, check)
-        best_total = min(best_total, total)
-    return best_check, best_total
 
 
 def steady_cell(series, n_items, batch):

@@ -1,0 +1,181 @@
+"""Sharded vs serial check phase: shards ∈ {1, 2, 4} at 5000 items.
+
+The ISSUE-8 tentpole benchmark.  All shard counts run the SAME
+compiled batch propagation; ``shards>1`` hash-partitions each wave's
+Δ-map across forked workers and pays fork + pickle-exchange for the
+chance to propagate partitions concurrently (docs/SHARDING.md).
+
+Two workload shapes at 5000 items:
+
+* **massive** — Fig. 7's transaction updating 3 functions of ALL
+  items: a size-O(n) delta, the case sharding exists for.  Acceptance:
+  ``shards4-massive`` ≥ 1.5x the check-phase throughput of
+  ``shards1-massive`` — asserted ONLY on hosts with ≥ 4 CPUs (CI's
+  runners); on smaller hosts the measurement still runs and lands in
+  the artifact, where a speedup below 1 honestly shows the fork +
+  exchange overhead with no parallel propagation to pay for it.
+* **churn** — threshold-crossing single-item transactions.  Tiny
+  deltas: the per-commit fork dominates and serial SHOULD win — the
+  cell documents the cost of sharding small transactions (why
+  ``shards=1`` is the default; see docs/SHARDING.md).
+
+Timing wraps the engine's ``process`` attribute
+(:class:`benchmarks.conftest.CheckPhaseTimer`), so the sharded series
+honestly include worker forking and both exchange directions.
+
+Persists ``BENCH_shardedcheck.json`` — the committed copy at the repo
+root is the baseline CI's bench-regression job compares against
+(``benchmarks/compare_shardedcheck.py``; only the ``shards1`` series
+gate on regression, the speedup bar gates only on ≥ 4-CPU hosts).
+
+Run:  pytest benchmarks/test_bench_shardedcheck.py -s
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import CheckPhaseTimer, best_of
+
+from repro.bench.harness import Measurement, Sweep
+from repro.bench.workload import build_inventory
+
+SIZE = 5000
+SHARD_COUNTS = [1, 2, 4]
+MASSIVE_TRIALS = 3
+CHURN_TXNS = 30
+CHURN_TRIALS = 3
+#: the acceptance bar (ISSUE 8) and the host width it applies on
+SPEEDUP_BAR = 1.5
+MIN_CPUS_FOR_BAR = 4
+
+
+def build(shards):
+    workload = build_inventory(SIZE, mode="incremental", shards=shards)
+    workload.activate()
+    return workload
+
+
+def massive_cell(shards):
+    workload = build(shards)
+    workload.massive_change()  # warm indexes, plan caches
+    timer = CheckPhaseTimer(workload.amos.rules)
+
+    def trial():
+        timer.seconds = 0.0
+        start = time.perf_counter()
+        workload.massive_change()
+        return timer.seconds, time.perf_counter() - start
+
+    check, total = best_of(MASSIVE_TRIALS, trial)
+    return Measurement(f"shards{shards}-massive", SIZE, check, 1), total
+
+
+def churn_cell(shards):
+    workload = build(shards)
+    for step in range(10):
+        workload.touch_one_item(step, below=(step % 2 == 0))
+    timer = CheckPhaseTimer(workload.amos.rules)
+    counter = [10]
+
+    def trial():
+        timer.seconds = 0.0
+        start = time.perf_counter()
+        for _ in range(CHURN_TXNS):
+            step = counter[0]
+            workload.touch_one_item(step, below=(step % 2 == 0))
+            counter[0] += 1
+        return timer.seconds, time.perf_counter() - start
+
+    check, total = best_of(CHURN_TRIALS, trial)
+    assert workload.orders, "churn workload must actually fire the rule"
+    return (
+        Measurement(f"shards{shards}-churn", SIZE, check, CHURN_TXNS),
+        total / CHURN_TXNS,
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    result = Sweep(
+        "check phase — serial (shards1) vs sharded fan-out, ms/transaction"
+    )
+    full_txn_ms = {}
+    for shards in SHARD_COUNTS:
+        cell, full = massive_cell(shards)
+        result.add(cell)
+        full_txn_ms[f"shards{shards}-massive@{SIZE}"] = full * 1000
+        cell, full = churn_cell(shards)
+        result.add(cell)
+        full_txn_ms[f"shards{shards}-churn@{SIZE}"] = full * 1000
+    print()
+    print(result.format_table())
+    speedup = result.ratio("shards1-massive", "shards4-massive", SIZE)
+    cpus = os.cpu_count() or 1
+    print(
+        f"  massive-change speedup shards4 over shards1 at {SIZE} items: "
+        f"{speedup:.2f}x on {cpus} cpu(s)"
+    )
+    artifact = result.persist(
+        "shardedcheck",
+        meta={
+            "cpus": cpus,
+            "massive_trials": MASSIVE_TRIALS,
+            "churn_transactions": CHURN_TXNS,
+            "full_transaction_ms": full_txn_ms,
+            "speedup_shards4_massive": speedup,
+            "speedup_bar": SPEEDUP_BAR,
+            "speedup_bar_min_cpus": MIN_CPUS_FOR_BAR,
+        },
+    )
+    print(f"wrote {artifact}")
+    return result
+
+
+class TestShardedCheckPhase:
+    def test_shards4_speedup_on_wide_hosts(self, sweep):
+        """The acceptance cell: ≥ 1.5x massive-change check-phase
+        throughput at 4 shards — only meaningful with ≥ 4 CPUs to
+        propagate on (CI's runners); narrower hosts measure and record
+        but cannot assert parallel speedup they physically lack."""
+        ratio = sweep.ratio("shards1-massive", "shards4-massive", SIZE)
+        assert ratio is not None and ratio > 0
+        if (os.cpu_count() or 1) >= MIN_CPUS_FOR_BAR:
+            assert ratio >= SPEEDUP_BAR, ratio
+
+    def test_every_cell_measured(self, sweep):
+        names = {m.series for m in sweep.measurements}
+        assert names == {
+            f"shards{n}-{shape}"
+            for n in SHARD_COUNTS
+            for shape in ("massive", "churn")
+        }
+
+    def test_sharding_loses_on_churn_but_stays_bounded(self, sweep):
+        """Tiny-delta commits pay fork + exchange for nothing: serial
+        MUST win churn (that's why ``shards=1`` is the default), and
+        the absolute sharded cost must stay bounded — under 250 ms per
+        single-item commit even on a narrow host (measured ~5-10 ms on
+        dev hosts; the ratio to serial is host-dependent enough that
+        only the absolute ceiling is portable)."""
+        ratio = sweep.ratio("shards4-churn", "shards1-churn", SIZE)
+        assert ratio is not None and ratio > 1.0, ratio
+        cell = sweep.cell("shards4-churn", SIZE)
+        assert cell.seconds_per_transaction < 0.250, cell
+
+    def test_persists_artifact(self, sweep):
+        path = os.path.join(
+            os.environ.get(
+                "REPRO_BENCH_DIR",
+                os.path.join(os.path.dirname(__file__), ".."),
+            ),
+            "BENCH_shardedcheck.json",
+        )
+        assert os.path.exists(path)
+        with open(path) as handle:
+            on_disk = json.load(handle)
+        assert on_disk["meta"]["cpus"] >= 1
+        series = {row["series"] for row in on_disk["rows"]}
+        assert {"shards1-massive", "shards4-massive", "shards1-churn"} <= series

@@ -64,6 +64,12 @@ class DeltaSet:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("DeltaSet is immutable")
 
+    def __reduce__(self):
+        # the frozen __setattr__ breaks pickle's default slot-state
+        # restore; rebuild through __init__ instead (shard workers ship
+        # delta-sets across process pipes)
+        return (DeltaSet, (self.plus, self.minus))
+
     # -- algebra ----------------------------------------------------------
 
     def union(self, other: "DeltaSet") -> "DeltaSet":

@@ -71,6 +71,11 @@ class AmosDatabase:
         traces; read them with :meth:`last_check_stats` and
         :meth:`last_check_trace` (see :mod:`repro.obs` and
         ``docs/OBSERVABILITY.md``).
+    shards:
+        (via ``manager_options``) fan the check phase out to N forked
+        propagation workers with a merge barrier (:mod:`repro.shard`,
+        ``docs/SHARDING.md``).  The default 1 is bit-for-bit the
+        serial engine; N > 1 requires ``mode="incremental"``.
     """
 
     def __init__(
@@ -100,6 +105,11 @@ class AmosDatabase:
         #: :meth:`open_wal` / :meth:`attach_wal` and docs/DURABILITY.md
         self.wal = None
         self._wal_last_epoch = 0
+
+    @property
+    def shards(self) -> int:
+        """Worker count of the sharded check phase (1 = serial)."""
+        return self.rules.shards
 
     # -- types and objects -------------------------------------------------------
 

@@ -24,6 +24,12 @@ class OID:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("OID is immutable")
 
+    def __reduce__(self):
+        # the frozen __setattr__ breaks pickle's default slot-state
+        # restore; rebuild through __init__ instead (OIDs ride in the
+        # rows that shard workers exchange over process pipes)
+        return (OID, (self.id, self.type_name))
+
     def __eq__(self, other: object) -> bool:
         return isinstance(other, OID) and other.id == self.id
 

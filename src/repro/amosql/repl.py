@@ -241,6 +241,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "accepts connections (see docs/DURABILITY.md)",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="server only: fan each commit's check phase out to N "
+        "forked propagation workers with a merge barrier "
+        "(see docs/SHARDING.md); 1 = serial",
+    )
+    parser.add_argument(
         "--replicate-from",
         metavar="HOST:PORT",
         default=None,
@@ -295,6 +304,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             idle_timeout=options.idle_timeout,
             group_commit=options.group_commit,
             wal_dir=options.wal_dir,
+            shards=options.shards,
         )
     repl = Repl(mode=options.mode)
     if options.script:

@@ -71,6 +71,14 @@ class MonitoringEngine:
         live one.
         """
 
+    def finish_phase(self) -> None:
+        """The check phase this engine served is over (commit or abort).
+
+        Engines that hold per-phase resources (the sharded engine's
+        forked worker pool) release them here; the manager calls it
+        from the check phase's ``finally``.  Default: nothing to do.
+        """
+
     @property
     def last_trace(self) -> Optional[PropagationTrace]:
         return None

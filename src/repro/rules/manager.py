@@ -69,6 +69,13 @@ class RuleManager:
         check phase, exposed via :meth:`last_check_stats` and
         ``last_check_trace``.  Tees into any globally installed
         registry, so benchmarks can aggregate across commits.
+    shards:
+        Fan the check phase out to N forked propagation workers
+        (:mod:`repro.shard`, docs/SHARDING.md); requires
+        ``mode="incremental"``.  1 (the default) is bit-for-bit the
+        serial engine.  ``shard_options`` passes extra keyword
+        arguments (``key_columns``, ``wave_timeout``) through to
+        :class:`~repro.shard.engine.ShardedEngine`.
     """
 
     def __init__(
@@ -85,9 +92,18 @@ class RuleManager:
         processing: str = "deferred",
         observe: bool = False,
         batch: bool = True,
+        shards: int = 1,
+        shard_options: Optional[Dict] = None,
     ) -> None:
         if processing not in ("deferred", "immediate"):
             raise RuleError(f"unknown processing mode {processing!r}")
+        if shards < 1:
+            raise RuleError(f"need at least one shard, got {shards}")
+        if shards > 1 and mode != "incremental":
+            raise RuleError(
+                f"sharded check phase requires mode='incremental' "
+                f"(partial differencing partitions; {mode!r} does not)"
+            )
         self.db = db
         self.program = program
         self.mode = mode
@@ -116,8 +132,23 @@ class RuleManager:
         #: [to] perform different actions depending on what has
         #: happened").  None outside action execution.
         self.current_firing: Optional[FiredRule] = None
-        if mode == "incremental":
-            self.engine: MonitoringEngine = IncrementalEngine(
+        #: worker processes of the sharded check phase (1 = serial)
+        self.shards = shards
+        if shards > 1:
+            # local import: repro.shard imports repro.rules.engines
+            from repro.shard.engine import ShardedEngine
+
+            self.engine: MonitoringEngine = ShardedEngine(
+                db,
+                program,
+                shards=shards,
+                shared_nodes=shared_nodes,
+                negatives=negatives,
+                batch=batch,
+                **(shard_options or {}),
+            )
+        elif mode == "incremental":
+            self.engine = IncrementalEngine(
                 db, program, shared_nodes=shared_nodes, negatives=negatives,
                 batch=batch,
             )
@@ -270,6 +301,9 @@ class RuleManager:
                     tracing.uninstall()
                 self.last_check_registry = local_registry
             self._in_check_phase = False
+            # per-phase engine resources (the sharded engine's forked
+            # worker pool) end with the phase, success or abort
+            self.engine.finish_phase()
             # pending net changes are per-transaction: a condition that
             # went false and stayed false must not cancel changes of a
             # LATER transaction

@@ -146,6 +146,7 @@ class Propagator:
         self,
         base_deltas,
         trace: bool = False,
+        old_deltas: Optional[Mapping[str, DeltaSet]] = None,
     ) -> Dict[str, DeltaSet]:
         """Propagate ``base_deltas`` upward; return the root delta-sets.
 
@@ -158,16 +159,26 @@ class Propagator:
         so cross-origin churn cancels and ONE wave serves the whole
         group.  Old-state reconstruction uses the same merged map, i.e.
         the state before the *first* origin.
+
+        ``old_deltas`` overrides the delta map used for old-state
+        reconstruction (logical rollback).  Shard workers seed the
+        network with only their partition of the transaction's change
+        but must roll the WHOLE change back to see the true old state
+        — the partition alone would reconstruct a state that never
+        existed.  None (the default) means old == seeded, today's
+        single-process behaviour.
         """
         if not isinstance(base_deltas, Mapping):
             base_deltas = merge_delta_maps(base_deltas)
+        if old_deltas is None:
+            old_deltas = base_deltas
         tracer = PropagationTrace() if trace else None
         if self.batch:
             # exactly two evaluators per run: derived-predicate memos
             # amortize across every edge and the aggregate path
             new_view = self._new_view
             old_view = self._old_view
-            old_view.reset(base_deltas)
+            old_view.reset(old_deltas)
             new_eval = self._new_eval
             old_eval = self._old_eval
             new_eval.reset()
@@ -175,7 +186,7 @@ class Propagator:
             guard_eval = new_eval
         else:
             new_view = NewStateView(self.db)
-            old_view = OldStateView(self.db, base_deltas)
+            old_view = OldStateView(self.db, old_deltas)
             new_eval = old_eval = None
             guard_eval = Evaluator(self.program, new_view)
         reg = metrics.ACTIVE

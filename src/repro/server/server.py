@@ -746,6 +746,7 @@ def serve(
     idle_timeout: Optional[float] = None,
     group_commit: bool = False,
     wal_dir: Optional[str] = None,
+    shards: int = 1,
     out=None,
 ) -> int:
     """Run a server until interrupted (the ``--serve`` entry point).
@@ -768,6 +769,7 @@ def serve(
         idle_timeout=idle_timeout,
         group_commit=group_commit,
         wal_dir=wal_dir,
+        shards=shards,
     )
     for arity in range(1, 5):
         name = "print_" if arity == 1 else f"print_{arity}"
@@ -794,7 +796,7 @@ def serve(
     print(
         f"repro server listening on {server.address[0]}:{server.address[1]} "
         f"(mode={mode}, idle_timeout={idle_timeout}, "
-        f"group_commit={group_commit}, wal_dir={wal_dir})",
+        f"group_commit={group_commit}, wal_dir={wal_dir}, shards={shards})",
         file=out,
         flush=True,
     )

@@ -1,0 +1,20 @@
+"""Sharded check phase: parallel per-shard propagation (docs/SHARDING.md).
+
+``AmosDatabase(shards=N)`` routes every committed Δ-set through a
+:class:`~repro.shard.partitioner.HashPartitioner` to N forked
+propagation workers and folds their condition deltas back together at
+a merge barrier — one check-phase result, one epoch, one WAL commit
+record, regardless of shard count.  ``shards=1`` (the default) is
+bit-for-bit the serial engine.
+"""
+
+from repro.shard.engine import ShardedEngine
+from repro.shard.partitioner import HashPartitioner
+from repro.shard.worker import SHARD_FAULT_POINTS, ShardPool
+
+__all__ = [
+    "HashPartitioner",
+    "SHARD_FAULT_POINTS",
+    "ShardPool",
+    "ShardedEngine",
+]

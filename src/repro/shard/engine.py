@@ -1,0 +1,227 @@
+"""The sharded monitoring engine: parallel per-shard propagation.
+
+:class:`ShardedEngine` is an :class:`~repro.rules.engines.IncrementalEngine`
+whose ``process`` fans each check-phase wave out to N forked workers
+(:mod:`repro.shard.worker`), each running the SAME compiled batch
+propagation over one hash partition of the wave's Δ-map, and folds the
+per-shard condition deltas back into one coherent result at the merge
+barrier.
+
+Why per-shard results merge exactly (docs/SHARDING.md has the long
+form): every partial differential is *linear* in its Δ operand — the
+Δ-restricted literal joins against full database state, which every
+worker holds in its entirety (copy-on-write fork).  Splitting the base
+Δ row-wise therefore splits every node's delta row-wise, and the §7.2
+negative guard makes per-node plus/minus globally disjoint (a "+" row
+is derivable in the new state, a guarded "−" row provably is not), so
+no cross-shard delta-union cancellation can occur: the merge is a
+plain union, independent of shard order, bit-identical to the serial
+run.  Aggregate edges recompute touched groups exactly from full
+state, so duplicated cross-shard group deltas merge idempotently.
+This argument needs ``guard_negatives`` (the engine enforces it) and
+is pinned end to end by the sharded-≡-serial oracle
+(``tests/oracle/test_shard_equivalence.py``).
+
+``shards=1`` never forks and never partitions: it IS the serial engine
+(``process`` delegates straight to the superclass), so the default
+path stays bit-for-bit today's behaviour.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, FrozenSet, List, Mapping, Optional
+
+from repro.algebra.delta import DeltaSet, MutableDelta
+from repro.errors import ShardError
+from repro.obs import metrics
+from repro.objectlog.program import Program
+from repro.rules.engines import IncrementalEngine
+from repro.rules.propagation import PropagationTrace
+from repro.shard.partitioner import HashPartitioner
+from repro.shard.worker import ShardPool
+from repro.storage.database import Database
+
+__all__ = ["ShardedEngine"]
+
+
+class ShardedEngine(IncrementalEngine):
+    """Partial differencing fanned out over N worker processes.
+
+    Parameters beyond :class:`IncrementalEngine`'s:
+
+    shards:
+        Worker count.  1 = serial (no fork, today's path bit-for-bit).
+    key_columns:
+        Optional ``{relation: columns}`` routing-key overrides for the
+        :class:`~repro.shard.partitioner.HashPartitioner` (default:
+        column 0, the subject OID).
+    wave_timeout:
+        Leader-side seconds to wait for a worker's wave result before
+        declaring it dead (None = wait forever).
+
+    ``fault_hook`` is the ``tests/fault`` seam: a callable invoked as
+    ``hook(point, context)`` at every :data:`SHARD_FAULT_POINTS` name
+    during a wave exchange.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        program: Program,
+        shards: int = 1,
+        shared_nodes: FrozenSet[str] = frozenset(),
+        negatives: bool = True,
+        batch: bool = True,
+        key_columns: Optional[Mapping] = None,
+        wave_timeout: Optional[float] = 120.0,
+    ) -> None:
+        if shards < 1:
+            raise ShardError(f"need at least one shard, got {shards}")
+        if shards > 1 and not hasattr(os, "fork"):
+            raise ShardError(
+                "sharded check phase needs os.fork (POSIX); "
+                "use shards=1 on this platform"
+            )
+        # the merge-without-cancellation argument (module docstring)
+        # requires guarded negative differentials; never disable it here
+        super().__init__(
+            db,
+            program,
+            shared_nodes=shared_nodes,
+            negatives=negatives,
+            guard_negatives=True,
+            batch=batch,
+        )
+        self.shards = int(shards)
+        self.wave_timeout = wave_timeout
+        self.partitioner = HashPartitioner(self.shards, key_columns)
+        self._key_overrides = dict(key_columns or {})
+        #: tests/fault seam (see repro.shard.worker.SHARD_FAULT_POINTS)
+        self.fault_hook = None
+        self._pool: Optional[ShardPool] = None
+        self._sharded_trace: Optional[PropagationTrace] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def rebuild(self, conditions: Mapping[str, FrozenSet[str]]) -> None:
+        # a live pool inherited the OLD network; re-fork on next wave.
+        # (rule actions may re-activate rules mid-phase — the pool dies
+        # here and the next process() call forks against the new network
+        # and the current physical state, both of which the leader has.)
+        self.finish_phase()
+        super().rebuild(conditions)
+        partitioner = HashPartitioner(self.shards, self._key_overrides)
+        for influents in conditions.values():
+            for name in influents:
+                partitioner.register(
+                    name, self.partitioner.key_columns_of(name)
+                )
+        self.partitioner = partitioner
+
+    def resync(
+        self, pending_deltas: Optional[Mapping[str, DeltaSet]] = None
+    ) -> None:
+        self.finish_phase()
+        super().resync(pending_deltas)
+
+    def finish_phase(self) -> None:
+        """Tear the worker pool down (end of a check phase, or abort)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
+    @property
+    def pool_pids(self) -> List[int]:
+        """Live worker pids (empty outside a multi-shard check phase)."""
+        return list(self._pool.pids) if self._pool is not None else []
+
+    # -- the check phase ---------------------------------------------------
+
+    def process(
+        self, base_deltas, trace: bool = False
+    ) -> Dict[str, DeltaSet]:
+        if self.shards == 1:
+            # bit-for-bit the serial engine: no fork, no partitioning
+            return super().process(base_deltas, trace=trace)
+        wave = dict(self._merge_origins(base_deltas))
+        self._sharded_trace = None
+        if not wave:
+            return {}
+        pool = self._pool
+        if pool is None:
+            pool = self._pool = ShardPool(self, self.shards, self.wave_timeout)
+        try:
+            results, stats, executions, exchange_bytes = pool.run_wave(
+                wave, trace, self.fault_hook
+            )
+        except Exception:
+            # torn exchange: no per-shard state survives into the next
+            # wave or the next transaction — the commit path rolls back
+            self.finish_phase()
+            raise
+        self._record_wave(stats, exchange_bytes)
+        if trace:
+            merged_trace = PropagationTrace()
+            for shard_executions in executions:
+                merged_trace.executions.extend(shard_executions)
+            self._sharded_trace = merged_trace
+        return self._merge_barrier(results)
+
+    def _merge_barrier(
+        self, results: List[Dict[str, DeltaSet]]
+    ) -> Dict[str, DeltaSet]:
+        """Fold per-shard condition deltas, in shard order.
+
+        Delta-union per condition; by the linearity + guard argument
+        the per-shard pairs are cancellation-free, so this equals plain
+        union and the order is immaterial — but any cancellation that
+        DOES happen is a correctness bug, so it is counted loudly.
+        """
+        merged: Dict[str, MutableDelta] = {}
+        cancelled = 0
+        for shard_result in results:
+            for name in sorted(shard_result):
+                accumulator = merged.get(name)
+                if accumulator is None:
+                    accumulator = merged[name] = MutableDelta()
+                cancelled += accumulator.merge(shard_result[name])
+        if cancelled:
+            reg = metrics.ACTIVE
+            if reg is not None:
+                reg.counter("shard.merge_cancellations").inc(cancelled)
+        return {
+            name: accumulator.freeze()
+            for name, accumulator in merged.items()
+            if accumulator
+        }
+
+    def _record_wave(self, stats: List[Dict], exchange_bytes: int) -> None:
+        reg = metrics.ACTIVE
+        if reg is None:
+            return
+        reg.counter("shard.waves").inc()
+        reg.counter("shard.exchange_bytes").inc(exchange_bytes)
+        for shard, shard_stats in enumerate(stats):
+            reg.histogram(f"shard.{shard}.check_ms").observe(
+                shard_stats.get("check_ms", 0.0)
+            )
+            # fold worker-side instruments into the leader's window so
+            # last_check_stats() aggregates across the whole fleet
+            for name, value in shard_stats.get("counters", {}).items():
+                if value:
+                    reg.counter(name).inc(value)
+            for name, gauge in shard_stats.get("gauges", {}).items():
+                reg.gauge(name).set_max(gauge.get("max", 0))
+
+    @property
+    def last_trace(self) -> Optional[PropagationTrace]:
+        if self.shards == 1:
+            return super().last_trace
+        return self._sharded_trace
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedEngine(shards={self.shards}, "
+            f"pool={'live' if self._pool is not None else 'idle'})"
+        )

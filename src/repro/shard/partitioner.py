@@ -1,0 +1,182 @@
+"""Hash partitioning of relations and Δ-sets across N shards.
+
+The sharded check phase (docs/SHARDING.md) splits each committed
+Δ-set by key across N propagation workers.  Routing must be
+
+* a **true partition** — every tuple lands on exactly one shard
+  (disjoint and covering),
+* **deterministic across processes** — the leader and every forked
+  worker must agree on the routing without exchanging any state, so
+  the hash is CRC-32 over a canonical byte rendering of the key, never
+  Python's process-seeded ``hash()``,
+* **stable under re-registration** — re-registering a relation (rule
+  re-activation rebuilds the network and re-registers every influent)
+  must not silently re-route rows mid-flight.
+
+Keys default to column 0, which in the AMOS data model is the subject
+OID of a stored function row (and the OID itself for a type extent) —
+so all facts about one object land on one shard.  Registration can
+override the key columns per relation before any routing happened.
+
+Correctness does NOT depend on locality, only on the partition being
+exact: every worker holds a full replica of the database state, so a
+partial differential applied to one slice of the Δ joins against the
+same full state it would serially (see docs/SHARDING.md for why the
+per-shard results merge without cross-shard cancellation).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.algebra.delta import DeltaSet
+from repro.errors import ShardError
+
+Row = Tuple
+
+__all__ = ["HashPartitioner"]
+
+#: default key: the leading column (the subject OID in the AMOS model)
+DEFAULT_KEY_COLUMNS: Tuple[int, ...] = (0,)
+
+
+class HashPartitioner:
+    """Routes rows and Δ-sets of named relations to ``shards`` buckets."""
+
+    def __init__(
+        self,
+        shards: int,
+        key_columns: Optional[Mapping[str, Iterable[int]]] = None,
+    ) -> None:
+        if shards < 1:
+            raise ShardError(f"need at least one shard, got {shards}")
+        self.shards = int(shards)
+        self._keys: Dict[str, Tuple[int, ...]] = {}
+        for name, columns in (key_columns or {}).items():
+            self.register(name, columns)
+
+    # -- registration -----------------------------------------------------
+
+    def register(
+        self, relation: str, key_columns: Iterable[int] = DEFAULT_KEY_COLUMNS
+    ) -> Tuple[int, ...]:
+        """Declare the routing key of ``relation``; idempotent.
+
+        Re-registering with the same columns is a no-op (rule
+        re-activation re-registers every influent).  Re-registering
+        with DIFFERENT columns raises: it would re-route rows that
+        earlier routing decisions already placed.
+        """
+        columns = tuple(int(c) for c in key_columns)
+        if not columns:
+            raise ShardError(f"relation {relation!r} needs a non-empty key")
+        existing = self._keys.get(relation)
+        if existing is not None and existing != columns:
+            raise ShardError(
+                f"relation {relation!r} is already registered with key "
+                f"columns {existing!r}; cannot re-register with {columns!r}"
+            )
+        self._keys[relation] = columns
+        return columns
+
+    def key_columns_of(self, relation: str) -> Tuple[int, ...]:
+        return self._keys.get(relation, DEFAULT_KEY_COLUMNS)
+
+    def registered(self) -> Dict[str, Tuple[int, ...]]:
+        return dict(self._keys)
+
+    # -- routing ----------------------------------------------------------
+
+    def key_of(self, relation: str, row: Row) -> Tuple:
+        columns = self._keys.get(relation, DEFAULT_KEY_COLUMNS)
+        try:
+            return tuple(row[c] for c in columns)
+        except IndexError:
+            # arity narrower than the declared key: fall back to the
+            # whole row so routing stays total (never drops a tuple)
+            return tuple(row)
+
+    def shard_of(self, relation: str, row: Row) -> int:
+        """The shard owning ``row`` — deterministic across processes."""
+        if self.shards == 1:
+            return 0
+        key = self.key_of(relation, row)
+        digest = zlib.crc32(repr(key).encode("utf-8", "backslashreplace"))
+        return digest % self.shards
+
+    def split_delta(self, relation: str, delta: DeltaSet) -> List[DeltaSet]:
+        """Partition one Δ-set into exactly ``shards`` disjoint Δ-sets.
+
+        Plus and minus rows route independently by key; a delta-set's
+        disjointness invariant survives because each output is a subset
+        pair of a disjoint pair.
+        """
+        plus: List[List[Row]] = [[] for _ in range(self.shards)]
+        minus: List[List[Row]] = [[] for _ in range(self.shards)]
+        for row in delta.plus:
+            plus[self.shard_of(relation, row)].append(row)
+        for row in delta.minus:
+            minus[self.shard_of(relation, row)].append(row)
+        return [DeltaSet(p, m) for p, m in zip(plus, minus)]
+
+    def split(
+        self, delta_map: Mapping[str, DeltaSet]
+    ) -> List[Dict[str, DeltaSet]]:
+        """Partition a whole ``{relation: Δ}`` map into per-shard maps.
+
+        Relations whose slice is empty on a shard are dropped from that
+        shard's map (the propagator skips empty seeds anyway); the
+        union of all slices is exactly the input.
+        """
+        out: List[Dict[str, DeltaSet]] = [{} for _ in range(self.shards)]
+        for name, delta in delta_map.items():
+            for shard, piece in enumerate(self.split_delta(name, delta)):
+                if not piece.empty:
+                    out[shard][name] = piece
+        return out
+
+    def partition_map(
+        self, delta_map: Mapping[str, DeltaSet], shard: int
+    ) -> Dict[str, DeltaSet]:
+        """Only ``shard``'s slice of ``delta_map`` (what a worker seeds)."""
+        if not 0 <= shard < self.shards:
+            raise ShardError(f"shard {shard} out of range 0..{self.shards - 1}")
+        out: Dict[str, DeltaSet] = {}
+        for name, delta in delta_map.items():
+            piece = self.split_delta(name, delta)[shard]
+            if not piece.empty:
+                out[name] = piece
+        return out
+
+    def foreign_map(
+        self, delta_map: Mapping[str, DeltaSet], shard: int
+    ) -> Dict[str, DeltaSet]:
+        """The boundary Δ: everything ``shard`` does NOT own.
+
+        This is the slice a worker must still *apply* to its replica
+        (other shards' changes cross its boundary through the shared
+        state) but never seeds its own propagation with.  By
+        construction ``partition_map ∪ foreign_map == delta_map`` row
+        for row — the partitioner property suite pins that nothing is
+        ever dropped at the boundary.
+        """
+        if not 0 <= shard < self.shards:
+            raise ShardError(f"shard {shard} out of range 0..{self.shards - 1}")
+        out: Dict[str, DeltaSet] = {}
+        for name, delta in delta_map.items():
+            plus = frozenset(
+                row for row in delta.plus if self.shard_of(name, row) != shard
+            )
+            minus = frozenset(
+                row for row in delta.minus if self.shard_of(name, row) != shard
+            )
+            if plus or minus:
+                out[name] = DeltaSet(plus, minus)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"HashPartitioner(shards={self.shards}, "
+            f"registered={len(self._keys)})"
+        )

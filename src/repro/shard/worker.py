@@ -1,0 +1,304 @@
+"""Shard worker processes and the leader-side exchange (merge barrier).
+
+One :class:`ShardPool` = N forked worker processes living for exactly
+ONE check phase.  Forking (not spawning) is the load-bearing choice:
+
+* the child inherits the parent's entire heap copy-on-write — the full
+  database state, the compiled propagation network with its per-edge
+  :class:`~repro.objectlog.batch.ClausePlan` s, foreign-function
+  callables, everything — with zero serialization;
+* the fork happens at the first ``process()`` call of a check phase,
+  i.e. AFTER the transaction's updates were physically applied, so
+  every worker starts bit-identical to the leader's new state and no
+  replica-synchronization protocol exists to get wrong;
+* workers die with the phase (``close()``), so nothing can go stale
+  across commits, rollbacks, rule re-activations, or WAL recovery.
+
+Per check-loop iteration (a *wave*) the leader broadcasts one pickled
+payload — the iteration's merged Δ-map — to every worker over a pipe.
+Each worker
+
+1. applies the FULL wave Δ to its replica (skipped on the fork wave,
+   whose changes it inherited) — this is how Δ-sets produced on one
+   shard's rows cross shard boundaries between waves;
+2. seeds its propagation network with only its hash partition of the
+   wave, rolls the whole wave back for old-state reads
+   (``Propagator.run(partition, old_deltas=wave)``), and
+3. ships its root condition deltas, per-shard counters, and (when
+   explaining) its differential executions back through the barrier.
+
+The leader collects results in shard order — the merge barrier — and
+:mod:`repro.shard.engine` folds them into one coherent result.
+
+Fault points ``exchange.pre`` / ``exchange.mid`` / ``exchange.post``
+bracket the broadcast and the collection; the ``tests/fault`` harness
+arms them to SIGKILL workers at the worst moments and proves the check
+phase aborts cleanly (see docs/TESTING.md).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import select
+import signal
+import struct
+import time
+import traceback
+from typing import Dict, List, Optional, Tuple
+
+from repro.algebra.delta import DeltaSet
+from repro.errors import ShardWorkerError
+from repro.obs import metrics, tracing
+
+__all__ = ["ShardPool", "SHARD_FAULT_POINTS"]
+
+#: leader-side fault seams around one wave exchange (docs/TESTING.md)
+SHARD_FAULT_POINTS = ("exchange.pre", "exchange.mid", "exchange.post")
+
+_LENGTH = struct.Struct(">I")
+
+
+# -- pipe framing (length-prefixed pickles over raw fds) -------------------
+
+
+def _write_frame(fd: int, payload: bytes) -> None:
+    data = _LENGTH.pack(len(payload)) + payload
+    view = memoryview(data)
+    while view:
+        written = os.write(fd, view)
+        view = view[written:]
+
+
+def _read_exact(fd: int, n: int, deadline: Optional[float]) -> bytes:
+    chunks: List[bytes] = []
+    remaining = n
+    while remaining:
+        if deadline is not None:
+            timeout = deadline - time.monotonic()
+            if timeout <= 0 or not select.select([fd], [], [], timeout)[0]:
+                raise TimeoutError(f"no data for {n} byte frame")
+        chunk = os.read(fd, remaining)
+        if not chunk:
+            raise EOFError("pipe closed")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _read_frame(fd: int, deadline: Optional[float] = None) -> bytes:
+    (length,) = _LENGTH.unpack(_read_exact(fd, _LENGTH.size, deadline))
+    return _read_exact(fd, length, deadline)
+
+
+# -- the worker side -------------------------------------------------------
+
+
+def _apply_wave(db, wave: Dict[str, DeltaSet]) -> None:
+    """Apply a wave's full Δ-map to this worker's replica, physically.
+
+    Raw relation mutation on purpose: no undo log, no delta
+    accumulation, no listeners — the replica is disposable and only
+    ever read by propagation.  Minus before plus (forward application);
+    idempotent under set semantics, so replaying the fork wave would be
+    harmless, merely wasted work.
+    """
+    for name, delta in wave.items():
+        relation = db.relation(name)
+        for row in delta.minus:
+            relation.delete(row)
+        for row in delta.plus:
+            relation.insert(row)
+
+
+def _worker_main(engine, shard: int, read_fd: int, write_fd: int) -> None:
+    """The forked child's loop; never returns (``os._exit`` always).
+
+    ``engine`` is the parent's ShardedEngine, inherited copy-on-write:
+    ``engine.db`` is this worker's private replica, and
+    ``engine._propagator`` already holds the compiled network.
+    """
+    # the child must not report into inherited observability sinks: it
+    # collects its own per-wave registry and ships it back instead
+    metrics.install(None)
+    tracing.uninstall()
+    propagator = engine._propagator
+    partitioner = engine.partitioner
+    first_wave = True
+    try:
+        while True:
+            message = pickle.loads(_read_frame(read_fd))
+            if message[0] != "wave":
+                os._exit(0)
+            _, wave, want_trace = message
+            registry = metrics.Registry()
+            metrics.install(registry)
+            started = time.perf_counter()
+            try:
+                if not first_wave:
+                    # boundary exchange: other shards' Δ rows enter this
+                    # replica here (the fork wave is already in memory)
+                    _apply_wave(engine.db, wave)
+                first_wave = False
+                partition = partitioner.partition_map(wave, shard)
+                results = propagator.run(
+                    partition, trace=want_trace, old_deltas=wave
+                )
+            finally:
+                metrics.install(None)
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            executions = (
+                list(propagator.last_trace.executions)
+                if want_trace and propagator.last_trace is not None
+                else []
+            )
+            stats = {
+                "check_ms": elapsed_ms,
+                "counters": registry.counters(),
+                "gauges": registry.gauges(),
+                "seeded": sum(
+                    len(d.plus) + len(d.minus) for d in partition.values()
+                ),
+            }
+            _write_frame(
+                write_fd,
+                pickle.dumps(
+                    ("ok", results, stats, executions),
+                    pickle.HIGHEST_PROTOCOL,
+                ),
+            )
+    except BaseException as exc:  # noqa: BLE001 - a worker never re-raises
+        try:
+            _write_frame(
+                write_fd,
+                pickle.dumps(
+                    (
+                        "error",
+                        f"{type(exc).__name__}: {exc}",
+                        traceback.format_exc(),
+                    ),
+                    pickle.HIGHEST_PROTOCOL,
+                ),
+            )
+        except BaseException:
+            pass
+        os._exit(1)
+
+
+# -- the leader side -------------------------------------------------------
+
+
+class ShardPool:
+    """N forked propagation workers + the leader's exchange protocol."""
+
+    def __init__(self, engine, shards: int, wave_timeout: Optional[float]) -> None:
+        self.wave_timeout = wave_timeout
+        self.waves = 0
+        #: (pid, fd the leader reads results from, fd it writes waves to)
+        self._workers: List[Tuple[int, int, int]] = []
+        for shard in range(shards):
+            to_child_r, to_child_w = os.pipe()
+            to_parent_r, to_parent_w = os.pipe()
+            pid = os.fork()
+            if pid == 0:
+                os.close(to_child_w)
+                os.close(to_parent_r)
+                # drop inherited leader-side fds of earlier siblings so
+                # every pipe has exactly one reader and one writer
+                for _, sibling_r, sibling_w in self._workers:
+                    os.close(sibling_r)
+                    os.close(sibling_w)
+                _worker_main(engine, shard, to_child_r, to_parent_w)
+                os._exit(0)  # unreachable: _worker_main never returns
+            os.close(to_child_r)
+            os.close(to_parent_w)
+            self._workers.append((pid, to_parent_r, to_child_w))
+
+    @property
+    def pids(self) -> List[int]:
+        return [pid for pid, _, _ in self._workers]
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def run_wave(
+        self,
+        wave: Dict[str, DeltaSet],
+        trace: bool,
+        fault_hook=None,
+    ) -> Tuple[List[Dict[str, DeltaSet]], List[Dict], List[List], int]:
+        """One exchange: broadcast ``wave``, collect at the barrier.
+
+        Returns per-shard ``(condition_deltas, stats, executions)``
+        lists in shard order plus the bytes moved through the pipes.
+        Any worker death, hang, or reported failure raises
+        :class:`ShardWorkerError` — an ordinary Exception, so the
+        commit path rolls the transaction back.
+        """
+        self.waves += 1
+        context = {"wave": self.waves}
+        payload = pickle.dumps(("wave", wave, trace), pickle.HIGHEST_PROTOCOL)
+        exchange_bytes = len(payload) * len(self._workers)
+        if fault_hook is not None:
+            fault_hook("exchange.pre", context)
+        for shard, (pid, _, write_fd) in enumerate(self._workers):
+            try:
+                _write_frame(write_fd, payload)
+            except OSError as exc:
+                raise ShardWorkerError(
+                    f"shard worker {shard} (pid {pid}) is gone at wave "
+                    f"{self.waves} broadcast: {exc}"
+                ) from exc
+        if fault_hook is not None:
+            fault_hook("exchange.mid", context)
+        deadline = (
+            time.monotonic() + self.wave_timeout
+            if self.wave_timeout is not None
+            else None
+        )
+        results: List[Dict[str, DeltaSet]] = []
+        stats: List[Dict] = []
+        executions: List[List] = []
+        for shard, (pid, read_fd, _) in enumerate(self._workers):
+            try:
+                frame = _read_frame(read_fd, deadline)
+            except (OSError, EOFError, TimeoutError) as exc:
+                raise ShardWorkerError(
+                    f"shard worker {shard} (pid {pid}) died or stalled at "
+                    f"wave {self.waves} barrier: {exc}"
+                ) from exc
+            exchange_bytes += len(frame)
+            message = pickle.loads(frame)
+            if message[0] != "ok":
+                raise ShardWorkerError(
+                    f"shard worker {shard} (pid {pid}) failed at wave "
+                    f"{self.waves}: {message[1]}\n{message[2]}"
+                )
+            results.append(message[1])
+            stats.append(message[2])
+            executions.append(message[3])
+        if fault_hook is not None:
+            fault_hook("exchange.post", context)
+        return results, stats, executions, exchange_bytes
+
+    def close(self) -> None:
+        """Kill and reap every worker; idempotent, never raises."""
+        workers, self._workers = self._workers, []
+        for pid, read_fd, write_fd in workers:
+            for fd in (read_fd, write_fd):
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (OSError, ProcessLookupError):
+                pass
+        for pid, _, _ in workers:
+            try:
+                os.waitpid(pid, 0)
+            except (ChildProcessError, OSError):
+                pass
+
+    def __repr__(self) -> str:
+        return f"ShardPool(workers={len(self._workers)}, waves={self.waves})"

@@ -45,6 +45,25 @@ def make_inventory_engine(mode: str = "incremental", **options):
     return engine, orders
 
 
+def make_scripted_repl(lines=()):
+    """An in-memory AMOSQL repl fed the given input lines.
+
+    Returns ``(repl, out)`` where ``out`` is the ``StringIO`` the repl
+    printed into — the shared builder for repl-level tests (dot
+    commands, save/load, network dumps) so each suite doesn't rebuild
+    its own schema boilerplate.
+    """
+    import io
+
+    from repro.amosql.repl import Repl
+
+    out = io.StringIO()
+    repl = Repl(out=out)
+    for line in lines:
+        repl.handle_line(line + "\n")
+    return repl, out
+
+
 @pytest.fixture
 def inventory():
     """Incremental-mode inventory engine with the rule NOT yet active."""

@@ -15,10 +15,15 @@ without killing anything (leave ``point=None``).
 
 from __future__ import annotations
 
+import os
+import signal
 from typing import Dict, List, Optional, Tuple
 
 #: every WAL fault point, re-exported for parametrized tests
 from repro.storage.wal import FAULT_POINTS as WAL_FAULT_POINTS  # noqa: F401
+
+#: the sharded check phase's exchange seams, re-exported likewise
+from repro.shard.worker import SHARD_FAULT_POINTS  # noqa: F401
 
 PERSISTENCE_FAULT_POINTS = ("save.mid_write", "save.pre_rename")
 
@@ -71,5 +76,63 @@ class FaultPoint:
     def __repr__(self) -> str:
         return (
             f"FaultPoint(point={self.point!r}, fired={self.fired}, "
+            f"hits={len(self.hits)})"
+        )
+
+
+class KillWorkerAt:
+    """SIGKILL one live shard worker at an armed exchange fault point.
+
+    Unlike :class:`FaultPoint` this does not raise in the leader — it
+    really kills the worker process, so the abort path under test is
+    the leader's own pipe-failure detection (broken broadcast, EOF or
+    stall at the merge barrier), exactly what a crashed worker causes
+    in production.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.shard.engine.ShardedEngine` whose pool the
+        victim is taken from (``engine.pool_pids``).
+    point:
+        One of :data:`SHARD_FAULT_POINTS`.
+    victim:
+        Index into the live pid list (default: shard 0's worker).
+    after:
+        Skip this many matching hits first — ``after=0`` at
+        ``exchange.post`` kills after wave 1's barrier, so wave 2 of a
+        cascading check loop hits the corpse.
+
+    Use the instance directly as the engine's ``fault_hook``.
+    """
+
+    def __init__(self, engine, point: str, victim: int = 0, after: int = 0) -> None:
+        self.engine = engine
+        self.point = point
+        self.victim = int(victim)
+        self.after = int(after)
+        self.killed: Optional[int] = None
+        self.hits: List[Tuple[str, Dict]] = []
+
+    def __call__(self, point: str, context: Optional[Dict] = None) -> None:
+        self.hits.append((point, dict(context or {})))
+        if self.killed is not None or point != self.point:
+            return
+        if self.after > 0:
+            self.after -= 1
+            return
+        pids = self.engine.pool_pids
+        if not pids:
+            return
+        pid = pids[self.victim % len(pids)]
+        os.kill(pid, signal.SIGKILL)
+        self.killed = pid
+
+    def sequence(self) -> List[str]:
+        return [name for name, _ in self.hits]
+
+    def __repr__(self) -> str:
+        return (
+            f"KillWorkerAt(point={self.point!r}, killed={self.killed}, "
             f"hits={len(self.hits)})"
         )

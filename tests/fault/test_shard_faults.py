@@ -1,0 +1,131 @@
+"""Worker-death fault injection for the sharded check phase.
+
+A shard worker is an ordinary process; production must assume it can be
+SIGKILLed at any moment.  The harness's :class:`KillWorkerAt` really
+kills one at each exchange seam (``exchange.pre`` / ``mid`` / ``post``,
+see docs/SHARDING.md) and these tests pin the blast radius:
+
+* the check phase aborts with :class:`ShardWorkerError` — an ordinary
+  Exception, so ``Database.commit`` rolls the transaction back;
+* the database is bit-identical to its pre-transaction state
+  (extensions, no half-applied rule-action updates);
+* no torn per-shard state survives — the pool is gone, and a probe
+  commit right after forks a fresh fleet and fires rules normally.
+
+``exchange.post`` needs a CASCADING workload: after wave 1's barrier
+the results are complete, so a death there can only hurt the NEXT
+wave.  Rule ``ra``'s action updates a monitored function that rule
+``rb`` watches, so the check loop always runs two waves and wave 2's
+broadcast hits the corpse.
+"""
+
+import pytest
+
+from tests.fault.harness import SHARD_FAULT_POINTS, FaultPoint, KillWorkerAt
+
+from repro.amosql.interpreter import AmosqlEngine
+from repro.errors import ShardWorkerError
+
+SCHEMA = """
+create type node;
+create function f(node) -> integer;
+create function g(node) -> integer;
+create rule ra() as
+    when for each node n where f(n) > 0
+    do bump(n);
+create rule rb() as
+    when for each node n where g(n) = 1
+    do log_g(n);
+activate ra();
+activate rb();
+create node instances :a, :b, :c, :d;
+"""
+
+
+def build_cascading(shards=2):
+    """Two rules, two waves: ``ra`` fires on f and its action sets g,
+    which ``rb`` monitors — every triggering commit runs wave 1 (Δf)
+    and wave 2 (Δg)."""
+    engine = AmosqlEngine(mode="incremental", explain=True, shards=shards)
+    amos = engine.amos
+    logged = []
+    amos.create_procedure(
+        "bump", ("node",), lambda n: amos.set_value("g", (n,), 1)
+    )
+    amos.create_procedure("log_g", ("node",), lambda n: logged.append(n))
+    engine.execute(SCHEMA)
+    nodes = {name: engine.get(name) for name in "abcd"}
+    return engine, nodes, logged
+
+
+class TestExchangeFaultPoints:
+    def test_cascade_really_takes_two_waves(self):
+        engine, nodes, logged = build_cascading()
+        observer = FaultPoint(None)  # record, never crash
+        engine.amos.rules.engine.fault_hook = observer
+        engine.amos.set_value("f", (nodes["a"],), 5)
+        assert logged == [nodes["a"]]
+        # two full exchanges, each pre -> mid -> post in order
+        assert observer.sequence() == [
+            "exchange.pre", "exchange.mid", "exchange.post",
+        ] * 2
+
+    @pytest.mark.parametrize("point", SHARD_FAULT_POINTS)
+    def test_worker_death_aborts_cleanly(self, point):
+        engine, nodes, logged = build_cascading()
+        amos = engine.amos
+        sharded = amos.rules.engine
+        before = amos.snapshot_extensions()
+
+        killer = KillWorkerAt(sharded, point)
+        sharded.fault_hook = killer
+        amos.begin()
+        amos.set_value("f", (nodes["a"],), 5)
+        with pytest.raises(ShardWorkerError):
+            amos.commit()
+
+        assert killer.killed is not None
+        # the transaction rolled back wholesale: base updates AND any
+        # wave-1 rule-action updates (bump's set of g) are gone
+        assert amos.snapshot_extensions() == before
+        assert logged == []
+        # no torn per-shard state: the fleet died with the phase
+        assert sharded.pool_pids == []
+        assert amos.storage.in_transaction is False
+
+        # the engine is still live — a probe commit forks a fresh pool
+        # and runs the full two-wave cascade
+        sharded.fault_hook = None
+        amos.set_value("f", (nodes["b"],), 7)
+        assert logged == [nodes["b"]]
+        assert amos.value("g", nodes["b"]) == 1
+        assert sharded.pool_pids == []
+
+    @pytest.mark.parametrize("point", SHARD_FAULT_POINTS)
+    def test_survivor_workers_are_reaped_too(self, point):
+        """The kill takes ONE worker; close() must reap the rest."""
+        import os
+
+        engine, nodes, _ = build_cascading(shards=3)
+        amos = engine.amos
+        sharded = amos.rules.engine
+        killer = KillWorkerAt(sharded, point, victim=1)
+        sharded.fault_hook = killer
+        amos.begin()
+        amos.set_value("f", (nodes["c"],), 5)
+        with pytest.raises(ShardWorkerError):
+            amos.commit()
+        assert killer.killed is not None
+        # every worker of the dead pool was reaped, not just the
+        # victim: no zombie children remain in this process
+        assert sharded.pool_pids == []
+        with pytest.raises(ChildProcessError):
+            os.waitpid(-1, os.WNOHANG)
+
+
+class TestFaultHookOffByDefault:
+    def test_no_hook_no_overhead_path(self):
+        engine, nodes, logged = build_cascading()
+        assert engine.amos.rules.engine.fault_hook is None
+        engine.amos.set_value("f", (nodes["d"],), 3)
+        assert logged == [nodes["d"]]

@@ -1,0 +1,136 @@
+"""Sharded-≡-serial oracle: N-shard check phases must be invisible.
+
+The sharded engine (docs/SHARDING.md) hash-partitions each wave's
+Δ-map across forked propagation workers and folds the per-shard
+condition deltas back at a merge barrier.  The whole construction
+claims *observational identity* with the serial engine, so on random
+programs and random transaction workloads, for shards ∈ {1, 2, 4}:
+
+* identical base-relation extensions after every commit,
+* identical condition delta-sets per check-phase iteration,
+* identical rule firings, commit by commit and in order,
+* identical snapshot epochs (one epoch per commit, no worker ever
+  publishes).
+
+Propagation *traces* are deliberately NOT compared: per-shard waves
+execute the same differentials against partition-sized inputs, so
+input sizes and execution interleaving legitimately differ while every
+observable result agrees.
+
+The schema is the engine-equivalence oracle's: σ, π, ⋈, ¬, ∪ and an
+aggregate condition, so every differential class crosses the merge
+barrier.  Run size: ``ORACLE_EXAMPLES`` (default 25; CI's oracle job
+runs this file at 200+ with a logged seed, see docs/TESTING.md).
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.oracle.test_engine_equivalence import (
+    N_NODES,
+    RULES,
+    SCHEMA,
+    LOGGED_RULES,
+    _normalizer,
+    apply_ops,
+    transactions,
+)
+
+from repro.amosql.interpreter import AmosqlEngine
+from repro.shard.engine import ShardedEngine
+
+pytestmark = pytest.mark.oracle
+
+MAX_EXAMPLES = int(os.environ.get("ORACLE_EXAMPLES", "25"))
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def build(shards):
+    """A monitored incremental database; ``shards=None`` = serial."""
+    options = {} if shards is None else {"shards": shards}
+    engine = AmosqlEngine(mode="incremental", explain=True, **options)
+    engine.amos.storage.auto_publish = True
+    engine.amos.storage.publish_snapshot()
+    fired = []
+    for rule in LOGGED_RULES:
+        arity = 2 if rule == "r_join" else 1
+        engine.amos.create_procedure(
+            f"log_{rule[2:]}",
+            tuple("node" for _ in range(arity)),
+            lambda *args, _rule=rule: fired.append((_rule, args)),
+        )
+    engine.execute(SCHEMA)
+    decls = ", ".join(f":n{i}" for i in range(N_NODES))
+    engine.execute(f"create node instances {decls};")
+    nodes = [engine.get(f"n{i}") for i in range(N_NODES)]
+    engine.execute(RULES)
+    return engine, nodes, fired
+
+
+def observable_digest(engine, normalize):
+    """Everything a client can see of the last check phase — condition
+    deltas per iteration and firings — WITHOUT the trace (per-shard
+    input sizes legitimately differ from serial)."""
+    report = engine.amos.rules.last_report
+    if report is None:
+        return None
+    return [
+        (
+            iteration.index,
+            {
+                normalize(name): (delta.plus, delta.minus)
+                for name, delta in iteration.condition_deltas.items()
+            },
+            None
+            if iteration.fired is None
+            else (iteration.fired.rule, iteration.fired.rows),
+        )
+        for iteration in report.iterations
+    ]
+
+
+class TestShardEquivalence:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(workload=transactions)
+    def test_sharded_matches_serial(self, workload):
+        serial_engine, serial_nodes, serial_fired = build(None)
+        variants = [build(shards) for shards in SHARD_COUNTS]
+        for engine, nodes, _ in variants:
+            # identical creation order => identical OIDs
+            assert nodes == serial_nodes
+            if engine.amos.shards > 1:
+                assert isinstance(engine.amos.rules.engine, ShardedEngine)
+
+        for ops, commits in workload:
+            for engine, nodes, _ in [
+                (serial_engine, serial_nodes, serial_fired)
+            ] + variants:
+                engine.amos.begin()
+                apply_ops(engine.amos, nodes, ops)
+                if commits:
+                    engine.amos.commit()
+                else:
+                    engine.amos.rollback()
+            if not commits:
+                continue
+
+            serial_digest = observable_digest(serial_engine, _normalizer())
+            serial_snapshot = serial_engine.amos.snapshot_extensions()
+            serial_epoch = serial_engine.amos.snapshot_epoch
+            for shards, (engine, _, fired) in zip(SHARD_COUNTS, variants):
+                label = f"shards={shards}"
+                digest = observable_digest(engine, _normalizer())
+                assert digest == serial_digest, label
+                assert fired == serial_fired, label
+                assert (
+                    engine.amos.snapshot_extensions() == serial_snapshot
+                ), label
+                assert engine.amos.snapshot_epoch == serial_epoch, label
+
+        # phase hygiene: no worker pool outlives its commit
+        for shards, (engine, _, _) in zip(SHARD_COUNTS, variants):
+            if shards > 1:
+                assert engine.amos.rules.engine.pool_pids == []

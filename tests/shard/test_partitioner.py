@@ -1,0 +1,196 @@
+"""Property suite for the hash partitioner (repro.shard.partitioner).
+
+The sharded check phase stands on three routing invariants:
+
+* **true partition** — ``split`` is disjoint and covering: every row of
+  every Δ-set lands on exactly one shard, none invented, none dropped;
+* **deterministic across processes** — routing depends only on
+  ``(relation key columns, row)``, never on process state, so a forked
+  worker agrees with the leader without exchanging anything;
+* **boundary totality** — ``partition_map ∪ foreign_map`` reproduces
+  the input row for row, so a worker that applies its foreign slice and
+  seeds its own never loses a boundary-crossing tuple.
+
+All three are pinned with hypothesis over random Δ-maps of mixed-arity
+rows.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.delta import DeltaSet
+from repro.errors import ShardError
+from repro.shard.partitioner import DEFAULT_KEY_COLUMNS, HashPartitioner
+
+scalars = st.one_of(
+    st.integers(-50, 50),
+    st.text(max_size=4),
+    st.booleans(),
+    st.none(),
+)
+rows = st.lists(scalars, min_size=1, max_size=4).map(tuple)
+
+
+@st.composite
+def delta_sets(draw):
+    """A valid Δ-set: plus and minus disjoint."""
+    universe = draw(st.lists(rows, max_size=12, unique=True))
+    split = draw(st.integers(0, len(universe)))
+    return DeltaSet(universe[:split], universe[split:])
+
+
+delta_maps = st.dictionaries(
+    st.sampled_from(["quantity", "supplies", "items", "link"]),
+    delta_sets(),
+    max_size=4,
+)
+
+shard_counts = st.sampled_from([1, 2, 3, 4, 7])
+
+
+class TestTruePartition:
+    @settings(max_examples=200, deadline=None)
+    @given(shards=shard_counts, delta_map=delta_maps)
+    def test_split_is_disjoint_and_covering(self, shards, delta_map):
+        partitioner = HashPartitioner(shards)
+        pieces = partitioner.split(delta_map)
+        assert len(pieces) == shards
+        for name, delta in delta_map.items():
+            plus_slices = [p[name].plus for p in pieces if name in p]
+            minus_slices = [p[name].minus for p in pieces if name in p]
+            # covering: the union of the slices is exactly the input
+            assert frozenset().union(*plus_slices, frozenset()) == delta.plus
+            assert frozenset().union(*minus_slices, frozenset()) == delta.minus
+            # disjoint: no row appears on two shards
+            assert sum(map(len, plus_slices)) == len(delta.plus)
+            assert sum(map(len, minus_slices)) == len(delta.minus)
+
+    @settings(max_examples=200, deadline=None)
+    @given(shards=shard_counts, delta_map=delta_maps)
+    def test_empty_slices_are_dropped_not_invented(self, shards, delta_map):
+        partitioner = HashPartitioner(shards)
+        for piece in partitioner.split(delta_map):
+            for name, delta in piece.items():
+                assert name in delta_map
+                assert not delta.empty
+
+    @settings(max_examples=100, deadline=None)
+    @given(delta_map=delta_maps)
+    def test_one_shard_owns_everything(self, delta_map):
+        partitioner = HashPartitioner(1)
+        pieces = partitioner.split(delta_map)
+        expected = {n: d for n, d in delta_map.items() if not d.empty}
+        assert pieces == [expected]
+        assert partitioner.partition_map(delta_map, 0) == expected
+        assert partitioner.foreign_map(delta_map, 0) == {}
+
+
+class TestDeterminism:
+    @settings(max_examples=200, deadline=None)
+    @given(shards=shard_counts, row=rows)
+    def test_two_independent_partitioners_agree(self, shards, row):
+        # the leader and a forked worker never exchange routing state:
+        # a fresh instance must reproduce the same decision
+        a = HashPartitioner(shards)
+        b = HashPartitioner(shards)
+        assert a.shard_of("quantity", row) == b.shard_of("quantity", row)
+        assert 0 <= a.shard_of("quantity", row) < shards
+
+    @settings(max_examples=100, deadline=None)
+    @given(row=rows)
+    def test_routing_is_per_relation_key_not_name(self, row):
+        # with identical key columns the relation NAME must not matter:
+        # a stored function row routes with its subject OID regardless
+        # of which function it belongs to
+        partitioner = HashPartitioner(4)
+        assert partitioner.shard_of("quantity", row) == partitioner.shard_of(
+            "supplies", row
+        )
+
+    def test_key_columns_change_routing_input(self):
+        partitioner = HashPartitioner(4, {"pairs": (1,)})
+        assert partitioner.key_of("pairs", ("a", "b")) == ("b",)
+        assert partitioner.key_of("other", ("a", "b")) == ("a",)
+
+    @settings(max_examples=100, deadline=None)
+    @given(row=rows)
+    def test_narrow_rows_fall_back_to_whole_row(self, row):
+        # declared key wider than the row: routing stays total
+        partitioner = HashPartitioner(4, {"wide": (0, 5)})
+        assert partitioner.key_of("wide", row) == (
+            row if len(row) <= 5 else (row[0], row[5])
+        )
+        assert 0 <= partitioner.shard_of("wide", row) < 4
+
+
+class TestRegistrationStability:
+    def test_reregistration_with_same_key_is_noop(self):
+        partitioner = HashPartitioner(4)
+        assert partitioner.register("quantity", (0,)) == (0,)
+        # rule re-activation re-registers every influent; same columns
+        # must be accepted silently
+        assert partitioner.register("quantity", (0,)) == (0,)
+        assert partitioner.registered() == {"quantity": (0,)}
+
+    def test_conflicting_reregistration_raises(self):
+        partitioner = HashPartitioner(4)
+        partitioner.register("quantity", (0,))
+        with pytest.raises(ShardError):
+            partitioner.register("quantity", (0, 1))
+        # and the original registration survives the failed attempt
+        assert partitioner.key_columns_of("quantity") == (0,)
+
+    def test_default_key_is_the_subject_column(self):
+        partitioner = HashPartitioner(2)
+        assert partitioner.key_columns_of("anything") == DEFAULT_KEY_COLUMNS
+
+    def test_empty_key_rejected(self):
+        partitioner = HashPartitioner(2)
+        with pytest.raises(ShardError):
+            partitioner.register("quantity", ())
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ShardError):
+            HashPartitioner(0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(shards=shard_counts, row=rows)
+    def test_registration_matches_default_routing(self, shards, row):
+        # registering the default key must not move any row
+        unregistered = HashPartitioner(shards)
+        registered = HashPartitioner(shards)
+        registered.register("quantity")
+        assert unregistered.shard_of("quantity", row) == registered.shard_of(
+            "quantity", row
+        )
+
+
+class TestBoundaryTotality:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        shards=shard_counts,
+        delta_map=delta_maps,
+        data=st.data(),
+    )
+    def test_partition_plus_foreign_is_the_input(self, shards, delta_map, data):
+        """The boundary-Δ complement never drops a tuple."""
+        shard = data.draw(st.integers(0, shards - 1))
+        partitioner = HashPartitioner(shards)
+        owned = partitioner.partition_map(delta_map, shard)
+        foreign = partitioner.foreign_map(delta_map, shard)
+        for name, delta in delta_map.items():
+            own = owned.get(name, DeltaSet())
+            far = foreign.get(name, DeltaSet())
+            # disjoint halves...
+            assert not (own.plus & far.plus)
+            assert not (own.minus & far.minus)
+            # ...that reassemble the input row for row
+            assert own.plus | far.plus == delta.plus
+            assert own.minus | far.minus == delta.minus
+
+    def test_out_of_range_shard_rejected(self):
+        partitioner = HashPartitioner(2)
+        with pytest.raises(ShardError):
+            partitioner.partition_map({}, 2)
+        with pytest.raises(ShardError):
+            partitioner.foreign_map({}, -1)

@@ -1,0 +1,251 @@
+"""Integration tests for the sharded check phase (repro.shard.engine).
+
+Covers the wiring the oracle ring does not: pool lifecycle (fork at
+first wave, death at phase end), the shards=1 serial identity, mode
+validation, group commit partitioning the merged batch once, the WAL
+writing ONE commit record regardless of shard count, a single snapshot
+epoch per commit, and the fleet-wide observability counters.
+"""
+
+import pickle
+
+import pytest
+
+from repro.algebra.delta import DeltaSet
+from repro.amos.oid import OID
+from repro.amosql.interpreter import AmosqlEngine
+from repro.bench.workload import build_inventory
+from repro.errors import RuleError, ShardError
+from repro.rules.engines import IncrementalEngine
+from repro.shard.engine import ShardedEngine
+
+
+def sharded_inventory(n_items=6, shards=2, **options):
+    workload = build_inventory(n_items, explain=True, shards=shards, **options)
+    workload.activate()
+    return workload
+
+
+class TestWiring:
+    def test_shards_flag_reaches_the_engine(self):
+        workload = sharded_inventory(shards=3)
+        assert workload.amos.shards == 3
+        engine = workload.amos.rules.engine
+        assert isinstance(engine, ShardedEngine)
+        assert engine.shards == 3
+        assert engine.partitioner.shards == 3
+        # the merge argument requires guarded negatives — always on
+        assert engine.guard_negatives is True
+
+    def test_shards_one_is_the_plain_serial_engine(self):
+        workload = build_inventory(4, shards=1)
+        engine = workload.amos.rules.engine
+        assert isinstance(engine, IncrementalEngine)
+        assert not isinstance(engine, ShardedEngine)
+
+    def test_invalid_shard_counts_rejected(self):
+        with pytest.raises(RuleError):
+            build_inventory(2, shards=0)
+
+    def test_sharding_requires_incremental_mode(self):
+        with pytest.raises(RuleError):
+            AmosqlEngine(mode="naive", shards=2)
+        with pytest.raises(RuleError):
+            AmosqlEngine(mode="hybrid", shards=2)
+
+    def test_amosql_engine_accepts_shards(self):
+        engine = AmosqlEngine(shards=2)
+        assert engine.amos.shards == 2
+
+
+class TestSerialEquivalenceSmoke:
+    """One directed spot check; the hypothesis ring is the real pin
+    (tests/oracle/test_shard_equivalence.py)."""
+
+    def test_orders_and_extensions_match_serial(self):
+        serial = build_inventory(10, explain=True)
+        serial.activate()
+        sharded = sharded_inventory(10, shards=2)
+        for workload in (serial, sharded):
+            workload.touch_one_item(0, below=True)
+            workload.touch_one_item(3, below=True)
+            workload.massive_change(-60)
+        assert [a for _, a in serial.orders] == [a for _, a in sharded.orders]
+        assert (
+            serial.amos.snapshot_extensions()
+            == sharded.amos.snapshot_extensions()
+        )
+
+    def test_rollback_leaves_no_trace(self):
+        workload = sharded_inventory()
+        before = workload.amos.snapshot_extensions()
+        workload.amos.begin()
+        workload.set_quantity(workload.items[0], 1)
+        workload.amos.rollback()
+        assert workload.amos.snapshot_extensions() == before
+        assert workload.orders == []
+        # the engine is still live: a probe commit fires normally
+        workload.touch_one_item(0, below=True)
+        assert len(workload.orders) == 1
+
+
+class TestPoolLifecycle:
+    def test_workers_live_only_during_the_check_phase(self):
+        workload = sharded_inventory(shards=2)
+        engine = workload.amos.rules.engine
+        seen_pids = []
+        workload.amos.create_procedure(
+            "snoop", ("item",), lambda item: seen_pids.append(engine.pool_pids)
+        )
+        AmosqlEngine(workload.amos).execute(
+            """
+            create rule snoop_rule() as
+                when for each item i where quantity(i) < 0
+                do snoop(i);
+            activate snoop_rule();
+            """
+        )
+        assert engine.pool_pids == []
+        workload.set_quantity(workload.items[0], -1)
+        # the action ran DURING the check phase: the pool was live then
+        assert seen_pids and len(seen_pids[0]) == 2
+        # ...and is torn down by the phase's finally
+        assert engine.pool_pids == []
+
+    def test_finish_phase_is_idempotent(self):
+        workload = sharded_inventory()
+        engine = workload.amos.rules.engine
+        workload.touch_one_item(0, below=True)
+        engine.finish_phase()
+        engine.finish_phase()
+        assert engine.pool_pids == []
+
+    def test_rule_toggles_between_commits(self):
+        workload = sharded_inventory()
+        workload.touch_one_item(0, below=True)
+        workload.deactivate()
+        workload.touch_one_item(1, below=True)  # unmonitored: no order
+        workload.activate()
+        workload.touch_one_item(2, below=True)
+        assert len(workload.orders) == 2
+
+
+class TestGroupCommit:
+    def test_group_commit_runs_one_sharded_check_phase(self, tmp_path):
+        workload = sharded_inventory(shards=2, observe=True)
+        workload.amos.open_wal(str(tmp_path))
+        wal = workload.amos.wal
+        before = wal.appended_records
+
+        units = [
+            (lambda i: (lambda: workload.set_quantity(workload.items[i], 1)))(i)
+            for i in range(3)
+        ]
+        outcomes = workload.amos.apply_group(units)
+        assert [o.ok for o in outcomes] == [True, True, True]
+        # ONE wal record for the whole batch, carrying the boundary
+        assert wal.appended_records == before + 1
+        last = list(wal.records())[-1]
+        assert last.kind == "commit"
+        assert last.group == {"members": 3, "applied": 3}
+        # the merged batch partitioned once: a single wave served it
+        stats = workload.amos.rules.last_check_stats()
+        assert stats["counters"]["shard.waves"] == 1
+        assert len(workload.orders) == 3
+        workload.amos.detach_wal()
+
+
+class TestDurabilityAndEpochs:
+    def test_one_wal_commit_record_regardless_of_shard_count(self, tmp_path):
+        workload = sharded_inventory(shards=4)
+        workload.amos.open_wal(str(tmp_path))
+        wal = workload.amos.wal
+        before = wal.appended_records
+        with workload.amos.transaction():
+            for item in workload.items[:4]:
+                workload.set_quantity(item, 1)
+        assert wal.appended_records == before + 1
+        last = list(wal.records())[-1]
+        assert last.kind == "commit"
+        assert last.epoch == workload.amos.snapshot_epoch
+        workload.amos.detach_wal()
+
+    def test_one_epoch_per_sharded_commit(self):
+        workload = sharded_inventory(shards=2)
+        workload.amos.storage.auto_publish = True
+        workload.amos.storage.publish_snapshot()
+        epoch = workload.amos.snapshot_epoch
+        workload.touch_one_item(0, below=True)
+        assert workload.amos.snapshot_epoch == epoch + 1
+        workload.touch_one_item(1, below=True)
+        assert workload.amos.snapshot_epoch == epoch + 2
+
+    def test_wal_recovery_replays_into_a_sharded_database(self, tmp_path):
+        live = sharded_inventory(shards=2)
+        live.amos.open_wal(str(tmp_path))
+        live.touch_one_item(0, below=True)
+        live.amos.detach_wal()
+
+        restored = build_inventory(6, explain=True, shards=2)
+        restored.activate()
+        report = restored.amos.open_wal(str(tmp_path))
+        assert report.rows_applied >= 1
+        assert (
+            restored.amos.snapshot_extensions()
+            == live.amos.snapshot_extensions()
+        )
+        restored.amos.detach_wal()
+
+
+class TestObservability:
+    def test_fleet_wide_counters(self):
+        workload = sharded_inventory(shards=2, observe=True)
+        workload.touch_one_item(0, below=True)
+        stats = workload.amos.rules.last_check_stats()
+        counters = stats["counters"]
+        assert counters["shard.waves"] >= 1
+        assert counters["shard.exchange_bytes"] > 0
+        # a cancellation at the merge barrier would be a correctness
+        # bug — the counter must stay silent
+        assert "shard.merge_cancellations" not in counters
+        histograms = stats["histograms"]
+        assert "shard.0.check_ms" in histograms
+        assert "shard.1.check_ms" in histograms
+
+    def test_trace_survives_sharding(self):
+        workload = sharded_inventory(shards=2)
+        workload.touch_one_item(0, below=True)
+        report = workload.amos.rules.last_report
+        assert report is not None
+        trace = report.iterations[0].trace
+        assert trace is not None and trace.executions
+
+
+class TestPickleContract:
+    """Shard workers ship these across process pipes; the frozen
+    ``__setattr__`` broke pickle's default slot restore (regression)."""
+
+    def test_delta_set_roundtrip(self):
+        delta = DeltaSet([(1, "a")], [(2, "b")])
+        clone = pickle.loads(pickle.dumps(delta))
+        assert clone == delta
+        assert clone.plus == delta.plus and clone.minus == delta.minus
+
+    def test_oid_roundtrip(self):
+        oid = OID(7, "item")
+        clone = pickle.loads(pickle.dumps(oid))
+        assert clone == oid and clone.type_name == "item"
+
+    def test_delta_map_roundtrip(self):
+        wave = {"quantity": DeltaSet([(OID(1, "item"), 5)], [(OID(1, "item"), 9)])}
+        clone = pickle.loads(pickle.dumps(wave))
+        assert clone == wave
+
+
+class TestShardErrors:
+    def test_engine_rejects_zero_shards(self):
+        workload = build_inventory(2)
+        with pytest.raises(ShardError):
+            ShardedEngine(
+                workload.amos.storage, workload.amos.program, shards=0
+            )

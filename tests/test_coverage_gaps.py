@@ -120,21 +120,16 @@ class TestNetworkDotWithAggregates:
 
 class TestReplNetworkCommand:
     def test_network_rendered_with_active_rule(self):
-        import io
+        from tests.conftest import make_scripted_repl
 
-        from repro.amosql.repl import Repl
-
-        out = io.StringIO()
-        repl = Repl(out=out)
-        for line in [
+        repl, out = make_scripted_repl([
             "create type item;",
             "create function quantity(item) -> integer;",
             "create rule low() as when for each item i "
             "where quantity(i) < 10 do print_(i);",
             "activate low();",
             ".network",
-        ]:
-            repl.handle_line(line + "\n")
+        ])
         output = out.getvalue()
         assert "digraph propagation_network" in output
         assert "Δcnd_low/Δ+quantity" in output
@@ -142,20 +137,14 @@ class TestReplNetworkCommand:
 
 class TestReplSaveLoadCommands:
     def make_repl(self):
-        import io
+        from tests.conftest import make_scripted_repl
 
-        from repro.amosql.repl import Repl
-
-        out = io.StringIO()
-        repl = Repl(out=out)
-        for line in [
+        return make_scripted_repl([
             "create type item;",
             "create function quantity(item) -> integer;",
             "create item instances :i;",
             "set quantity(:i) = 42;",
-        ]:
-            repl.handle_line(line + "\n")
-        return repl, out
+        ])
 
     def test_save_then_load_round_trips(self, tmp_path):
         path = str(tmp_path / "data.json")
