@@ -1,0 +1,93 @@
+"""Compare a fresh BENCH_joinkernel.json against the committed baseline.
+
+CI's bench-regression gate for the join kernels: the WCOJ series'
+check-phase cost (ms/transaction) must not regress more than
+``--tolerance`` (default 25%) against the baseline committed at the
+repository root, and the fresh run must keep the >= 2x massive-join
+speedup the acceptance criterion pinned.  Pairwise cells move with the
+host and are reported, not failed.
+
+Usage::
+
+    python benchmarks/compare_joinkernel.py BASELINE FRESH [--tolerance 0.25]
+
+Exit status 0 when every gated cell is within tolerance, 1 otherwise.
+Re-baseline by committing the regenerated artifact together with the
+change that justifies it.
+"""
+
+import argparse
+import json
+import sys
+
+#: series prefixes whose regression fails the gate (the optimized path)
+GATED_PREFIX = "wcoj"
+#: the acceptance cell re-checked from the fresh artifact's meta
+MIN_SPEEDUP = 2.0
+SPEEDUP_KEY = "speedup_at_5000"
+
+
+def cells(payload):
+    return {
+        (row["series"], row["items"]): row["ms_per_transaction"]
+        for row in payload["rows"]
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as handle:
+        baseline = cells(json.load(handle))
+    with open(args.fresh) as handle:
+        fresh_payload = json.load(handle)
+    fresh = cells(fresh_payload)
+
+    failures = []
+    for key, base_ms in sorted(baseline.items()):
+        series, items = key
+        now_ms = fresh.get(key)
+        if now_ms is None:
+            failures.append(f"{series}@{items}: missing from fresh run")
+            continue
+        ratio = now_ms / base_ms if base_ms else float("inf")
+        gated = series.startswith(GATED_PREFIX)
+        verdict = "ok"
+        if gated and ratio > 1.0 + args.tolerance:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{series}@{items}: {base_ms:.4f} -> {now_ms:.4f} ms/txn "
+                f"({ratio:.2f}x, tolerance {1.0 + args.tolerance:.2f}x)"
+            )
+        print(
+            f"  {series}@{items}: baseline {base_ms:.4f} ms/txn, "
+            f"fresh {now_ms:.4f} ms/txn ({ratio:.2f}x) "
+            f"[{'gated' if gated else 'informational'}] {verdict}"
+        )
+
+    speedup = fresh_payload.get("meta", {}).get(SPEEDUP_KEY)
+    if speedup is None:
+        failures.append(f"fresh artifact has no meta.{SPEEDUP_KEY}")
+    else:
+        print(f"  fresh pairwise-vs-wcoj speedup at 5000 spokes: {speedup:.2f}x")
+        if speedup < MIN_SPEEDUP:
+            failures.append(
+                f"{SPEEDUP_KEY}: {speedup:.2f}x below the {MIN_SPEEDUP:.1f}x "
+                "acceptance floor"
+            )
+
+    if failures:
+        print("\nbench-regression FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nbench-regression ok: all gated cells within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,8 +25,11 @@ Only the *check phase* is timed: the monitoring engine's ``process``
 entry point is wrapped with a perf_counter accumulator, so update
 logging, transaction bookkeeping, and rule actions are excluded.  Each
 cell takes the minimum over several trials (robust against scheduler
-noise).  Full-transaction times land in the artifact ``meta`` for
-context.
+noise), and the two engines' trials are *interleaved* within the same
+time window — measuring all legacy cells minutes before all batch
+cells let slow host drift (thermal throttling, noisy co-tenants) leak
+straight into the gated A/B ratio.  Full-transaction times land in the
+artifact ``meta`` for context.
 
 Persists ``BENCH_checkphase.json`` — the committed copy at the repo
 root is the baseline CI's bench-regression job compares against
@@ -41,7 +44,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import CheckPhaseTimer, best_of
+from benchmarks.conftest import CheckPhaseTimer
 
 from repro.bench.harness import Measurement, Sweep
 from repro.bench.workload import build_inventory
@@ -66,73 +69,104 @@ def build(n_items, batch):
     return workload
 
 
-def steady_cell(series, n_items, batch):
-    workload = build(n_items, batch)
-    for step in range(WARMUP):
-        workload.touch_one_item(step)
-    timer = CheckPhaseTimer(workload.amos.rules)
-    counter = [WARMUP]
-
-    def trial():
-        timer.seconds = 0.0
-        start = time.perf_counter()
-        for _ in range(STEADY_TXNS):
-            workload.touch_one_item(counter[0])
-            counter[0] += 1
-        return timer.seconds, time.perf_counter() - start
-
-    check, total = best_of(STEADY_TRIALS, trial)
-    return (
-        Measurement(series, n_items, check, STEADY_TXNS),
-        total / STEADY_TXNS,
-    )
+def interleave(trials, runners):
+    """Alternate single trials across the engines so both sample the
+    same time window; per series keep the best (check, total) pair."""
+    best = {series: (float("inf"), float("inf")) for series in runners}
+    for _ in range(trials):
+        for series, run_trial in runners.items():
+            check, total = run_trial()
+            best_check, best_total = best[series]
+            best[series] = (min(best_check, check), min(best_total, total))
+    return best
 
 
-def churn_cell(series, batch):
+def steady_cells(n_items):
+    runners = {}
+    for series, batch in ENGINES.items():
+        workload = build(n_items, batch)
+        for step in range(WARMUP):
+            workload.touch_one_item(step)
+        timer = CheckPhaseTimer(workload.amos.rules)
+        counter = [WARMUP]
+
+        def trial(workload=workload, timer=timer, counter=counter):
+            timer.seconds = 0.0
+            start = time.perf_counter()
+            for _ in range(STEADY_TXNS):
+                workload.touch_one_item(counter[0])
+                counter[0] += 1
+            return timer.seconds, time.perf_counter() - start
+
+        runners[series] = trial
+    return {
+        series: (
+            Measurement(series, n_items, check, STEADY_TXNS),
+            total / STEADY_TXNS,
+        )
+        for series, (check, total) in interleave(STEADY_TRIALS, runners).items()
+    }
+
+
+def churn_cells():
     """Threshold-crossing workload: every other transaction drives one
     item below its threshold (rule fires), the next restores it (a
     negative root delta — the guard path)."""
-    workload = build(CHURN_SIZE, batch)
-    for step in range(10):
-        workload.touch_one_item(step, below=(step % 2 == 0))
-    timer = CheckPhaseTimer(workload.amos.rules)
-    counter = [0]
-
-    def trial():
-        timer.seconds = 0.0
-        start = time.perf_counter()
-        for _ in range(CHURN_TXNS):
-            step = counter[0]
+    runners = {}
+    workloads = {}
+    for series, batch in ENGINES.items():
+        workload = build(CHURN_SIZE, batch)
+        for step in range(10):
             workload.touch_one_item(step, below=(step % 2 == 0))
-            counter[0] += 1
-        return timer.seconds, time.perf_counter() - start
+        timer = CheckPhaseTimer(workload.amos.rules)
+        counter = [0]
 
-    check, total = best_of(CHURN_TRIALS, trial)
-    assert workload.orders, "churn workload must actually fire the rule"
-    return (
-        Measurement(f"{series}-churn", CHURN_SIZE, check, CHURN_TXNS),
-        total / CHURN_TXNS,
-    )
+        def trial(workload=workload, timer=timer, counter=counter):
+            timer.seconds = 0.0
+            start = time.perf_counter()
+            for _ in range(CHURN_TXNS):
+                step = counter[0]
+                workload.touch_one_item(step, below=(step % 2 == 0))
+                counter[0] += 1
+            return timer.seconds, time.perf_counter() - start
+
+        runners[series] = trial
+        workloads[series] = workload
+    results = interleave(CHURN_TRIALS, runners)
+    for workload in workloads.values():
+        assert workload.orders, "churn workload must actually fire the rule"
+    return {
+        series: (
+            Measurement(f"{series}-churn", CHURN_SIZE, check, CHURN_TXNS),
+            total / CHURN_TXNS,
+        )
+        for series, (check, total) in results.items()
+    }
 
 
-def massive_cell(series, batch):
+def massive_cells():
     """Fig. 7's massive-update transaction (3 changed functions x all
     items) — one check phase driven by a size-O(n) delta."""
-    workload = build(MASSIVE_SIZE, batch)
-    workload.massive_change()  # warm indexes and plan caches
-    timer = CheckPhaseTimer(workload.amos.rules)
+    runners = {}
+    for series, batch in ENGINES.items():
+        workload = build(MASSIVE_SIZE, batch)
+        workload.massive_change()  # warm indexes and plan caches
+        timer = CheckPhaseTimer(workload.amos.rules)
 
-    def trial():
-        timer.seconds = 0.0
-        start = time.perf_counter()
-        workload.massive_change()
-        return timer.seconds, time.perf_counter() - start
+        def trial(workload=workload, timer=timer):
+            timer.seconds = 0.0
+            start = time.perf_counter()
+            workload.massive_change()
+            return timer.seconds, time.perf_counter() - start
 
-    check, total = best_of(MASSIVE_TRIALS, trial)
-    return (
-        Measurement(f"{series}-massive", MASSIVE_SIZE, check, 1),
-        total,
-    )
+        runners[series] = trial
+    return {
+        series: (
+            Measurement(f"{series}-massive", MASSIVE_SIZE, check, 1),
+            total,
+        )
+        for series, (check, total) in interleave(MASSIVE_TRIALS, runners).items()
+    }
 
 
 @pytest.fixture(scope="module")
@@ -142,15 +176,14 @@ def sweep():
         "ms/transaction"
     )
     full_txn_ms = {}
-    for series, batch in ENGINES.items():
-        for n_items in SIZES:
-            cell, full = steady_cell(series, n_items, batch)
+    for n_items in SIZES:
+        for series, (cell, full) in steady_cells(n_items).items():
             result.add(cell)
             full_txn_ms[f"{series}@{n_items}"] = full * 1000
-        cell, full = churn_cell(series, batch)
+    for series, (cell, full) in churn_cells().items():
         result.add(cell)
         full_txn_ms[f"{series}-churn@{CHURN_SIZE}"] = full * 1000
-        cell, full = massive_cell(series, batch)
+    for series, (cell, full) in massive_cells().items():
         result.add(cell)
         full_txn_ms[f"{series}-massive@{MASSIVE_SIZE}"] = full * 1000
     print()

@@ -36,6 +36,15 @@ class StateView:
     #: Which state this view exposes: ``"new"`` or ``"old"``.
     state: str = "new"
 
+    #: True when probers resolved through this view stay valid across
+    #: transactions (the view reads live, incrementally maintained
+    #: structures).  Evaluators may then keep resolved probers over a
+    #: :meth:`~repro.objectlog.evaluate.Evaluator.reset`, revalidating
+    #: against :meth:`prober_source`'s ``index_epoch``.  False for
+    #: snapshot-bound views (old state, replicas): their probers close
+    #: over per-transaction reconstructions.
+    probers_stable: bool = False
+
     def rows(self, name: str) -> FrozenSet[Row]:
         raise NotImplementedError
 
@@ -52,6 +61,21 @@ class StateView:
         cols = tuple(columns)
         return lambda key: self.lookup(name, cols, key)
 
+    def prober_source(self, name: str):
+        """The live relation backing ``name``'s probers, or None when
+        probers are snapshot-bound (see :attr:`probers_stable`)."""
+        return None
+
+    def stable_prober_source(self, name: str):
+        """The live relation backing ``name``'s probers *right now*,
+        or None.  Unlike :meth:`prober_source` this may answer on a
+        snapshot-bound view for relations the snapshot does not touch
+        (an old-state view serves unchanged relations straight from
+        the live database), so callers caching the returned probe must
+        re-check ``stable_prober_source(name) is source`` on every
+        reuse — the answer changes per transaction."""
+        return self.prober_source(name)
+
     def cardinality(self, name: str) -> int:
         return len(self.rows(name))
 
@@ -60,6 +84,7 @@ class NewStateView(StateView):
     """The current (post-update) content of the database."""
 
     state = "new"
+    probers_stable = True
 
     __slots__ = ("_db", "auto_index")
 
@@ -81,6 +106,25 @@ class NewStateView(StateView):
 
     def prober(self, name: str, columns: Sequence[int]):
         return self._db.relation(name).prober(columns, auto=self.auto_index)
+
+    def prober_source(self, name: str):
+        return self._db.relation(name)
+
+    def trie(self, name: str, order: Sequence[int]):
+        """The relation's trie index over ``order`` (WCOJ kernels).
+
+        Only the new state serves tries: they mirror the live stored
+        relations, maintained eagerly from every insert/delete — the
+        old state would need them patched by the rollback delta.
+        """
+        return self._db.relation(name).trie_index(order, auto=True)
+
+    def versions_of(self, names: Sequence[str]) -> Tuple[int, ...]:
+        """The version counters of ``names``, in order — the validity
+        snapshot for higher-order delta memos (any physical change to a
+        support relation bumps its version, including rollback replay)."""
+        relation = self._db.relation
+        return tuple(relation(name).version for name in names)
 
     def cardinality(self, name: str) -> int:
         return len(self._db.relation(name))
@@ -167,6 +211,17 @@ class OldStateView(StateView):
             return self._new.prober(name, columns)
         cols = tuple(columns)
         return lambda key: self.lookup(name, cols, key)
+
+    def stable_prober_source(self, name: str):
+        """The live relation, but only while ``name`` is untouched by
+        this view's rollback delta — the monitoring steady state, where
+        most relations are unchanged and their old-state probers are
+        exactly the live ones (see :meth:`prober`).  Callers must
+        re-check per reuse: the delta map changes every transaction."""
+        delta = self._deltas.get(name)
+        if delta is None or delta.empty:
+            return self._new.prober_source(name)
+        return None
 
     def cardinality(self, name: str) -> int:
         delta = self._deltas.get(name)

@@ -17,7 +17,13 @@ from repro.amos.database import AmosDatabase
 from repro.amos.oid import OID
 from repro.amosql.interpreter import AmosqlEngine
 
-__all__ = ["InventoryWorkload", "build_inventory", "INVENTORY_SCHEMA_AMOSQL"]
+__all__ = [
+    "InventoryWorkload",
+    "build_inventory",
+    "INVENTORY_SCHEMA_AMOSQL",
+    "MultiwayWorkload",
+    "build_multiway",
+]
 
 #: the paper's schema, as an executable AMOSQL script (used by examples)
 INVENTORY_SCHEMA_AMOSQL = """
@@ -107,6 +113,128 @@ class InventoryWorkload:
                     "delivery_time", (item, supplier), delivery % 5 + 1
                 )
                 self.amos.set_value("consume_freq", (item,), frequency % 40 + 1)
+
+
+@dataclass
+class MultiwayWorkload:
+    """A hub-skewed multi-way-join database for the WCOJ benchmark.
+
+    The monitored condition is the classic intermediate-result blowup:
+
+        r(x, y) ∧ big(y, z) ∧ small(x, z) ∧ val(z) < 0
+
+    ``big`` fans every hub ``y`` out to hundreds of spokes ``z``;
+    ``small`` gives every source ``x`` just a couple of spokes.  A
+    transaction inserting ``r(x, y)`` rows therefore hands the pairwise
+    chain |Δr| x fanout(big) intermediate bindings, while the WCOJ
+    kernel intersects ``big(y,·) ∩ small(x,·)`` per seed — O(min), i.e.
+    O(|small(x,·)|).  ``val(z)`` is always non-negative, so the rule
+    never fires and the timing stays pure check phase.
+
+    Sources are pre-created in disjoint *slices*: each massive
+    transaction touches a fresh slice, so every delta row is plus-only
+    and previously unseen (the higher-order memo misses identically on
+    both sides of the A/B — the measured difference is the kernel).
+    """
+
+    amos: AmosDatabase
+    hubs: List[OID]
+    spokes: List[OID]
+    slices: List[List[Tuple[OID, OID]]]  # per slice: (source, its hub)
+    fanout_big: int
+    fanout_small: int
+    flagged: List[OID] = field(default_factory=list)
+
+    def activate(self) -> None:
+        self.amos.activate("monitor_multiway")
+
+    def deactivate(self) -> None:
+        self.amos.deactivate("monitor_multiway")
+
+    def massive_join_txn(self, slice_index: int) -> None:
+        """One transaction inserting r(x, hub) for a whole fresh slice."""
+        with self.amos.transaction():
+            for source, hub in self.slices[slice_index]:
+                self.amos.set_value("r", (source, hub), 1)
+
+    def churn_txn(self, slice_index: int, present: bool) -> None:
+        """Toggle the slice's r rows: re-assert or retract them all."""
+        with self.amos.transaction():
+            for source, hub in self.slices[slice_index]:
+                if present:
+                    self.amos.set_value("r", (source, hub), 1)
+                else:
+                    self.amos.clear_value("r", (source, hub))
+
+
+def build_multiway(
+    n_spokes: int,
+    n_slices: int,
+    slice_size: int,
+    fanout_big: int = 250,
+    fanout_small: int = 2,
+    mode: str = "incremental",
+    seed: int = 42,
+    **amos_options,
+) -> MultiwayWorkload:
+    """Build the multi-way-join database at ``n_spokes`` scale.
+
+    ``n_spokes`` spoke nodes carry ``val``; hubs (one per ``fanout_big``
+    spokes) fan out through ``big``; ``n_slices * slice_size`` source
+    nodes each get ``fanout_small`` random ``small`` edges.  The rule is
+    created but NOT activated.
+    """
+    amos = AmosDatabase(mode=mode, **amos_options)
+    flagged: List[OID] = []
+    amos.create_type("node")
+    amos.create_stored_function("r", ["node", "node"], ["integer"])
+    amos.create_stored_function("big", ["node", "node"], ["integer"])
+    amos.create_stored_function("small", ["node", "node"], ["integer"])
+    amos.create_stored_function("val", ["node"], ["integer"])
+    amos.create_procedure("flag", ("node",), flagged.append)
+
+    engine = AmosqlEngine(amos)
+    engine.execute(
+        """
+        create rule monitor_multiway() as
+            when for each node x, node y, node z
+            where r(x, y) = 1 and big(y, z) = 1 and small(x, z) = 1
+                  and val(z) < 0
+            do flag(x);
+        """
+    )
+
+    rng = random.Random(seed)
+    n_hubs = max(1, n_spokes // fanout_big)
+    hubs: List[OID] = []
+    spokes: List[OID] = []
+    slices: List[List[Tuple[OID, OID]]] = []
+    with amos.transaction():
+        for _ in range(n_spokes):
+            spoke = amos.create_object("node")
+            amos.set_value("val", (spoke,), 1)
+            spokes.append(spoke)
+        for hub_index in range(n_hubs):
+            hub = amos.create_object("node")
+            hubs.append(hub)
+            # hub h covers a contiguous window of spokes (full coverage,
+            # evenly skewed: every hub has ~fanout_big big-edges)
+            start = (hub_index * n_spokes) // n_hubs
+            stop = ((hub_index + 1) * n_spokes) // n_hubs
+            for spoke in spokes[start:stop]:
+                amos.set_value("big", (hub, spoke), 1)
+        for _ in range(n_slices):
+            chunk: List[Tuple[OID, OID]] = []
+            for _ in range(slice_size):
+                source = amos.create_object("node")
+                for spoke in rng.sample(spokes, fanout_small):
+                    amos.set_value("small", (source, spoke), 1)
+                chunk.append((source, rng.choice(hubs)))
+            slices.append(chunk)
+
+    return MultiwayWorkload(
+        amos, hubs, spokes, slices, fanout_big, fanout_small, flagged
+    )
 
 
 def build_inventory(

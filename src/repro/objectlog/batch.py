@@ -51,7 +51,7 @@ from repro.objectlog.program import (
     ForeignPredicate,
     Program,
 )
-from repro.objectlog.terms import _OPS, Arith, Variable
+from repro.objectlog.terms import _OPS, Arith, Variable, ordered_variables
 from repro.obs import metrics
 
 Row = Tuple
@@ -277,13 +277,49 @@ def _base_step(literal: PredLiteral, slot_of, bound: Set[int]) -> Step:
     bound.update(new_slots)
     if cols:
         key_of = _make_key(parts)
-        cache_key = (pred, cols)
+        # per-step probe cell: (evaluator, probe, source_relation,
+        # index_epoch, dynamic).  A step executes under one evaluator
+        # for the lifetime of its plan (new- or old-state), so with
+        # metrics off and an index-backed live relation the resolved
+        # bucket probe is reused with two identity checks and an epoch
+        # compare — the general path (evaluator.prober: LRU + counters
+        # + metered probes + snapshot views) costs ~5x that per call.
+        # ``dynamic`` marks an old-state cell, valid only while the
+        # rollback delta leaves the relation untouched (re-checked via
+        # stable_prober_source per execution).
+        cell = None
 
         def step(evaluator, batch):
-            probe = evaluator.prober_cache.get(cache_key)
-            if probe is None:
-                probe = evaluator.view.prober(pred, cols)
-                evaluator.prober_cache[cache_key] = probe
+            nonlocal cell
+            c = cell
+            if (
+                c is not None
+                and c[0] is evaluator
+                and metrics.ACTIVE is None
+                and c[2].index_epoch == c[3]
+                and (
+                    not c[4]
+                    or evaluator.view.stable_prober_source(pred) is c[2]
+                )
+            ):
+                probe = c[1]
+            else:
+                probe = evaluator.prober(pred, cols)
+                cell = None
+                if metrics.ACTIVE is None:
+                    view = evaluator.view
+                    source = view.stable_prober_source(pred)
+                    if (
+                        source is not None
+                        and source.index_on(cols) is not None
+                    ):
+                        cell = (
+                            evaluator,
+                            probe,
+                            source,
+                            source.index_epoch,
+                            not view.probers_stable,
+                        )
             out: List[Regs] = []
             append = out.append
             for regs in batch:
@@ -348,7 +384,7 @@ def _negation_step(
         # foreign / aggregate negation: route through the evaluator's
         # generic literal machinery (rare; not worth a specialized step)
         variables = tuple(
-            (var, slot_of[var]) for var in sorted(literal.variables(), key=repr)
+            (var, slot_of[var]) for var in ordered_variables(literal.variables())
         )
         positive = PredLiteral(literal.pred, literal.args)
 
@@ -466,7 +502,7 @@ class ClausePlan:
     :class:`UnsafeClauseError` otherwise.
     """
 
-    __slots__ = ("clause", "steps", "slot_of", "n_slots", "_emit")
+    __slots__ = ("clause", "steps", "slot_of", "n_slots", "_emit", "fused")
 
     def __init__(
         self,
@@ -474,12 +510,16 @@ class ClausePlan:
         steps: Tuple[Step, ...],
         slot_of: Dict[Variable, int],
         emit: Tuple,
+        fused: int = 0,
     ) -> None:
         self.clause = clause
         self.steps = steps
         self.slot_of = dict(slot_of)
         self.n_slots = len(slot_of)
         self._emit = emit
+        # number of base literals folded into a WCOJ kernel step
+        # (0 = pure pairwise probe chain); read by last_check_stats()
+        self.fused = fused
 
     def execute(self, evaluator, seeds: List[Regs]) -> List[Regs]:
         """Run every seed register list through all steps."""
@@ -505,20 +545,108 @@ class ClausePlan:
             for regs in batch
         ]
 
+    def emit_row(self, regs: Regs) -> Row:
+        """The head row for one final register list (higher-order delta
+        materialization emits per-seed, bypassing :meth:`rows`)."""
+        return tuple(
+            regs[value] if is_slot else value for is_slot, value in self._emit
+        )
+
     def __repr__(self) -> str:
         return f"ClausePlan({self.clause!r}, steps={len(self.steps)})"
+
+
+def _fusion_group(
+    clause: HornClause, program: Program, bound_vars: Sequence[Variable]
+) -> Tuple[int, Set[int]]:
+    """Which body literals to fuse into one WCOJ kernel step.
+
+    Returns ``(first_index, member_indexes)`` — the kernel replaces the
+    candidate at ``first_index`` and absorbs every later member — or
+    ``(-1, set())`` when the clause should stay on the pairwise chain.
+
+    Eligible members are positive, non-delta reads of *base* predicates
+    (tries mirror stored relations only) that still have free variables
+    at the group's position and share at least one free variable with
+    the rest of the group (the connected component of the first
+    candidate).  The group itself must have >= 3 members: for a single
+    join (two relations) the pairwise chain IS worst-case optimal —
+    every intermediate binding it enumerates is an output row, so the
+    AGM gap the kernel closes only opens at three or more relations,
+    and fusing a pair would pay the kernel's per-level constants for
+    nothing (measured: +23% on the inventory steady state).
+    """
+    body = clause.body
+    relational = sum(
+        1
+        for lit in body
+        if isinstance(lit, PredLiteral) and not lit.negated
+    )
+    if relational < 3:
+        return -1, set()
+
+    candidates: List[Tuple[int, frozenset]] = []
+    bound_sim = set(bound_vars)
+    for index, literal in enumerate(body):
+        if (
+            isinstance(literal, PredLiteral)
+            and not literal.negated
+            and literal.delta is None
+            and isinstance(program.predicate(literal.pred), BasePredicate)
+        ):
+            candidates.append((index, literal.variables()))
+        elif not candidates:
+            # a safely ordered body binds every variable it has touched
+            # by the time later literals need it, so everything before
+            # the first candidate counts as bound for freeness purposes
+            bound_sim |= literal.variables()
+    if len(candidates) < 2:
+        return -1, set()
+
+    first = candidates[0][0]
+    free_of = {
+        index: frozenset(vars_ - bound_sim) for index, vars_ in candidates
+    }
+    pool = [index for index, _ in candidates if free_of[index]]
+    if not pool or pool[0] != first:
+        # the anchor candidate is a pure membership probe; hoisting
+        # later literals over it buys nothing — stay pairwise
+        return -1, set()
+    members = {first}
+    group_free = set(free_of[first])
+    grew = True
+    while grew:
+        grew = False
+        for index in pool:
+            if index not in members and free_of[index] & group_free:
+                members.add(index)
+                group_free |= free_of[index]
+                grew = True
+    if len(members) < 3:
+        return -1, set()
+    return first, members
 
 
 def compile_plan(
     clause: HornClause,
     program: Program,
     bound_vars: Sequence[Variable] = (),
+    wcoj: bool = False,
 ) -> ClausePlan:
     """Compile ``clause`` (body pre-ordered) into a :class:`ClausePlan`.
 
     ``bound_vars`` are guaranteed bound before execution starts; their
     registers come first so callers can seed them (the batched negative
     guard seeds the head variables from each candidate row).
+
+    With ``wcoj=True`` the compiler cost-selects between the pairwise
+    probe chain and a fused worst-case-optimal kernel
+    (:func:`repro.objectlog.join.compile_wcoj_step`): clauses with >= 3
+    relational literals whose base reads share free join variables get
+    the kernel; everything else (2-way joins, negative guards, bodies
+    dominated by derived/foreign predicates) keeps the pairwise chain.
+    Only new-state evaluation may pass ``wcoj=True`` — tries mirror the
+    stored relations, not the rolled-back old state.
     """
     slot_of: Dict[Variable, int] = {}
 
@@ -530,7 +658,7 @@ def compile_plan(
 
     bound: Set[int] = {slot(var) for var in bound_vars}
     for literal in clause.body:
-        for var in sorted(literal.variables(), key=lambda v: v.name):
+        for var in ordered_variables(literal.variables()):
             slot(var)
     for arg in clause.head.args:
         if isinstance(arg, Variable) and arg not in slot_of:
@@ -538,9 +666,31 @@ def compile_plan(
                 f"head variable {arg!r} of {clause!r} never occurs in the body"
             )
 
+    fused_first, fused_members = (-1, set())
+    if wcoj:
+        fused_first, fused_members = _fusion_group(clause, program, bound_vars)
+
     steps: List[Step] = []
-    for literal in clause.body:
-        steps.append(_compile_literal(literal, program, slot_of, bound))
+    fused = 0
+    for index, literal in enumerate(clause.body):
+        if index == fused_first:
+            from repro.objectlog.join import compile_wcoj_step
+
+            group = [clause.body[i] for i in sorted(fused_members)]
+            steps.append(compile_wcoj_step(group, slot_of, bound))
+            fused = len(group)
+        elif index in fused_members:
+            continue
+        else:
+            steps.append(_compile_literal(literal, program, slot_of, bound))
+
+    reg = metrics.ACTIVE
+    if reg is not None and wcoj:
+        if fused:
+            reg.counter("join.plans_wcoj").inc()
+            reg.histogram("join.fused_literals").observe(fused)
+        else:
+            reg.counter("join.plans_pairwise").inc()
 
     emit = tuple(
         (True, slot_of[arg]) if isinstance(arg, Variable) else (False, arg)
@@ -551,7 +701,7 @@ def compile_plan(
             raise UnsafeClauseError(
                 f"head variable of {clause!r} still unbound after the body"
             )
-    return ClausePlan(clause, tuple(steps), slot_of, emit)
+    return ClausePlan(clause, tuple(steps), slot_of, emit, fused)
 
 
 def _compile_literal(

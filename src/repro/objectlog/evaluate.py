@@ -19,6 +19,7 @@ a mapping of delta-sets for delta-marked literals.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import (
     Callable,
     Dict,
@@ -55,6 +56,14 @@ from repro.obs import metrics
 Row = Tuple
 _EMPTY_DELTA = DeltaSet()
 
+#: how many resolved ``(pred, columns) -> prober`` closures one
+#: evaluator retains (LRU).  A propagator keeps its evaluators alive
+#: across transactions, and every compiled plan step resolves its own
+#: probe column set — unbounded, a long-lived engine over a wide rule
+#: network would pin one closure (and its index) per step forever.
+#: Mirrors ``AUTO_INDEX_BUDGET`` in :mod:`repro.storage.relation`.
+PROBER_CACHE_BUDGET = 64
+
 
 class Evaluator:
     """Evaluates clauses and queries against one database state.
@@ -72,6 +81,14 @@ class Evaluator:
     memoize:
         Cache derived-predicate extensions within this evaluator's
         lifetime.  Safe because an evaluator sees one immutable state.
+    compile_derived:
+        Answer derived-predicate probes through compiled
+        :class:`~repro.objectlog.batch.ClausePlan` chains instead of
+        the interpretive generator path.  Compilation is amortized
+        over the evaluator's lifetime (plans survive :meth:`reset`),
+        so only long-lived evaluators — the batch propagator keeps one
+        pair across all transactions — should opt in; a fresh
+        evaluator per edge would pay compilation per probe.
     """
 
     def __init__(
@@ -80,19 +97,31 @@ class Evaluator:
         view: StateView,
         deltas: Optional[Mapping[str, DeltaSet]] = None,
         memoize: bool = True,
+        compile_derived: bool = False,
     ) -> None:
         self.program = program
         self.view = view
         self.deltas = dict(deltas or {})
         self.memoize = memoize
+        self.compile_derived = compile_derived
         self._memo: Dict[Tuple, FrozenSet[Row]] = {}
         self._stack: Set[str] = set()
+        #: compiled plans per (derived predicate, bound positions):
+        #: ``(name, cols) -> (clauses, n_clauses, [plan, ...] | None)``
+        #: — the definition's clause list identity AND length are kept
+        #: for revalidation (clauses are only ever appended in place,
+        #: so a redefined/extended function must not reuse stale
+        #: plans); ``None`` records an uncompilable definition so the
+        #: interpretive fallback is taken without retrying compilation
+        #: per probe
+        self._derived_plans: Dict[Tuple, Tuple[List, int, Optional[List]]] = {}
         #: per-delta key indexes: (pred, sign, columns) -> {key: [rows]}
         self._delta_indexes: Dict[Tuple, Dict[Tuple, List[Row]]] = {}
         #: resolved ``key -> rows`` probe callables per (pred, columns),
         #: valid for this evaluator's lifetime because its view reads
-        #: one immutable state (see :meth:`StateView.prober`)
-        self.prober_cache: Dict[Tuple, Callable] = {}
+        #: one immutable state (see :meth:`StateView.prober`); bounded
+        #: LRU — resolve through :meth:`prober`, not directly
+        self.prober_cache: "OrderedDict[Tuple, Callable]" = OrderedDict()
 
     def reset(self) -> None:
         """Forget all state tied to one database snapshot: memoized
@@ -104,8 +133,19 @@ class Evaluator:
             self._memo.clear()
         if self._delta_indexes:
             self._delta_indexes.clear()
-        if self.prober_cache:
-            self.prober_cache.clear()
+        if self.prober_cache and not self.view.probers_stable:
+            # snapshot-bound probers (old state, replicas) die with the
+            # snapshot — except entries that read a live relation (an
+            # old view serves untouched relations straight from the
+            # database): those carry a source and revalidate against
+            # stable_prober_source on every hit (see prober())
+            cache = self.prober_cache
+            stale = [key for key, entry in cache.items() if entry[2] is None]
+            if len(stale) == len(cache):
+                cache.clear()
+            else:
+                for key in stale:
+                    del cache[key]
 
     def set_deltas(self, deltas: Optional[Mapping[str, DeltaSet]]) -> None:
         """Swap the delta-sets this evaluator reads for delta literals.
@@ -132,6 +172,69 @@ class Evaluator:
         self.deltas = {pred: delta}
         if self._delta_indexes:
             self._delta_indexes.clear()
+
+    def prober(self, pred: str, cols: Tuple[int, ...]) -> Callable:
+        """The view's ``key -> rows`` probe for ``pred`` over ``cols``,
+        memoized under the :data:`PROBER_CACHE_BUDGET` LRU.
+
+        On a live view (``view.probers_stable``) entries outlive
+        :meth:`reset` — re-resolving every check phase cost ~10% of the
+        steady-state batch check.  A hit revalidates against the source
+        relation's ``index_epoch`` (index/trie create + evict), whether
+        an index has appeared for a previously scan-resolved probe, and
+        whether metrics were on or off at resolution time (metered
+        probes route through ``HashIndex.probe`` so accounting stays
+        exact; unmetered ones read buckets directly).
+
+        Snapshot-bound views keep only their *dynamically stable*
+        entries: an old-state prober for a relation the rollback delta
+        does not touch reads the live relation, so it survives too and
+        re-checks ``stable_prober_source`` — whether the relation is
+        STILL untouched — on every hit.
+        """
+        cache = self.prober_cache
+        cache_key = (pred, cols)
+        entry = cache.get(cache_key)
+        reg = metrics.ACTIVE
+        if entry is not None:
+            probe, metered, source, epoch, unindexed, dynamic = entry
+            if metered == (reg is not None) and (
+                source is None
+                or (
+                    source.index_epoch == epoch
+                    and not (unindexed and len(source) > 8)
+                    and (
+                        not dynamic
+                        or self.view.stable_prober_source(pred) is source
+                    )
+                )
+            ):
+                cache.move_to_end(cache_key)
+                if reg is not None:
+                    reg.counter("evaluate.prober_cache.hits").inc()
+                return probe
+        if reg is not None:
+            reg.counter("evaluate.prober_cache.misses").inc()
+        view = self.view
+        probe = view.prober(pred, cols)
+        source = view.stable_prober_source(pred)
+        if source is not None:
+            entry = (
+                probe,
+                reg is not None,
+                source,
+                source.index_epoch,
+                source.index_on(cols) is None,
+                not view.probers_stable,
+            )
+        else:
+            entry = (probe, reg is not None, None, 0, False, False)
+        cache[cache_key] = entry
+        if len(cache) > PROBER_CACHE_BUDGET:
+            cache.popitem(last=False)
+            if reg is not None:
+                reg.counter("evaluate.prober_cache.evictions").inc()
+        return probe
 
     def delta_rows(self, pred: str, sign: str) -> FrozenSet[Row]:
         """One side of a predicate's delta-set (empty when absent)."""
@@ -524,28 +627,115 @@ class Evaluator:
             return self._memo[memo_key]
         self._stack.add(definition.name)
         try:
+            plans = (
+                self._derived_plans_for(definition, bound)
+                if self.compile_derived
+                else None
+            )
             out: Set[Row] = set()
-            for clause in definition.clauses:
-                renamed = clause.rename_apart()
-                call_env: Env = {}
-                compatible = True
-                for position, value in bound:
-                    head_arg = renamed.head.args[position]
-                    if isinstance(head_arg, Variable):
-                        if head_arg in call_env and call_env[head_arg] != value:
+            if plans is not None:
+                for plan in plans:
+                    regs = self._derived_seed(plan, bound)
+                    if regs is None:
+                        continue
+                    emit_row = plan.emit_row
+                    for solved in plan.execute(self, [regs]):
+                        out.add(emit_row(solved))
+                result = frozenset(out)
+            else:
+                for clause in definition.clauses:
+                    renamed = clause.rename_apart()
+                    call_env: Env = {}
+                    compatible = True
+                    for position, value in bound:
+                        head_arg = renamed.head.args[position]
+                        if isinstance(head_arg, Variable):
+                            if (
+                                head_arg in call_env
+                                and call_env[head_arg] != value
+                            ):
+                                compatible = False
+                                break
+                            call_env[head_arg] = value
+                        elif head_arg != value:
                             compatible = False
                             break
-                        call_env[head_arg] = value
-                    elif head_arg != value:
-                        compatible = False
-                        break
-                if not compatible:
-                    continue
-                for row in self.solve_clause(renamed, call_env):
-                    out.add(row)
-            result = frozenset(out)
+                    if not compatible:
+                        continue
+                    for row in self.solve_clause(renamed, call_env):
+                        out.add(row)
+                result = frozenset(out)
         finally:
             self._stack.discard(definition.name)
         if memo_key is not None:
             self._memo[memo_key] = result
         return result
+
+    def _derived_plans_for(
+        self,
+        definition: DerivedPredicate,
+        bound: Tuple[Tuple[int, object], ...],
+    ) -> Optional[List]:
+        """Compiled plans for ``definition`` probed with ``bound``
+        positions pinned, compiled once per (predicate, bound shape)
+        and reused for the evaluator's lifetime.  ``None`` means the
+        definition cannot be statically ordered/compiled under this
+        binding pattern (falls back to the interpretive path)."""
+        cols = tuple(position for position, _ in bound)
+        key = (definition.name, cols)
+        entry = self._derived_plans.get(key)
+        if (
+            entry is not None
+            and entry[0] is definition.clauses
+            and entry[1] == len(definition.clauses)
+        ):
+            return entry[2]
+        from repro.objectlog.batch import compile_plan
+        from repro.objectlog.optimize import order_body
+
+        plans: Optional[List] = []
+        try:
+            for clause in definition.clauses:
+                bound_vars = []
+                for position in cols:
+                    arg = clause.head.args[position]
+                    if isinstance(arg, Variable) and arg not in bound_vars:
+                        bound_vars.append(arg)
+                ordered = order_body(clause.body, self.program, bound_vars)
+                plans.append(
+                    compile_plan(
+                        HornClause(clause.head, tuple(ordered)),
+                        self.program,
+                        bound_vars,
+                    )
+                )
+        except (UnsafeClauseError, ObjectLogError):
+            plans = None
+        self._derived_plans[key] = (
+            definition.clauses,
+            len(definition.clauses),
+            plans,
+        )
+        return plans
+
+    @staticmethod
+    def _derived_seed(plan, bound) -> Optional[List]:
+        """One seed register list for ``plan`` with the bound head
+        positions pinned, or ``None`` when the binding is incompatible
+        with the clause head (constant mismatch, or one head variable
+        bound to two different values)."""
+        regs: List = [None] * plan.n_slots
+        slot_of = plan.slot_of
+        head_args = plan.clause.head.args
+        for position, value in bound:
+            arg = head_args[position]
+            if isinstance(arg, Variable):
+                slot = slot_of[arg]
+                current = regs[slot]
+                if current is None:
+                    regs[slot] = value
+                elif current != value:
+                    return None
+            elif arg != value:
+                return None
+        return regs

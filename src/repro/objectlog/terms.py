@@ -179,3 +179,14 @@ def variables_of(terms: Iterable[Term]) -> FrozenSet[Variable]:
         if isinstance(term, Variable):
             out.add(term)
     return frozenset(out)
+
+
+def ordered_variables(variables: Iterable[Variable]) -> "list[Variable]":
+    """Variables in the one canonical (name) order.
+
+    Every compile-time walk over a variable *set* must use this, never
+    ad-hoc ``sorted(..., key=repr)`` / ``key=str`` variants: plans are
+    compiled independently in every process (server workers, shard
+    forks, replicas) and must come out identical everywhere.
+    """
+    return sorted(variables, key=lambda v: v.name)

@@ -95,6 +95,8 @@ class IncrementalEngine(MonitoringEngine):
         negatives: bool = True,
         guard_negatives: bool = True,
         batch: bool = True,
+        wcoj: bool = True,
+        higher_order: bool = True,
     ) -> None:
         self.db = db
         self.program = program
@@ -105,7 +107,13 @@ class IncrementalEngine(MonitoringEngine):
         #: batched negative guards); False selects the legacy
         #: tuple-at-a-time reference path
         self.batch = batch
-        self.network = PropagationNetwork(program, negatives=negatives)
+        #: WCOJ kernel selection for multi-way new-state differentials
+        self.wcoj = wcoj
+        #: budgeted second-order differentials on eligible edges
+        self.higher_order = higher_order
+        self.network = PropagationNetwork(
+            program, negatives=negatives, wcoj=wcoj, higher_order=higher_order
+        )
         self._propagator = Propagator(
             program, db, self.network,
             guard_negatives=guard_negatives, batch=batch,
@@ -113,7 +121,10 @@ class IncrementalEngine(MonitoringEngine):
         self._influents: Dict[str, FrozenSet[str]] = {}
 
     def rebuild(self, conditions: Mapping[str, FrozenSet[str]]) -> None:
-        self.network = PropagationNetwork(self.program, negatives=self.negatives)
+        self.network = PropagationNetwork(
+            self.program, negatives=self.negatives,
+            wcoj=self.wcoj, higher_order=self.higher_order,
+        )
         for condition in sorted(conditions):
             self.network.add_condition(condition, keep=self.shared_nodes)
         self._propagator = Propagator(
@@ -195,12 +206,15 @@ class HybridEngine(MonitoringEngine):
         switch_ratio: float = 0.2,
         shared_nodes: FrozenSet[str] = frozenset(),
         batch: bool = True,
+        wcoj: bool = True,
+        higher_order: bool = True,
     ) -> None:
         self.db = db
         self.program = program
         self.switch_ratio = switch_ratio
         self._incremental = IncrementalEngine(
-            db, program, shared_nodes=shared_nodes, batch=batch
+            db, program, shared_nodes=shared_nodes, batch=batch,
+            wcoj=wcoj, higher_order=higher_order,
         )
         self._influents: Dict[str, FrozenSet[str]] = {}
         #: how each condition was handled last time (for tests/reporting)

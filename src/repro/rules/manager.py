@@ -92,6 +92,8 @@ class RuleManager:
         processing: str = "deferred",
         observe: bool = False,
         batch: bool = True,
+        wcoj: bool = True,
+        higher_order: bool = True,
         shards: int = 1,
         shard_options: Optional[Dict] = None,
     ) -> None:
@@ -112,6 +114,11 @@ class RuleManager:
         #: shared evaluators, batched guards); False falls back to the
         #: legacy tuple-at-a-time reference engine
         self.batch = batch
+        #: WCOJ kernel selection for multi-way join differentials
+        #: (incremental/hybrid/sharded engines; repro.objectlog.join)
+        self.wcoj = wcoj
+        #: budgeted second-order differentials for hot network edges
+        self.higher_order = higher_order
         self.explain = explain
         #: collect per-commit metrics/spans (see repro.obs); read the
         #: results via last_check_stats / last_check_trace
@@ -145,12 +152,14 @@ class RuleManager:
                 shared_nodes=shared_nodes,
                 negatives=negatives,
                 batch=batch,
+                wcoj=wcoj,
+                higher_order=higher_order,
                 **(shard_options or {}),
             )
         elif mode == "incremental":
             self.engine = IncrementalEngine(
                 db, program, shared_nodes=shared_nodes, negatives=negatives,
-                batch=batch,
+                batch=batch, wcoj=wcoj, higher_order=higher_order,
             )
         elif mode == "naive":
             self.engine = NaiveEngine(db, program)
@@ -161,6 +170,8 @@ class RuleManager:
                 switch_ratio=hybrid_switch_ratio,
                 shared_nodes=shared_nodes,
                 batch=batch,
+                wcoj=wcoj,
+                higher_order=higher_order,
             )
         else:
             raise RuleError(f"unknown monitoring mode {mode!r}")
@@ -501,6 +512,23 @@ class RuleManager:
             "probe_ratio": probes / (probes + scans) if probes + scans else None,
             "wavefront_peak": gauges.get("propagation.wavefront_peak", {}).get(
                 "max", 0
+            ),
+            # join kernels (docs/PERFORMANCE.md "Join kernels"): WCOJ
+            # kernel activity, trie index maintenance, and the
+            # second-order differential memo's hit economy
+            "wcoj_kernel_runs": counters.get("join.kernel_runs", 0),
+            "wcoj_kernel_emits": counters.get("join.kernel_emits", 0),
+            "trie_builds": counters.get("join.trie_builds", 0),
+            "trie_evictions": counters.get("join.trie_evictions", 0),
+            "ho_hits": counters.get("join.ho_hits", 0),
+            "ho_misses": counters.get("join.ho_misses", 0),
+            "ho_invalidations": counters.get("join.ho_invalidations", 0),
+            "ho_disabled": counters.get("join.ho_disabled", 0),
+            "prober_cache_hits": counters.get(
+                "evaluate.prober_cache.hits", 0
+            ),
+            "prober_cache_misses": counters.get(
+                "evaluate.prober_cache.misses", 0
             ),
         }
         return stats

@@ -110,12 +110,21 @@ class PropagationNetwork:
         program: Program,
         negatives: bool = True,
         optimize: bool = True,
+        wcoj: bool = True,
+        higher_order: bool = True,
     ) -> None:
         self.program = program
         self.negatives = negatives
         #: statically pre-order differential bodies at compile time (the
         #: paper's per-differential query optimization, section 1)
         self.optimize = optimize
+        #: let the plan compiler fuse multi-way joins into a
+        #: worst-case-optimal kernel (new-state differentials only;
+        #: see repro.objectlog.join)
+        self.wcoj = wcoj
+        #: attach budgeted second-order differentials to eligible
+        #: new-state edges (see repro.rules.differentials)
+        self.higher_order = higher_order
         self.nodes: Dict[str, NetworkNode] = {}
         self._edges: Dict[Tuple[str, str], NetworkEdge] = {}
         self._bottom_up: Optional[List[NetworkNode]] = None
@@ -205,21 +214,35 @@ class PropagationNetwork:
         a set-at-a-time :class:`~repro.objectlog.batch.ClausePlan`
         (compile once at activation, execute every transaction).  Falls
         back to the dynamic scheduler when no safe static order
-        exists."""
+        exists.
+
+        With :attr:`wcoj` the compiler cost-selects the WCOJ kernel for
+        multi-way new-state bodies (old-state differentials stay on the
+        pairwise chain — tries mirror the live relations); with
+        :attr:`higher_order` eligible new-state edges additionally get
+        a budgeted second-order differential memo.
+        """
         from repro.errors import UnsafeClauseError
         from repro.objectlog.batch import compile_plan
+        from repro.rules.differentials import maybe_higher_order
 
         try:
             ordered = order_clause(differential.clause, self.program)
         except UnsafeClauseError:
             return differential
+        wcoj = self.wcoj and differential.state == "new"
         try:
-            plan = compile_plan(ordered, self.program)
+            plan = compile_plan(ordered, self.program, wcoj=wcoj)
         except UnsafeClauseError:  # pragma: no cover - ordered bodies compile
             plan = None
-        return dataclasses.replace(
+        out = dataclasses.replace(
             differential, clause=ordered, static=True, plan=plan
         )
+        if plan is not None and self.higher_order:
+            ho = maybe_higher_order(out, self.program, wcoj=wcoj)
+            if ho is not None:
+                out = dataclasses.replace(out, ho=ho)
+        return out
 
     def _edge(self, source: NetworkNode, target: NetworkNode) -> NetworkEdge:
         key = (source.name, target.name)

@@ -139,8 +139,12 @@ class Propagator:
         # section — constant per-run cost is paid under the lock)
         self._new_view = NewStateView(db)
         self._old_view = OldStateView(db, {})
-        self._new_eval = Evaluator(program, self._new_view)
-        self._old_eval = Evaluator(program, self._old_view)
+        # compile_derived: sub-derivations (e.g. the running example's
+        # threshold function probed once per differential row) run as
+        # compiled plans too; the plans amortize over the propagator's
+        # lifetime, which a per-edge legacy evaluator cannot do
+        self._new_eval = Evaluator(program, self._new_view, compile_derived=True)
+        self._old_eval = Evaluator(program, self._old_view, compile_derived=True)
 
     def run(
         self,
@@ -303,18 +307,30 @@ class Propagator:
         tr=None,
     ) -> None:
         span = tr.begin(f"edge:{differential.label()}") if tr is not None else None
+        input_rows = (
+            source_delta.plus
+            if differential.input_sign == "+"
+            else source_delta.minus
+        )
         if self.batch:
             evaluator = new_eval if differential.state == "new" else old_eval
-            evaluator.set_delta(differential.influent, source_delta)
-            plan = differential.plan
-            if plan is not None:
-                produced = frozenset(plan.rows(evaluator))
+            ho = differential.ho
+            if ho is not None and ho.worthwhile():
+                # second-order differential: repeat delta rows answer
+                # from the memo, misses batch through the residual plan
+                # (which reads no delta literal, so no set_delta here)
+                produced = ho.rows(evaluator, input_rows)
             else:
-                produced = frozenset(
-                    evaluator.solve_clause(
-                        differential.clause, static=differential.static
+                evaluator.set_delta(differential.influent, source_delta)
+                plan = differential.plan
+                if plan is not None:
+                    produced = frozenset(plan.rows(evaluator))
+                else:
+                    produced = frozenset(
+                        evaluator.solve_clause(
+                            differential.clause, static=differential.static
+                        )
                     )
-                )
         else:
             evaluator = Evaluator(
                 self.program,
@@ -348,11 +364,6 @@ class Propagator:
                 cancelled = self._merge(target, DeltaSet(produced, ()))
             else:
                 cancelled = self._merge(target, DeltaSet((), produced))
-        input_rows = (
-            source_delta.plus
-            if differential.input_sign == "+"
-            else source_delta.minus
-        )
         if reg is not None:
             reg.counter("propagation.edges_fired").inc()
             reg.counter("propagation.tuples_in").inc(len(input_rows))

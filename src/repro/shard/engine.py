@@ -73,6 +73,8 @@ class ShardedEngine(IncrementalEngine):
         shared_nodes: FrozenSet[str] = frozenset(),
         negatives: bool = True,
         batch: bool = True,
+        wcoj: bool = True,
+        higher_order: bool = True,
         key_columns: Optional[Mapping] = None,
         wave_timeout: Optional[float] = 120.0,
     ) -> None:
@@ -92,6 +94,8 @@ class ShardedEngine(IncrementalEngine):
             negatives=negatives,
             guard_negatives=True,
             batch=batch,
+            wcoj=wcoj,
+            higher_order=higher_order,
         )
         self.shards = int(shards)
         self.wave_timeout = wave_timeout

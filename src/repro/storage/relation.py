@@ -42,6 +42,8 @@ class BaseRelation:
         "_indexes",
         "_auto_indexes",
         "_probers",
+        "_tries",
+        "_auto_tries",
         "_frozen",
         "version",
         "index_epoch",
@@ -52,6 +54,12 @@ class BaseRelation:
     #: must not accumulate an unbounded set of maintained indexes).
     #: Explicitly created indexes are pinned and never counted/evicted.
     AUTO_INDEX_BUDGET = 8
+
+    #: per-relation cap on automatically created trie indexes (the WCOJ
+    #: kernels request one trie per literal column order; same LRU
+    #: discipline as the hash indexes, separate budget because a trie
+    #: is heavier to maintain than a bucket dict)
+    TRIE_INDEX_BUDGET = 4
 
     def __init__(
         self,
@@ -80,6 +88,12 @@ class BaseRelation:
         #: resolved direct-probe callables per column set (index-backed
         #: only; dropped when the backing index is evicted)
         self._probers: Dict[Tuple[int, ...], object] = {}
+        #: trie indexes per column order (WCOJ kernels), maintained
+        #: eagerly alongside the hash indexes; empty for the vast
+        #: majority of relations, so mutation paths guard on truthiness
+        self._tries: Dict[Tuple[int, ...], object] = {}
+        #: auto-created trie orders in least-recently-used-first order
+        self._auto_tries: "OrderedDict[Tuple[int, ...], None]" = OrderedDict()
         #: copy-on-write cache: the frozenset handed to snapshots; None
         #: while the relation has changed since it was last frozen
         self._frozen: Optional[FrozenSet[Row]] = frozenset()
@@ -110,6 +124,9 @@ class BaseRelation:
         self.version += 1
         for index in self._indexes.values():
             index.add(row)
+        if self._tries:
+            for trie in self._tries.values():
+                trie.add(row)
         return True
 
     def delete(self, row: Row) -> bool:
@@ -122,6 +139,9 @@ class BaseRelation:
         self.version += 1
         for index in self._indexes.values():
             index.remove(row)
+        if self._tries:
+            for trie in self._tries.values():
+                trie.remove(row)
         return True
 
     def clear(self) -> None:
@@ -131,6 +151,9 @@ class BaseRelation:
         self._rows.clear()
         for index in self._indexes.values():
             index.clear()
+        if self._tries:
+            for trie in self._tries.values():
+                trie.clear()
 
     # -- indexes ----------------------------------------------------------------
 
@@ -169,6 +192,59 @@ class BaseRelation:
                 if reg is not None:
                     reg.counter("index.evictions").inc()
         return index
+
+    def trie_index(self, order: Sequence[int], auto: bool = False):
+        """Create (or return the existing) trie index over ``order``.
+
+        ``order`` must be a permutation of all columns (the trie nests
+        one level per column).  ``auto=True`` marks the trie as
+        kernel-requested: it counts against :attr:`TRIE_INDEX_BUDGET`
+        and the least recently used auto trie is evicted on overflow —
+        the same discipline :meth:`create_index` applies under
+        :attr:`AUTO_INDEX_BUDGET`.  Eviction bumps :attr:`index_epoch`
+        so any cached resolution revalidates.
+        """
+        # imported here: repro.objectlog.join imports repro.obs only,
+        # but the storage layer must not import objectlog at module
+        # scope (objectlog sits above storage in the layering)
+        from repro.objectlog.join import TrieIndex
+
+        key = tuple(order)
+        existing = self._tries.get(key)
+        if existing is not None:
+            if auto:
+                if key in self._auto_tries:
+                    self._auto_tries.move_to_end(key)
+            else:
+                self._auto_tries.pop(key, None)  # promote to pinned
+            return existing
+        if sorted(key) != list(range(self.arity)):
+            raise SchemaError(
+                f"relation {self.name!r}: trie order {key!r} is not a "
+                f"permutation of its {self.arity} columns"
+            )
+        trie = TrieIndex(key)
+        trie.bulk_load(self._rows)
+        self._tries[key] = trie
+        self.index_epoch += 1
+        reg = metrics.ACTIVE
+        if reg is not None:
+            reg.counter("join.trie_builds").inc()
+            reg.counter("join.trie_build_rows").inc(len(self._rows))
+            reg.histogram("join.trie_build_size").observe(len(self._rows))
+        if auto:
+            self._auto_tries[key] = None
+            while len(self._auto_tries) > self.TRIE_INDEX_BUDGET:
+                victim, _ = self._auto_tries.popitem(last=False)
+                del self._tries[victim]
+                self.index_epoch += 1
+                if reg is not None:
+                    reg.counter("join.trie_evictions").inc()
+        return trie
+
+    @property
+    def tries(self) -> Dict[Tuple[int, ...], object]:
+        return dict(self._tries)
 
     def index_on(self, columns: Sequence[int]) -> Optional[HashIndex]:
         key = tuple(columns)

@@ -353,3 +353,99 @@ class TestDeltaIndex:
         fresh = ev.delta_index("q", "+", (0,))
         assert fresh is not stale
         assert fresh == {(99,): [(99, 1)]}
+
+
+class TestCompiledDerived:
+    """compile_derived=True answers derived probes through compiled
+    ClausePlans; results must be indistinguishable from the
+    interpretive path (the batch propagator's shared evaluators opt
+    in, so every sub-derivation of a check phase rides on plans)."""
+
+    def build(self):
+        db = Database()
+        q = db.create_relation("q", 2)
+        r = db.create_relation("r", 2)
+        q.bulk_insert([(1, 1), (1, 2), (2, 3)])
+        r.bulk_insert([(1, 10), (2, 20), (3, 30)])
+        program = Program()
+        program.declare_base("q", 2)
+        program.declare_base("r", 2)
+        program.declare_derived("p", 2)
+        program.add_clause(
+            HornClause(
+                PredLiteral("p", (X, Z)),
+                [PredLiteral("q", (X, Y)), PredLiteral("r", (Y, Z))],
+            )
+        )
+        return db, program
+
+    def pair(self):
+        db, program = self.build()
+        view = NewStateView(db)
+        return (
+            Evaluator(program, view, compile_derived=True),
+            Evaluator(program, view),
+        )
+
+    def test_matches_interpretive_path(self):
+        compiled, interpretive = self.pair()
+        definition = compiled.program.predicate("p")
+        for bound in [
+            (),
+            ((0, 1),),
+            ((1, 10),),
+            ((0, 1), (1, 10)),
+            ((0, 9),),
+            ((1, 99),),
+        ]:
+            assert compiled.derived_rows(
+                definition, bound
+            ) == interpretive.derived_rows(definition, bound)
+
+    def test_plans_compiled_once_per_bound_shape(self):
+        compiled, _ = self.pair()
+        definition = compiled.program.predicate("p")
+        compiled.derived_rows(definition, ((0, 1),))
+        entry = compiled._derived_plans[("p", (0,))]
+        compiled.reset()
+        compiled.derived_rows(definition, ((0, 2),))
+        assert compiled._derived_plans[("p", (0,))] is entry
+
+    def test_redefinition_invalidates_plans(self):
+        compiled, _ = self.pair()
+        program = compiled.program
+        definition = program.predicate("p")
+        assert compiled.derived_rows(definition, ((0, 9),)) == frozenset()
+        program.add_clause(
+            HornClause(PredLiteral("p", (X, Y)), [PredLiteral("r", (X, Y))])
+        )
+        # clauses changed: stale plans must not answer the new shape
+        assert (9, None) not in compiled._derived_plans
+        compiled.reset()  # memo, not plans, held the old answer
+        assert compiled.derived_rows(definition, ((0, 3),)) == {(3, 30)}
+
+    def test_constant_head_positions(self):
+        db, program = self.build()
+        program.declare_derived("fixed", 2)
+        program.add_clause(
+            HornClause(
+                PredLiteral("fixed", (1, Y)), [PredLiteral("q", (1, Y))]
+            )
+        )
+        compiled = Evaluator(program, NewStateView(db), compile_derived=True)
+        plain = Evaluator(program, NewStateView(db))
+        definition = program.predicate("fixed")
+        for bound in [(), ((0, 1),), ((0, 2),), ((0, 1), (1, 2))]:
+            assert compiled.derived_rows(
+                definition, bound
+            ) == plain.derived_rows(definition, bound)
+
+    def test_old_state_evaluator_compiles_too(self):
+        db, program = self.build()
+        view = OldStateView(db, {"q": DeltaSet(plus=frozenset({(2, 3)}))})
+        compiled = Evaluator(program, view, compile_derived=True)
+        plain = Evaluator(program, view)
+        definition = program.predicate("p")
+        rows = compiled.derived_rows(definition, ())
+        assert rows == plain.derived_rows(definition, ())
+        assert (2, 30) not in rows  # (2,3) was inserted this txn

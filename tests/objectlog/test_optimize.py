@@ -110,6 +110,62 @@ class TestOrderBody:
         ordered = order_body(body, program, cardinality=sizes.get)
         assert ordered[0].pred == "q"  # the small scan drives the join
 
+    def test_equal_ranks_keep_first_occurrence_order(self, program):
+        """Ties resolve to textual order — reordering must be a pure
+        function of the body, never of iteration incidentals."""
+        body = [PredLiteral("r", (X, Y)), PredLiteral("q", (X, Y))]
+        ordered = order_body(body, program)
+        assert [l.pred for l in ordered] == ["r", "q"]
+        flipped = order_body(list(reversed(body)), program)
+        assert [l.pred for l in flipped] == ["q", "r"]
+
+    def test_delta_ties_broken_by_bound_count(self, program):
+        """Two delta reads: the one probing already-bound variables
+        leads (its delta rows filter hardest)."""
+        body = [
+            PredLiteral("q", (Z, W), delta="+"),
+            PredLiteral("r", (X, Y), delta="+"),
+        ]
+        ordered = order_body(body, program, bound_vars=(X, Y))
+        assert ordered[0].pred == "r"
+
+    def test_foreign_with_partial_inputs_waits(self, program):
+        """f's input is Y; a body binding Y only through the relation
+        read must schedule the read first even though the foreign call
+        has a lower cost class."""
+        body = [
+            PredLiteral("f", (Y, Z)),
+            PredLiteral("q", (X, Y)),
+            Comparison("<", X, 5),
+        ]
+        ordered = order_body(body, program, bound_vars=(X,))
+        preds = [getattr(l, "pred", type(l).__name__) for l in ordered]
+        assert preds.index("q") < preds.index("f")
+
+    def test_order_clause_preserves_head_and_literals(self, program):
+        clause = HornClause(
+            PredLiteral("out", (X, Z)),
+            [
+                Comparison("<", X, 2),
+                PredLiteral("r", (Y, Z)),
+                PredLiteral("q", (X, Y)),
+            ],
+        )
+        ordered = order_clause(clause, program)
+        assert ordered.head == clause.head
+        assert sorted(map(repr, ordered.body)) == sorted(map(repr, clause.body))
+
+    def test_bound_negation_runs_before_fanout(self, program):
+        """Once its variables are bound, negation is a cheap filter and
+        must precede any further relation read."""
+        body = [
+            PredLiteral("r", (Y, Z)),
+            PredLiteral("q", (X, Y), negated=True),
+        ]
+        ordered = order_body(body, program, bound_vars=(X, Y))
+        assert ordered[0].negated
+        assert ordered[1].pred == "r"
+
 
 class TestOrderedEvaluation:
     def test_static_and_dynamic_agree(self, program):

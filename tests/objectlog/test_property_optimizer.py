@@ -99,3 +99,53 @@ class TestOptimizerProperty:
             return
         static = solutions(ordered, static=True)
         assert static == dynamic
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        body=bodies(),
+        q_rows=relation_contents,
+        r_rows=relation_contents,
+        delta_plus=relation_contents,
+        delta_minus=relation_contents,
+    )
+    def test_compiled_plans_preserve_solutions(
+        self, body, q_rows, r_rows, delta_plus, delta_minus
+    ):
+        """The same property one layer up: the compiled plan — pairwise
+        chain AND (where the body fuses) the WCOJ kernel — computes the
+        dynamic scheduler's solutions exactly."""
+        from repro.objectlog.batch import compile_plan
+        from repro.objectlog.clause import HornClause
+        from repro.objectlog.terms import ordered_variables
+
+        db = Database()
+        db.create_relation("q", 2).bulk_insert(q_rows)
+        db.create_relation("r", 2).bulk_insert(r_rows)
+        program = Program()
+        program.declare_base("q", 2)
+        program.declare_base("r", 2)
+        deltas = {
+            "q": DeltaSet(delta_plus - delta_minus, delta_minus - delta_plus),
+            "r": DeltaSet(delta_plus - delta_minus, delta_minus - delta_plus),
+        }
+        try:
+            ordered = order_body(body, program)
+        except UnsafeClauseError:
+            assume(False)
+            return
+        head_vars = tuple(
+            ordered_variables(set().union(*(l.variables() for l in body)))
+        )
+        clause = HornClause(PredLiteral("out", head_vars), ordered)
+        evaluator = Evaluator(program, NewStateView(db), deltas=deltas)
+        try:
+            expected = {
+                tuple(env[v] for v in head_vars)
+                for env in evaluator.solve_body(body, static=False)
+            }
+        except UnsafeClauseError:
+            assume(False)
+            return
+        for wcoj in (False, True):
+            plan = compile_plan(clause, program, wcoj=wcoj)
+            assert set(plan.rows(evaluator)) == expected, f"wcoj={wcoj}"

@@ -40,6 +40,8 @@ create type node;
 create function val(node) -> integer;
 create function tag(node) -> integer;
 create function link(node) -> node;
+create function link2(node) -> node;
+create function link3(node) -> node;
 create function double_val(node n) -> integer as select val(n) * 2;
 create function fanin_total(node g) -> integer as
     select sum(val(m)) for each node m where link(m) = g;
@@ -64,23 +66,42 @@ create rule r_union() as
 create rule r_agg() as
     when for each node g where fanin_total(g) > 6
     do log_agg(g);
+create rule r_tri() as
+    when for each node x, node y, node z
+    where link(x) = y and link2(y) = z and link3(x) = z
+    do log_tri(x, y, z);
+create rule r_quad() as
+    when for each node x, node y, node z
+    where link(x) = y and link2(y) = z and link3(x) = z and val(z) > 3
+    do log_quad(x, y, z);
 activate r_sigma();
 activate r_pi();
 activate r_join();
 activate r_neg();
 activate r_union();
 activate r_agg();
+activate r_tri();
+activate r_quad();
 """
 
-LOGGED_RULES = ("r_sigma", "r_pi", "r_join", "r_neg", "r_union", "r_agg")
+LOGGED_RULES = ("r_sigma", "r_pi", "r_join", "r_neg", "r_union", "r_agg",
+                "r_tri", "r_quad")
+RULE_ARITY = {"r_join": 2, "r_tri": 3, "r_quad": 3}
 
 
-def build(batch):
-    """A fresh monitored incremental database + nodes + firing log."""
-    engine = AmosqlEngine(mode="incremental", explain=True, batch=batch)
+def build(batch, **engine_options):
+    """A fresh monitored incremental database + nodes + firing log.
+
+    ``engine_options`` flow through to the rule manager — the WCOJ
+    oracle passes ``wcoj``/``higher_order`` to build the A and B
+    engines of the same calculus.
+    """
+    engine = AmosqlEngine(
+        mode="incremental", explain=True, batch=batch, **engine_options
+    )
     fired = []
     for rule in LOGGED_RULES:
-        arity = 2 if rule == "r_join" else 1
+        arity = RULE_ARITY.get(rule, 1)
         engine.amos.create_procedure(
             f"log_{rule[2:]}",
             tuple("node" for _ in range(arity)),
@@ -101,14 +122,14 @@ def apply_ops(amos, nodes, ops):
             amos.set_value("val", [nodes[op[1]]], op[2])
         elif kind == "tag":
             amos.set_value("tag", [nodes[op[1]]], op[2])
-        elif kind == "link":
-            amos.set_value("link", [nodes[op[1]]], nodes[op[2]])
+        elif kind in ("link", "link2", "link3"):
+            amos.set_value(kind, [nodes[op[1]]], nodes[op[2]])
         elif kind == "clear_val":
             amos.clear_value("val", [nodes[op[1]]])
         elif kind == "clear_tag":
             amos.clear_value("tag", [nodes[op[1]]])
-        elif kind == "clear_link":
-            amos.clear_value("link", [nodes[op[1]]])
+        elif kind in ("clear_link", "clear_link2", "clear_link3"):
+            amos.clear_value(kind[len("clear_"):], [nodes[op[1]]])
 
 
 _AUX_NAME = re.compile(r"_not_\d+")
@@ -177,9 +198,13 @@ operation = st.one_of(
     st.tuples(st.just("val"), node_ids, values),
     st.tuples(st.just("tag"), node_ids, values),
     st.tuples(st.just("link"), node_ids, node_ids),
+    st.tuples(st.just("link2"), node_ids, node_ids),
+    st.tuples(st.just("link3"), node_ids, node_ids),
     st.tuples(st.just("clear_val"), node_ids),
     st.tuples(st.just("clear_tag"), node_ids),
     st.tuples(st.just("clear_link"), node_ids),
+    st.tuples(st.just("clear_link2"), node_ids),
+    st.tuples(st.just("clear_link3"), node_ids),
 )
 transactions = st.lists(
     st.tuples(st.lists(operation, min_size=1, max_size=6), st.booleans()),
@@ -266,6 +291,63 @@ class TestEngineEquivalence:
             saw_guard_drop = saw_guard_drop or any(
                 dropped for _, dropped, _ in bat_log
             )
+
+
+class TestWcojEquivalence:
+    """A/B oracle for the join kernels: the WCOJ + higher-order path
+    and the pure pairwise chain are two executors of the same partial
+    differencing calculus — identical condition deltas, guard
+    decisions, and rule firings on every workload, multi-way joins
+    included (``r_tri``/``r_quad`` fuse; the rest stay pairwise)."""
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(workload=transactions)
+    def test_wcoj_matches_pairwise_chain(self, workload):
+        opt_engine, opt_nodes, opt_fired = build(
+            batch=True, wcoj=True, higher_order=True
+        )
+        ref_engine, ref_nodes, ref_fired = build(
+            batch=True, wcoj=False, higher_order=False
+        )
+        assert opt_nodes == ref_nodes
+
+        for ops, commits in workload:
+            for amos, nodes in (
+                (opt_engine.amos, opt_nodes),
+                (ref_engine.amos, ref_nodes),
+            ):
+                amos.begin()
+                apply_ops(amos, nodes, ops)
+                if commits:
+                    amos.commit()
+                else:
+                    amos.rollback()
+            if not commits:
+                continue
+
+            opt_report = report_digest(opt_engine.amos.rules.last_report)
+            ref_report = report_digest(ref_engine.amos.rules.last_report)
+            assert opt_report == ref_report
+            assert opt_fired == ref_fired
+
+    def test_multiway_rules_actually_fuse(self):
+        """The oracle is vacuous if no plan takes the kernel path —
+        pin that the triangle/quad differentials fused and carry a
+        higher-order memo."""
+        engine, _, _ = build(batch=True, wcoj=True, higher_order=True)
+        network = engine.amos.rules.engine.network
+        fused_plans = 0
+        memos = 0
+        for edge in network.edges():
+            for d in edge.differentials():
+                if d.plan is not None and d.plan.fused:
+                    fused_plans += 1
+                if d.ho is not None:
+                    memos += 1
+                    if d.state == "new":
+                        assert d.influent not in d.ho.support
+        assert fused_plans > 0
+        assert memos > 0
 
 
 class TestInventoryEquivalence:

@@ -31,6 +31,7 @@ from hypothesis import given, settings, strategies as st
 from tests.oracle.test_engine_equivalence import (
     N_NODES,
     RULES,
+    RULE_ARITY,
     SCHEMA,
     LOGGED_RULES,
     _normalizer,
@@ -56,7 +57,7 @@ def build(shards):
     engine.amos.storage.publish_snapshot()
     fired = []
     for rule in LOGGED_RULES:
-        arity = 2 if rule == "r_join" else 1
+        arity = RULE_ARITY.get(rule, 1)
         engine.amos.create_procedure(
             f"log_{rule[2:]}",
             tuple("node" for _ in range(arity)),

@@ -1,0 +1,309 @@
+"""Tests for budgeted higher-order deltas (repro.rules.differentials).
+
+The second-order differential memoizes ``delta row -> head rows`` per
+hot edge, validated by a version snapshot of the support relations.
+Covered here: eligibility (who gets a memo and who must not), the memo
+economy (hits, misses, wholesale invalidation, LRU budget), unification
+short-circuits, and end-to-end equivalence under churn against an
+engine with higher-order disabled.
+"""
+
+import pytest
+
+from repro.algebra.delta import DeltaSet
+from repro.algebra.oldstate import NewStateView
+from repro.objectlog.clause import HornClause
+from repro.objectlog.evaluate import Evaluator
+from repro.objectlog.literals import Comparison, PredLiteral
+from repro.objectlog.program import Program
+from repro.objectlog.terms import Variable
+from repro.obs import metrics
+from repro.rules import differentials as diff_mod
+from repro.rules.differentials import (
+    HO_BUDGET,
+    generate_differentials,
+    maybe_higher_order,
+)
+from repro.rules.network import PropagationNetwork
+from repro.storage.database import Database
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+def make_program(extra=()):
+    program = Program()
+    for name in ("e1", "e2", "e3"):
+        program.declare_base(name, 2)
+    for declare in extra:
+        declare(program)
+    return program
+
+
+def triangle_differentials(program, negatives=True):
+    clause = HornClause(
+        PredLiteral("tri", (X, Y, Z)),
+        [
+            PredLiteral("e1", (X, Y)),
+            PredLiteral("e2", (Y, Z)),
+            PredLiteral("e3", (X, Z)),
+        ],
+    )
+    return generate_differentials(
+        "tri", [clause], frozenset(("e1", "e2", "e3")), negatives=negatives
+    )
+
+
+def optimized_network(program, body, name="cond", **options):
+    program.declare_derived(name, 3)
+    program.add_clause(HornClause(PredLiteral(name, (X, Y, Z)), list(body)))
+    network = PropagationNetwork(program, **options)
+    network.add_condition(name)
+    return network
+
+
+def ho_for(network, influent, sign="+"):
+    for edge in network.edges():
+        for d in edge.differentials():
+            if d.influent == influent and d.input_sign == sign and d.state == "new":
+                return d
+    raise AssertionError(f"no +new differential for {influent}")
+
+
+TRIANGLE = [
+    PredLiteral("e1", (X, Y)),
+    PredLiteral("e2", (Y, Z)),
+    PredLiteral("e3", (X, Z)),
+]
+
+
+class TestEligibility:
+    def test_new_state_triangle_edges_qualify(self):
+        network = optimized_network(make_program(), TRIANGLE)
+        for influent in ("e1", "e2", "e3"):
+            d = ho_for(network, influent)
+            assert d.ho is not None
+            assert influent not in d.ho.support
+
+    def test_old_state_differentials_never_memoize(self):
+        network = optimized_network(make_program(), TRIANGLE)
+        for edge in network.edges():
+            for d in edge.differentials():
+                if d.state == "old":
+                    assert d.ho is None
+
+    def test_self_join_influent_in_support_ineligible(self):
+        """Every occurrence of a self-joined relation re-reads it: the
+        memo would invalidate on each wave, so no memo is built."""
+        program = Program()
+        program.declare_base("e", 2)
+        body = [
+            PredLiteral("e", (X, Y)),
+            PredLiteral("e", (Y, Z)),
+            PredLiteral("e", (X, Z)),
+        ]
+        program.declare_derived("cond", 3)
+        program.add_clause(HornClause(PredLiteral("cond", (X, Y, Z)), body))
+        network = PropagationNetwork(program)
+        network.add_condition("cond")
+        for edge in network.edges():
+            for d in edge.differentials():
+                assert d.ho is None
+
+    def test_foreign_support_ineligible(self):
+        def declare(program):
+            program.declare_foreign("f", 2, 1, lambda x: [(x,)])
+
+        program = make_program((declare,))
+        body = [
+            PredLiteral("e1", (X, Y)),
+            PredLiteral("e2", (Y, Z)),
+            PredLiteral("f", (Z, X)),
+        ]
+        network = optimized_network(program, body)
+        for influent in ("e1", "e2"):
+            assert ho_for(network, influent).ho is None
+
+    def test_pure_selection_ineligible(self):
+        """A single-literal body has an empty residual: nothing to
+        memoize (the delta rows themselves are the answer)."""
+        program = Program()
+        program.declare_base("e1", 2)
+        for d in generate_differentials(
+            "sel",
+            [HornClause(
+                PredLiteral("sel", (X, Y)),
+                [PredLiteral("e1", (X, Y)), Comparison("<", Y, 5)],
+            )],
+            frozenset(("e1",)),
+        ):
+            assert maybe_higher_order(d, program) is None
+
+    def test_network_flag_disables_higher_order(self):
+        network = optimized_network(
+            make_program(), TRIANGLE, higher_order=False
+        )
+        for edge in network.edges():
+            for d in edge.differentials():
+                assert d.ho is None
+
+
+class TriangleFixture:
+    def setup_method(self):
+        self.db = Database()
+        self.program = make_program()
+        for name in ("e1", "e2", "e3"):
+            self.db.create_relation(name, 2)
+        self.db.relation("e2").bulk_insert([(1, 2), (1, 3), (5, 6)])
+        self.db.relation("e3").bulk_insert([(0, 2), (0, 3)])
+        self.network = optimized_network(self.program, TRIANGLE)
+        self.ho = ho_for(self.network, "e1").ho
+        assert self.ho is not None
+
+    def evaluator(self):
+        return Evaluator(self.program, NewStateView(self.db))
+
+
+class TestMemoEconomy(TriangleFixture):
+    def test_miss_then_hit(self):
+        with metrics.collecting() as reg:
+            first = self.ho.rows(self.evaluator(), [(0, 1)])
+            second = self.ho.rows(self.evaluator(), [(0, 1)])
+        assert first == second == frozenset({(0, 1, 2), (0, 1, 3)})
+        counters = reg.counters()
+        assert counters["join.ho_misses"] == 1
+        assert counters["join.ho_hits"] == 1
+
+    def test_batched_misses_run_one_plan_execution(self):
+        with metrics.collecting() as reg:
+            out = self.ho.rows(self.evaluator(), [(0, 1), (4, 5), (9, 9)])
+        assert out == frozenset({(0, 1, 2), (0, 1, 3)})
+        assert reg.counters()["evaluate.batch_runs"] == 1
+        assert reg.counters()["join.ho_misses"] == 3
+
+    def test_support_change_invalidates_wholesale(self):
+        evaluator = self.evaluator()
+        assert self.ho.rows(evaluator, [(0, 1)])
+        self.db.relation("e2").insert((1, 7))
+        self.db.relation("e3").insert((0, 7))
+        with metrics.collecting() as reg:
+            out = self.ho.rows(self.evaluator(), [(0, 1)])
+        assert out == frozenset({(0, 1, 2), (0, 1, 3), (0, 1, 7)})
+        counters = reg.counters()
+        assert counters["join.ho_invalidations"] == 1
+        assert counters["join.ho_misses"] == 1
+        assert "join.ho_hits" not in counters
+
+    def test_non_support_change_keeps_memo(self):
+        evaluator = self.evaluator()
+        self.ho.rows(evaluator, [(0, 1)])
+        # e1 is the influent, not support: its churn must NOT invalidate
+        self.db.relation("e1").insert((8, 8))
+        with metrics.collecting() as reg:
+            self.ho.rows(self.evaluator(), [(0, 1)])
+        assert reg.counters()["join.ho_hits"] == 1
+        assert "join.ho_invalidations" not in reg.counters()
+
+    def test_budget_evicts_lru(self, monkeypatch):
+        monkeypatch.setattr(diff_mod, "HO_BUDGET", 4)
+        evaluator = self.evaluator()
+        with metrics.collecting() as reg:
+            for k in range(6):
+                self.ho.rows(evaluator, [(k, k + 100)])
+        assert len(self.ho._memo) == 4
+        assert reg.counters()["join.ho_evictions"] == 2
+        assert (0, 100) not in self.ho._memo
+        assert HO_BUDGET > 4  # the real budget is untouched
+
+    def test_probation_retires_cold_memo(self, monkeypatch):
+        """An edge whose delta rows never repeat pays pure memo
+        bookkeeping — after the probation window with a near-zero hit
+        rate the memo retires and the dispatcher's worthwhile() gate
+        routes the edge back to its ordinary plan."""
+        monkeypatch.setattr(diff_mod, "HO_PROBATION", 8)
+        evaluator = self.evaluator()
+        for k in range(8):  # 8 lookups, all misses
+            assert self.ho.worthwhile()
+            self.ho.rows(evaluator, [(k, k + 100)])
+        with metrics.collecting() as reg:
+            assert not self.ho.worthwhile()
+        assert self.ho.dead
+        assert len(self.ho._memo) == 0
+        assert reg.counters()["join.ho_disabled"] == 1
+        # retirement is permanent and the counter fires once
+        with metrics.collecting() as reg:
+            assert not self.ho.worthwhile()
+        assert "join.ho_disabled" not in reg.counters()
+
+    def test_probation_spares_hot_memo(self, monkeypatch):
+        """Hits above the 1/HO_DISABLE_FACTOR floor keep the memo."""
+        monkeypatch.setattr(diff_mod, "HO_PROBATION", 8)
+        evaluator = self.evaluator()
+        for _ in range(10):  # one miss, then nine hits
+            self.ho.rows(evaluator, [(0, 1)])
+        assert self.ho.worthwhile()
+        assert not self.ho.dead
+
+    def test_non_unifying_rows_memoized_empty(self):
+        """A delta row failing the occurrence's argument pattern is a
+        definitive empty result — memoized without running the plan."""
+        program = Program()
+        program.declare_base("e1", 2)
+        program.declare_base("e2", 2)
+        body = [PredLiteral("e1", (X, X)), PredLiteral("e2", (X, Y))]
+        program.declare_derived("c", 2)
+        program.add_clause(HornClause(PredLiteral("c", (X, Y)), body))
+        network = PropagationNetwork(program)
+        network.add_condition("c")
+        ho = ho_for(network, "e1").ho
+        assert ho is not None
+        db = Database()
+        db.create_relation("e1", 2)
+        db.create_relation("e2", 2).bulk_insert([(3, 4)])
+        evaluator = Evaluator(program, NewStateView(db))
+        with metrics.collecting() as reg:
+            out = ho.rows(evaluator, [(1, 2), (3, 3)])
+        assert out == frozenset({(3, 4)})
+        assert "evaluate.batch_runs" in reg.counters()
+        assert ho._memo[(1, 2)] == frozenset()
+
+
+class TestChurnEquivalence:
+    """End to end: an engine with memos under churn produces exactly
+    the condition deltas of an engine without them."""
+
+    def build(self, higher_order):
+        from repro.rules.engines import IncrementalEngine
+
+        db = Database()
+        program = make_program()
+        for name in ("e1", "e2", "e3"):
+            db.create_relation(name, 2)
+        db.relation("e2").bulk_insert([(y, y + 1) for y in range(6)])
+        db.relation("e3").bulk_insert([(x, z) for x in range(6) for z in range(6)])
+        program.declare_derived("tri", 3)
+        program.add_clause(HornClause(PredLiteral("tri", (X, Y, Z)), TRIANGLE))
+        engine = IncrementalEngine(db, program, higher_order=higher_order)
+        engine.rebuild({"tri": frozenset(("e1", "e2", "e3"))})
+        return db, engine
+
+    def test_oscillating_updates_match(self):
+        db_a, engine_a = self.build(higher_order=True)
+        db_b, engine_b = self.build(higher_order=False)
+        rows = [(0, 1), (2, 3), (4, 5)]
+        script = []
+        for _ in range(3):  # churn: same rows in and out, wave after wave
+            script.append({"e1": DeltaSet(plus=rows)})
+            script.append({"e1": DeltaSet(minus=rows)})
+        with metrics.collecting() as reg:
+            for deltas in script:
+                for db in (db_a, db_b):
+                    relation = db.relation("e1")
+                    for row in deltas["e1"].plus:
+                        relation.insert(row)
+                    for row in deltas["e1"].minus:
+                        relation.delete(row)
+                got_a = engine_a.process(deltas)
+                got_b = engine_b.process(deltas)
+                assert got_a == got_b
+        # the memo must actually have been exercised by the churn
+        assert reg.counters().get("join.ho_hits", 0) > 0
