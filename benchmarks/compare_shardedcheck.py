@@ -14,6 +14,13 @@ CI's bench-regression gate for the sharded check phase, in two parts:
   ``meta.speedup_bar`` (1.5x, the ISSUE-8 acceptance).  On narrower
   hosts the bar is reported as informational — there is nothing to
   propagate in parallel on.
+* **small-transaction bar** — the ISSUE-10 acceptance: with the
+  adaptive ``policy="auto"`` default, a pooled engine's churn and
+  steady cost must stay within ``meta.small_txn_bar`` (1.1x) of the
+  serial engine's, on ANY host — tiny commits route serial and never
+  touch the pool, so core count is irrelevant.  Gated from the FRESH
+  run's intra-run ratios (``small_txn_ratio_churn`` / ``_steady``,
+  measured with interleaved trials to cancel ambient noise).
 
 Usage::
 
@@ -90,6 +97,23 @@ def main(argv=None):
                 f"sharded speedup {speedup:.2f}x below the {bar:.1f}x bar "
                 f"on a {cpus}-cpu host"
             )
+
+    small_bar = meta.get("small_txn_bar")
+    if small_bar is not None:
+        for shape in ("churn", "steady"):
+            ratio = meta.get(f"small_txn_ratio_{shape}")
+            if ratio is None:
+                failures.append(f"small_txn_ratio_{shape} missing from meta")
+                continue
+            print(
+                f"  shards4/shards1 {shape} overhead: {ratio:.2f}x "
+                f"[gated, bar {small_bar:.1f}x]"
+            )
+            if ratio > small_bar:
+                failures.append(
+                    f"pooled {shape} overhead {ratio:.2f}x over serial "
+                    f"exceeds the {small_bar:.1f}x small-transaction bar"
+                )
 
     if failures:
         print("\nbench-regression FAILED:")

@@ -72,10 +72,15 @@ class AmosDatabase:
         :meth:`last_check_trace` (see :mod:`repro.obs` and
         ``docs/OBSERVABILITY.md``).
     shards:
-        (via ``manager_options``) fan the check phase out to N forked
-        propagation workers with a merge barrier (:mod:`repro.shard`,
-        ``docs/SHARDING.md``).  The default 1 is bit-for-bit the
-        serial engine; N > 1 requires ``mode="incremental"``.
+        (via ``manager_options``) fan the check phase out to a
+        persistent pool of forked propagation workers with replica
+        sync and a merge barrier (:mod:`repro.shard`,
+        ``docs/SHARDING.md``).  The default ``"auto"`` sizes the fleet
+        from the host's cores (1 — the serial engine bit-for-bit — on
+        single-core hosts or non-incremental modes) and routes each
+        transaction serial or fanned-out adaptively; an explicit
+        integer pins the worker count (> 1 requires
+        ``mode="incremental"``).
     """
 
     def __init__(
@@ -108,8 +113,18 @@ class AmosDatabase:
 
     @property
     def shards(self) -> int:
-        """Worker count of the sharded check phase (1 = serial)."""
+        """Resolved worker count of the sharded check phase (1 = serial)."""
         return self.rules.shards
+
+    def close(self) -> None:
+        """Release long-lived resources: worker pool, attached WAL.
+
+        Safe to call on a database that never forked or attached
+        anything; the database itself stays usable afterwards (a later
+        fanned-out check phase simply re-forks its pool).
+        """
+        self.rules.engine.close_pool()
+        self.detach_wal()
 
     # -- types and objects -------------------------------------------------------
 

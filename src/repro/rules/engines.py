@@ -74,9 +74,18 @@ class MonitoringEngine:
     def finish_phase(self) -> None:
         """The check phase this engine served is over (commit or abort).
 
-        Engines that hold per-phase resources (the sharded engine's
-        forked worker pool) release them here; the manager calls it
-        from the check phase's ``finally``.  Default: nothing to do.
+        Engines that track per-phase state (the sharded engine's
+        per-transaction serial-vs-fanout route) reset it here; the
+        manager calls it from the check phase's ``finally``.  Default:
+        nothing to do.
+        """
+
+    def close_pool(self) -> None:
+        """Release any long-lived worker processes (shutdown, tests).
+
+        The sharded engine's persistent pool survives ``finish_phase``
+        by design (docs/SHARDING.md); this is the explicit teardown.
+        Default: nothing to do.
         """
 
     @property

@@ -19,7 +19,8 @@ The manager owns the whole CA-rule life cycle (paper section 3):
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Tuple
+import os
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Tuple, Union
 
 from repro.algebra.delta import DeltaSet
 from repro.algebra.oldstate import OldStateView
@@ -39,7 +40,28 @@ from repro.storage.database import Database
 
 Row = Tuple
 
-__all__ = ["RuleManager"]
+__all__ = ["RuleManager", "resolve_auto_shards"]
+
+#: ``shards="auto"`` never forks more workers than this, however many
+#: cores the host has (past ~8 the merge barrier and pickle exchange
+#: dominate; pin an explicit count to go wider)
+AUTO_MAX_SHARDS = 8
+
+
+def resolve_auto_shards(mode: str) -> int:
+    """Worker count for ``shards="auto"`` on this host.
+
+    Fan-out needs partial differencing (the partitions ARE the
+    differentials' Δ operands), ``os.fork``, and at least two cores to
+    propagate on; anything else resolves to 1 — the plain serial
+    engine, bit-for-bit.  The adaptive serial-vs-fanout policy
+    (docs/SHARDING.md) then decides per transaction whether the
+    resolved fleet is worth waking at all.
+    """
+    if mode != "incremental" or not hasattr(os, "fork"):
+        return 1
+    cpus = os.cpu_count() or 1
+    return max(1, min(cpus, AUTO_MAX_SHARDS))
 
 
 class RuleManager:
@@ -70,11 +92,18 @@ class RuleManager:
         ``last_check_trace``.  Tees into any globally installed
         registry, so benchmarks can aggregate across commits.
     shards:
-        Fan the check phase out to N forked propagation workers
-        (:mod:`repro.shard`, docs/SHARDING.md); requires
-        ``mode="incremental"``.  1 (the default) is bit-for-bit the
-        serial engine.  ``shard_options`` passes extra keyword
-        arguments (``key_columns``, ``wave_timeout``) through to
+        Fan the check phase out to a persistent pool of N forked
+        propagation workers (:mod:`repro.shard`, docs/SHARDING.md);
+        requires ``mode="incremental"``.  ``"auto"`` (the default)
+        sizes the fleet from the host's core count (1 on single-core
+        hosts, non-incremental modes, and platforms without
+        ``os.fork`` — i.e. bit-for-bit the serial engine there), and
+        the engine's adaptive policy routes each transaction serial or
+        fanned-out from its Δ size and partition spread.  An explicit
+        integer pins the worker count; 1 is always the plain serial
+        engine.  ``shard_options`` passes extra keyword arguments
+        (``policy``, ``auto_min_rows``, ``key_columns``,
+        ``wave_timeout``, ``sync_backlog_limit``) through to
         :class:`~repro.shard.engine.ShardedEngine`.
     """
 
@@ -94,14 +123,20 @@ class RuleManager:
         batch: bool = True,
         wcoj: bool = True,
         higher_order: bool = True,
-        shards: int = 1,
+        shards: Union[int, str] = "auto",
         shard_options: Optional[Dict] = None,
     ) -> None:
         if processing not in ("deferred", "immediate"):
             raise RuleError(f"unknown processing mode {processing!r}")
-        if shards < 1:
+        if shards == "auto":
+            shards = resolve_auto_shards(mode)
+        elif isinstance(shards, str):
+            raise RuleError(
+                f"shards must be a positive integer or 'auto', got {shards!r}"
+            )
+        elif shards < 1:
             raise RuleError(f"need at least one shard, got {shards}")
-        if shards > 1 and mode != "incremental":
+        elif shards > 1 and mode != "incremental":
             raise RuleError(
                 f"sharded check phase requires mode='incremental' "
                 f"(partial differencing partitions; {mode!r} does not)"
@@ -312,8 +347,10 @@ class RuleManager:
                     tracing.uninstall()
                 self.last_check_registry = local_registry
             self._in_check_phase = False
-            # per-phase engine resources (the sharded engine's forked
-            # worker pool) end with the phase, success or abort
+            # per-phase engine state (the sharded engine's sticky
+            # serial-vs-fanout route) resets with the phase; the
+            # persistent worker pool deliberately SURVIVES it and is
+            # re-synced at the next fanned-out phase (docs/SHARDING.md)
             self.engine.finish_phase()
             # pending net changes are per-transaction: a condition that
             # went false and stayed false must not cancel changes of a
@@ -530,6 +567,20 @@ class RuleManager:
             "prober_cache_misses": counters.get(
                 "evaluate.prober_cache.misses", 0
             ),
+            # persistent shard worker pool (docs/SHARDING.md): fork and
+            # respawn activity, replica-sync traffic, and the adaptive
+            # policy's serial-vs-fanout routing for this commit
+            "shard_pool_forks": counters.get("shard.pool.forks", 0),
+            "shard_pool_respawns": counters.get("shard.pool.respawns", 0),
+            "shard_pool_resyncs": counters.get("shard.pool.resyncs", 0),
+            "shard_pool_reuse_hits": counters.get(
+                "shard.pool.reuse_hits", 0
+            ),
+            "shard_pool_sync_bytes": counters.get(
+                "shard.pool.sync_bytes", 0
+            ),
+            "shard_auto_serial": counters.get("shard.auto.serial", 0),
+            "shard_auto_fanout": counters.get("shard.auto.fanout", 0),
         }
         return stats
 

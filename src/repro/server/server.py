@@ -211,6 +211,10 @@ class AmosServer:
         # a restart (or another server) can reopen the same directory
         if self.wal_dir is not None:
             self.amos.detach_wal()
+        # the persistent shard worker pool (docs/SHARDING.md) dies with
+        # the server; a restarted server's first fanned-out commit
+        # forks a fresh fleet from the recovered state
+        self.amos.rules.engine.close_pool()
 
     def serve_forever(self) -> None:
         """Block until :meth:`stop` is called (start()s when needed)."""
@@ -710,6 +714,10 @@ class AmosServer:
             "closed_sessions": self.sessions.recent_closed(),
             "address": list(self.address) if self.address else None,
             "wal": wal.stats() if wal is not None else None,
+            "shard_pool": dict(
+                getattr(self.amos.rules.engine, "pool_stats", None) or {}
+            )
+            or None,
             "replication": (
                 self.replication_hub.subscribers()
                 if self.replication_hub is not None
@@ -746,7 +754,7 @@ def serve(
     idle_timeout: Optional[float] = None,
     group_commit: bool = False,
     wal_dir: Optional[str] = None,
-    shards: int = 1,
+    shards="auto",
     out=None,
 ) -> int:
     """Run a server until interrupted (the ``--serve`` entry point).
@@ -796,7 +804,8 @@ def serve(
     print(
         f"repro server listening on {server.address[0]}:{server.address[1]} "
         f"(mode={mode}, idle_timeout={idle_timeout}, "
-        f"group_commit={group_commit}, wal_dir={wal_dir}, shards={shards})",
+        f"group_commit={group_commit}, wal_dir={wal_dir}, "
+        f"shards={server.amos.shards})",
         file=out,
         flush=True,
     )

@@ -149,6 +149,33 @@ class HashPartitioner:
                 out[name] = piece
         return out
 
+    def spread(
+        self, delta_map: Mapping[str, DeltaSet], limit: Optional[int] = None
+    ) -> int:
+        """How many distinct shards ``delta_map``'s rows route to.
+
+        The auto serial-vs-fanout policy's second input (Δ size is the
+        first, see docs/SHARDING.md): fanning out a wave whose rows all
+        land on one shard buys no parallelism.  With ``limit`` the scan
+        stops as soon as that many shards are seen — the policy only
+        needs "≥ 2", which on mixed keys costs a handful of CRCs.
+        """
+        if self.shards == 1:
+            return 1 if any(
+                delta.plus or delta.minus for delta in delta_map.values()
+            ) else 0
+        seen = set()
+        for name, delta in delta_map.items():
+            for row in delta.plus:
+                seen.add(self.shard_of(name, row))
+                if limit is not None and len(seen) >= limit:
+                    return len(seen)
+            for row in delta.minus:
+                seen.add(self.shard_of(name, row))
+                if limit is not None and len(seen) >= limit:
+                    return len(seen)
+        return len(seen)
+
     def foreign_map(
         self, delta_map: Mapping[str, DeltaSet], shard: int
     ) -> Dict[str, DeltaSet]:

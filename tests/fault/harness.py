@@ -3,10 +3,11 @@
 Production code exposes *named fault points* — ``fault_hook`` seams
 called with a point name at interesting moments (``WriteAheadLog``
 during append/rotation, ``persistence.save`` around the atomic
-rename).  The harness arms ONE of those points and simulates a process
-kill there by raising :class:`InjectedCrash`, which derives from
-``BaseException`` so ordinary ``except Exception`` recovery code
-cannot accidentally "survive" the crash.
+rename, the shard pool's ``sync.*`` replica-sync handshake and
+``exchange.*`` wave exchange).  The harness arms ONE of those points
+and simulates a process kill there by raising :class:`InjectedCrash`,
+which derives from ``BaseException`` so ordinary ``except Exception``
+recovery code cannot accidentally "survive" the crash.
 
 The same :class:`FaultPoint` object records every point it saw, so
 tests can also assert ordering invariants (e.g. fsync before ack)

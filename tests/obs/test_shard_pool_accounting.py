@@ -1,0 +1,164 @@
+"""Accounting consistency for the persistent shard worker pool.
+
+The pool reports through two channels that must not drift:
+
+1. ``engine.pool_stats`` — engine-lifetime totals (forks, respawns,
+   resyncs, sync traffic, reuse hits, discards, auto routing), the
+   source of truth that survives registry swaps;
+2. the metrics registry — ``shard.pool.*`` / ``shard.auto.*`` counters
+   mirrored whenever a registry is active, surfaced per commit by
+   ``last_check_stats()`` and serialized by ``repro.obs.export``.
+
+These tests pin the identities between them and the structural
+invariants (forks = shards + respawns while one pool lives, one resync
+per reused phase, one auto decision per phase) on the inventory
+workload.  ``policy="fanout"`` pins the pooled path except where the
+auto policy itself is under test.
+"""
+
+import gc
+
+import pytest
+
+from repro.bench.workload import build_inventory
+from repro.obs import metrics
+from repro.obs.export import export_run, pool_to_dict
+
+POOL_KEYS = (
+    "forks", "respawns", "resyncs", "sync_bytes",
+    "reuse_hits", "discards",
+)
+AUTO_KEYS = ("auto_serial", "auto_fanout")
+
+
+@pytest.fixture(autouse=True)
+def _reap_pools():
+    yield
+    gc.collect()
+
+
+def pooled_workload(n_items=8, shards=2, policy="fanout", **shard_options):
+    workload = build_inventory(
+        n_items, mode="incremental", explain=True, observe=True,
+        shards=shards,
+        shard_options={"policy": policy, **shard_options},
+    )
+    workload.activate()
+    return workload
+
+
+class TestRegistryMirrorsPoolStats:
+    def test_counters_match_engine_lifetime_stats(self):
+        workload = pooled_workload()
+        engine = workload.amos.rules.engine
+        with metrics.collecting() as registry:
+            workload.touch_one_item(0, below=True)   # fork
+            workload.touch_one_item(1, below=True)   # reuse + sync
+            workload.touch_one_item(2, below=True)   # reuse + sync
+        counters = registry.counters()
+        # one registry spanned the engine's whole life, so the mirror
+        # must agree exactly with the source of truth
+        for key in POOL_KEYS:
+            assert counters.get(f"shard.pool.{key}", 0) == (
+                engine.pool_stats[key]
+            ), key
+        for key in AUTO_KEYS:
+            assert counters.get(f"shard.auto.{key[5:]}", 0) == (
+                engine.pool_stats[key]
+            ), key
+        engine.close_pool()
+
+    def test_structural_identities(self):
+        workload = pooled_workload()
+        engine = workload.amos.rules.engine
+        phases = 4
+        for i in range(phases):
+            workload.touch_one_item(i, below=True)
+        stats = engine.pool_stats
+        # one pool, never discarded: every fork is either the initial
+        # fleet or a respawn
+        assert stats["discards"] == 0
+        assert stats["forks"] == engine.shards + stats["respawns"]
+        # the first phase forks, every later one reuses and syncs once
+        assert stats["reuse_hits"] == phases - 1
+        assert stats["resyncs"] == phases - 1
+        assert stats["sync_bytes"] > 0
+        assert stats["sync_ms"] > 0.0
+        # fanout policy: every phase was routed, all of them fanned out
+        assert stats["auto_fanout"] == phases
+        assert stats["auto_serial"] == 0
+        engine.close_pool()
+
+    def test_auto_decisions_count_phases(self):
+        workload = pooled_workload(policy="auto", auto_min_rows=4)
+        engine = workload.amos.rules.engine
+        workload.touch_one_item(0, below=True)   # 2 Δ rows: serial
+        workload.massive_change(-1)              # 16 Δ rows: fanout
+        workload.touch_one_item(1, below=True)   # serial again
+        stats = engine.pool_stats
+        assert stats["auto_serial"] == 2
+        assert stats["auto_fanout"] == 1
+        assert stats["auto_serial"] + stats["auto_fanout"] == 3
+        engine.close_pool()
+
+
+class TestLastCheckStatsDerived:
+    def test_derived_keys_surface_pool_activity(self):
+        workload = pooled_workload()
+        engine = workload.amos.rules.engine
+        workload.touch_one_item(0, below=True)
+        derived = workload.amos.last_check_stats()["derived"]
+        # the forking commit: workers forked, nothing reused yet
+        assert derived["shard_pool_forks"] == engine.shards
+        assert derived["shard_pool_resyncs"] == 0
+        assert derived["shard_auto_fanout"] == 1
+
+        workload.touch_one_item(1, below=True)
+        derived = workload.amos.last_check_stats()["derived"]
+        # the reusing commit: no forks in THIS window, one sync
+        assert derived["shard_pool_forks"] == 0
+        assert derived["shard_pool_resyncs"] == 1
+        assert derived["shard_pool_reuse_hits"] == 1
+        assert derived["shard_pool_sync_bytes"] > 0
+        engine.close_pool()
+
+    def test_serial_engine_reports_zeroes(self):
+        workload = build_inventory(
+            4, mode="incremental", explain=True, observe=True, shards=1
+        )
+        workload.activate()
+        workload.touch_one_item(0, below=True)
+        derived = workload.amos.last_check_stats()["derived"]
+        assert derived["shard_pool_forks"] == 0
+        assert derived["shard_pool_resyncs"] == 0
+        assert derived["shard_auto_fanout"] == 0
+
+
+class TestExport:
+    def test_export_run_embeds_pool_stats(self, tmp_path):
+        import json
+
+        workload = pooled_workload()
+        engine = workload.amos.rules.engine
+        with metrics.collecting() as registry:
+            workload.touch_one_item(0, below=True)
+            workload.touch_one_item(1, below=True)
+        path = export_run(
+            str(tmp_path / "run.json"), registry=registry, pool=engine
+        )
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["pool"] == pool_to_dict(engine.pool_stats)
+        assert payload["pool"]["forks"] == 2
+        assert payload["pool"]["resyncs"] == 1
+        # and the mirrored counters are in the metrics section too
+        assert payload["metrics"]["counters"]["shard.pool.forks"] == 2
+        engine.close_pool()
+
+    def test_pool_to_dict_accepts_engine_mapping_or_none(self):
+        workload = pooled_workload()
+        engine = workload.amos.rules.engine
+        assert pool_to_dict(None) is None
+        assert pool_to_dict(engine) == dict(engine.pool_stats)
+        assert pool_to_dict(engine.pool_stats) == dict(engine.pool_stats)
+        engine.close_pool()

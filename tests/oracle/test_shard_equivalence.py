@@ -17,6 +17,17 @@ execute the same differentials against partition-sized inputs, so
 input sizes and execution interleaving legitimately differ while every
 observable result agrees.
 
+Since the pool became persistent (docs/SHARDING.md) the same run also
+pins the pool invariants: workers are REUSED across the workload's
+commits (state leaking from one commit into the next would break the
+digests), and a worker killed between commits is respawned via the
+replica-sync handshake with no observable difference from a fresh
+fork — :class:`TestResyncEquivalence` kills one every round.
+
+``policy="fanout"`` is pinned throughout: the oracle's deltas are tiny
+and the default auto policy would route them all serial, testing
+nothing.
+
 The schema is the engine-equivalence oracle's: σ, π, ⋈, ¬, ∪ and an
 aggregate condition, so every differential class crosses the merge
 barrier.  Run size: ``ORACLE_EXAMPLES`` (default 25; CI's oracle job
@@ -24,6 +35,7 @@ runs this file at 200+ with a logged seed, see docs/TESTING.md).
 """
 
 import os
+import signal
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -51,7 +63,10 @@ SHARD_COUNTS = (1, 2, 4)
 
 def build(shards):
     """A monitored incremental database; ``shards=None`` = serial."""
-    options = {} if shards is None else {"shards": shards}
+    options = {} if shards is None else {
+        "shards": shards,
+        "shard_options": {"policy": "fanout"},
+    }
     engine = AmosqlEngine(mode="incremental", explain=True, **options)
     engine.amos.storage.auto_publish = True
     engine.amos.storage.publish_snapshot()
@@ -93,45 +108,126 @@ def observable_digest(engine, normalize):
     ]
 
 
+def close_pools(variants):
+    for engine, _, _ in variants:
+        sharded = engine.amos.rules.engine
+        if isinstance(sharded, ShardedEngine):
+            sharded.close_pool()
+
+
 class TestShardEquivalence:
     @settings(max_examples=MAX_EXAMPLES, deadline=None)
     @given(workload=transactions)
     def test_sharded_matches_serial(self, workload):
         serial_engine, serial_nodes, serial_fired = build(None)
         variants = [build(shards) for shards in SHARD_COUNTS]
-        for engine, nodes, _ in variants:
-            # identical creation order => identical OIDs
-            assert nodes == serial_nodes
-            if engine.amos.shards > 1:
-                assert isinstance(engine.amos.rules.engine, ShardedEngine)
+        try:
+            for engine, nodes, _ in variants:
+                # identical creation order => identical OIDs
+                assert nodes == serial_nodes
+                if engine.amos.shards > 1:
+                    assert isinstance(engine.amos.rules.engine, ShardedEngine)
 
-        for ops, commits in workload:
-            for engine, nodes, _ in [
-                (serial_engine, serial_nodes, serial_fired)
-            ] + variants:
-                engine.amos.begin()
-                apply_ops(engine.amos, nodes, ops)
-                if commits:
-                    engine.amos.commit()
-                else:
-                    engine.amos.rollback()
-            if not commits:
-                continue
+            pooled_pids = {}
+            for ops, commits in workload:
+                for engine, nodes, _ in [
+                    (serial_engine, serial_nodes, serial_fired)
+                ] + variants:
+                    engine.amos.begin()
+                    apply_ops(engine.amos, nodes, ops)
+                    if commits:
+                        engine.amos.commit()
+                    else:
+                        engine.amos.rollback()
+                if not commits:
+                    continue
 
-            serial_digest = observable_digest(serial_engine, _normalizer())
-            serial_snapshot = serial_engine.amos.snapshot_extensions()
-            serial_epoch = serial_engine.amos.snapshot_epoch
-            for shards, (engine, _, fired) in zip(SHARD_COUNTS, variants):
-                label = f"shards={shards}"
-                digest = observable_digest(engine, _normalizer())
-                assert digest == serial_digest, label
-                assert fired == serial_fired, label
+                serial_digest = observable_digest(serial_engine, _normalizer())
+                serial_snapshot = serial_engine.amos.snapshot_extensions()
+                serial_epoch = serial_engine.amos.snapshot_epoch
+                for shards, (engine, _, fired) in zip(SHARD_COUNTS, variants):
+                    label = f"shards={shards}"
+                    digest = observable_digest(engine, _normalizer())
+                    assert digest == serial_digest, label
+                    assert fired == serial_fired, label
+                    assert (
+                        engine.amos.snapshot_extensions() == serial_snapshot
+                    ), label
+                    assert engine.amos.snapshot_epoch == serial_epoch, label
+                    # pool invariant: once forked, the SAME workers
+                    # serve every later commit (reuse, not re-fork) —
+                    # together with the digests above this is the
+                    # no-state-leakage-across-commits check
+                    if shards > 1:
+                        sharded = engine.amos.rules.engine
+                        pids = sharded.pool_pids
+                        if shards in pooled_pids:
+                            assert pids == pooled_pids[shards], label
+                        elif pids:
+                            assert len(pids) == shards, label
+                            pooled_pids[shards] = pids
+
+            for shards, (engine, _, _) in zip(SHARD_COUNTS, variants):
+                if shards > 1:
+                    sharded = engine.amos.rules.engine
+                    assert sharded.pool_stats["respawns"] == 0
+                    # explicit teardown empties the fleet
+                    sharded.close_pool()
+                    assert sharded.pool_pids == []
+        finally:
+            close_pools(variants)
+
+
+class TestResyncEquivalence:
+    """A worker SIGKILLed between commits must be indistinguishable:
+    the handshake respawns it from the leader's memory and syncs it,
+    and every observable of every later commit still matches serial —
+    i.e. resynced-worker ≡ fresh-fork-worker ≡ serial."""
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(workload=transactions, victim=st.integers(min_value=0, max_value=3))
+    def test_killed_and_resynced_workers_match_serial(self, workload, victim):
+        serial_engine, serial_nodes, serial_fired = build(None)
+        engine, nodes, fired = build(2)
+        sharded = engine.amos.rules.engine
+        try:
+            kills = 0
+            dead = set()
+            for ops, commits in workload:
+                # murder one idle worker between commits (skipping one
+                # already killed but not yet healed — an unreaped
+                # zombie accepts SIGKILL silently)
+                pids = sharded.pool_pids
+                if pids and pids[victim % len(pids)] not in dead:
+                    target = pids[victim % len(pids)]
+                    os.kill(target, signal.SIGKILL)
+                    dead.add(target)
+                    kills += 1
+                pre_resyncs = sharded.pool_stats["resyncs"]
+                for eng, nds in (
+                    (serial_engine, serial_nodes), (engine, nodes)
+                ):
+                    eng.amos.begin()
+                    apply_ops(eng.amos, nds, ops)
+                    if commits:
+                        eng.amos.commit()
+                    else:
+                        eng.amos.rollback()
+                if not commits:
+                    continue
+                assert observable_digest(
+                    engine, _normalizer()
+                ) == observable_digest(serial_engine, _normalizer())
+                assert fired == serial_fired
                 assert (
-                    engine.amos.snapshot_extensions() == serial_snapshot
-                ), label
-                assert engine.amos.snapshot_epoch == serial_epoch, label
-
-        # phase hygiene: no worker pool outlives its commit
-        for shards, (engine, _, _) in zip(SHARD_COUNTS, variants):
-            if shards > 1:
-                assert engine.amos.rules.engine.pool_pids == []
+                    engine.amos.snapshot_extensions()
+                    == serial_engine.amos.snapshot_extensions()
+                )
+                # a handshake heals ALL earlier kills by respawning,
+                # never by re-forking the whole fleet; a commit whose
+                # Δ was empty runs no phase and so heals nothing yet
+                if sharded.pool_stats["resyncs"] > pre_resyncs:
+                    assert sharded.pool_stats["respawns"] == kills
+                    assert sharded.pool_stats["forks"] == 2 + kills
+        finally:
+            sharded.close_pool()

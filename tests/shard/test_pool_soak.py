@@ -1,0 +1,107 @@
+"""Pool soak: a seeded random storm of commits, kills, and rollbacks.
+
+One pooled engine (``policy="fanout"``, shards=2) and a serial twin
+replay the same randomly generated script of operations:
+
+* ``churn``  — touch one random item (a tiny two-row commit),
+* ``swing``  — flip one item across the reorder threshold,
+* ``massive``— shift every item's quantity (a wide commit),
+* ``kill``   — SIGKILL a random live worker between commits,
+* ``rollback`` — open a transaction, mutate, roll it back.
+
+After every committed step the pooled database must be bit-identical
+to the serial twin (extensions + rule firings); kills must be healed
+by in-place respawns.  This is the kill-and-resync loop CI runs as its
+pool-soak cell (see .github/workflows/ci.yml) at a *logged* random
+seed — on failure, rerun with ``REPRO_SOAK_SEED=<seed>``.
+
+``REPRO_SOAK_ITERATIONS`` scales the storm (default 40, CI runs more).
+"""
+
+import gc
+import os
+import random
+import signal
+
+import pytest
+
+from repro.bench.workload import build_inventory
+
+N_ITEMS = 10
+ITERATIONS = int(os.environ.get("REPRO_SOAK_ITERATIONS", "40"))
+SEED = os.environ.get("REPRO_SOAK_SEED")
+
+
+@pytest.fixture(autouse=True)
+def _reap_pools():
+    yield
+    gc.collect()
+
+
+def build_pair():
+    pooled = build_inventory(
+        N_ITEMS, mode="incremental", explain=True, shards=2,
+        shard_options={"policy": "fanout"},
+    )
+    serial = build_inventory(N_ITEMS, mode="incremental", explain=True, shards=1)
+    for workload in (pooled, serial):
+        workload.activate()
+    return pooled, serial
+
+
+def test_pool_survives_a_random_storm():
+    seed = int(SEED) if SEED is not None else random.randrange(2**32)
+    print(f"\nREPRO_SOAK_SEED={seed} REPRO_SOAK_ITERATIONS={ITERATIONS}")
+    rng = random.Random(seed)
+    pooled, serial = build_pair()
+    engine = pooled.amos.rules.engine
+    kills = 0
+    try:
+        for step in range(ITERATIONS):
+            op = rng.choice(("churn", "churn", "swing", "massive",
+                             "kill", "rollback"))
+            if op == "kill":
+                pids = engine.pool_pids
+                if pids:
+                    try:
+                        os.kill(pids[rng.randrange(len(pids))], signal.SIGKILL)
+                        kills += 1
+                    except ProcessLookupError:
+                        pass
+                continue
+            if op == "rollback":
+                item = rng.randrange(N_ITEMS)
+                value = rng.randrange(300)
+                for workload in (pooled, serial):
+                    workload.amos.begin()
+                    workload.set_quantity(workload.items[item], value)
+                    workload.amos.rollback()
+            elif op == "churn":
+                item = rng.randrange(N_ITEMS)
+                value = rng.randrange(150, 300)  # stays above threshold
+                for workload in (pooled, serial):
+                    workload.set_quantity(workload.items[item], value)
+            elif op == "swing":
+                item = rng.randrange(N_ITEMS)
+                below = rng.random() < 0.5
+                for workload in (pooled, serial):
+                    workload.touch_one_item(item, below=below)
+            else:  # massive
+                delta = rng.choice((-40, -20, 25, 50))
+                for workload in (pooled, serial):
+                    workload.massive_change(delta)
+            label = f"seed={seed} step={step} op={op}"
+            assert (
+                pooled.amos.snapshot_extensions()
+                == serial.amos.snapshot_extensions()
+            ), label
+            assert (
+                [a for _, a in pooled.orders] == [a for _, a in serial.orders]
+            ), label
+        # kills were healed in place — a discard would mean the pool
+        # paid a full re-fork for a survivable fault
+        stats = engine.pool_stats
+        assert stats["discards"] == 0, f"seed={seed}"
+        assert stats["respawns"] <= kills, f"seed={seed}"
+    finally:
+        engine.close_pool()

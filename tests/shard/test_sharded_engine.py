@@ -1,12 +1,21 @@
 """Integration tests for the sharded check phase (repro.shard.engine).
 
-Covers the wiring the oracle ring does not: pool lifecycle (fork at
-first wave, death at phase end), the shards=1 serial identity, mode
-validation, group commit partitioning the merged batch once, the WAL
-writing ONE commit record regardless of shard count, a single snapshot
-epoch per commit, and the fleet-wide observability counters.
+Covers the wiring the oracle ring does not: the persistent pool's
+lifecycle (fork at the first fanned-out wave, survival across commits,
+replica sync on reuse, explicit teardown), the adaptive
+serial-vs-fanout policy and ``shards="auto"`` resolution, the shards=1
+serial identity, mode validation, group commit syncing once and
+partitioning the merged batch once, the WAL writing ONE commit record
+regardless of shard count, a single snapshot epoch per commit, and the
+fleet-wide observability counters.
+
+Most helpers pin ``policy="fanout"``: the tiny deltas these directed
+tests commit would route serial under the default auto policy, and the
+point here is to exercise the pooled path.  ``TestAutoPolicy`` covers
+the routing itself.
 """
 
+import gc
 import pickle
 
 import pytest
@@ -17,11 +26,25 @@ from repro.amosql.interpreter import AmosqlEngine
 from repro.bench.workload import build_inventory
 from repro.errors import RuleError, ShardError
 from repro.rules.engines import IncrementalEngine
+from repro.rules.manager import resolve_auto_shards
 from repro.shard.engine import ShardedEngine
 
 
-def sharded_inventory(n_items=6, shards=2, **options):
-    workload = build_inventory(n_items, explain=True, shards=shards, **options)
+@pytest.fixture(autouse=True)
+def _reap_pools():
+    """Collect engine↔db listener cycles so pools left behind by a
+    test are closed (ShardPool.__del__) before the next one runs."""
+    yield
+    gc.collect()
+
+
+def sharded_inventory(n_items=6, shards=2, policy="fanout", **options):
+    shard_options = dict(options.pop("shard_options", None) or {})
+    shard_options.setdefault("policy", policy)
+    workload = build_inventory(
+        n_items, explain=True, shards=shards,
+        shard_options=shard_options, **options,
+    )
     workload.activate()
     return workload
 
@@ -90,7 +113,22 @@ class TestSerialEquivalenceSmoke:
 
 
 class TestPoolLifecycle:
-    def test_workers_live_only_during_the_check_phase(self):
+    def test_pool_persists_across_commits(self):
+        workload = sharded_inventory(shards=2)
+        engine = workload.amos.rules.engine
+        assert engine.pool_pids == []  # lazy: no fan-out yet
+        workload.touch_one_item(0, below=True)
+        first = engine.pool_pids
+        assert len(first) == 2
+        # SAME processes serve the next commit — no re-fork
+        workload.touch_one_item(1, below=True)
+        assert engine.pool_pids == first
+        assert engine.pool_stats["forks"] == 2
+        assert engine.pool_stats["reuse_hits"] == 1
+        engine.close_pool()
+        assert engine.pool_pids == []
+
+    def test_pool_is_live_during_the_check_phase(self):
         workload = sharded_inventory(shards=2)
         engine = workload.amos.rules.engine
         seen_pids = []
@@ -109,25 +147,66 @@ class TestPoolLifecycle:
         workload.set_quantity(workload.items[0], -1)
         # the action ran DURING the check phase: the pool was live then
         assert seen_pids and len(seen_pids[0]) == 2
-        # ...and is torn down by the phase's finally
-        assert engine.pool_pids == []
+        # ...and SURVIVES the phase's finally, idling for the next commit
+        assert engine.pool_pids == seen_pids[0]
+        engine.close_pool()
 
-    def test_finish_phase_is_idempotent(self):
+    def test_finish_phase_keeps_the_pool(self):
         workload = sharded_inventory()
         engine = workload.amos.rules.engine
         workload.touch_one_item(0, below=True)
+        pids = engine.pool_pids
         engine.finish_phase()
-        engine.finish_phase()
+        engine.finish_phase()  # idempotent, and the workers idle on
+        assert engine.pool_pids == pids
+        engine.close_pool()
         assert engine.pool_pids == []
 
     def test_rule_toggles_between_commits(self):
         workload = sharded_inventory()
+        engine = workload.amos.rules.engine
         workload.touch_one_item(0, below=True)
-        workload.deactivate()
+        pooled = engine.pool_pids
+        workload.deactivate()  # rebuild: the old network's pool dies
+        assert engine.pool_pids == []
         workload.touch_one_item(1, below=True)  # unmonitored: no order
         workload.activate()
         workload.touch_one_item(2, below=True)
         assert len(workload.orders) == 2
+        # a fresh fleet, not the pre-toggle one
+        assert engine.pool_pids and engine.pool_pids != pooled
+        engine.close_pool()
+
+    def test_rollback_discards_the_pool_lazily(self):
+        # immediate-processing-style phantom waves: simulate by running
+        # a pooled phase inside an explicit txn and rolling it back
+        workload = sharded_inventory(shards=2)
+        engine = workload.amos.rules.engine
+        workload.touch_one_item(0, below=True)
+        pids = engine.pool_pids
+        workload.amos.begin()
+        workload.set_quantity(workload.items[1], 1)
+        workload.amos.rollback()
+        # deferred mode: no waves ran for the aborted txn, pool survives
+        assert engine.pool_pids == pids
+        # but phantom waves WOULD be caught: fake one and watch the
+        # next phase re-fork
+        engine._txn_waves = 1
+        workload.touch_one_item(2, below=True)
+        assert engine.pool_pids != pids
+        assert engine.pool_stats["discards"] >= 1
+        engine.close_pool()
+
+    def test_catalog_change_re_forks_the_pool(self):
+        workload = sharded_inventory(shards=2)
+        engine = workload.amos.rules.engine
+        workload.touch_one_item(0, below=True)
+        pids = engine.pool_pids
+        workload.amos.storage.create_relation("side_table", 2)
+        assert engine._pool_stale
+        workload.touch_one_item(1, below=True)
+        assert engine.pool_pids != pids  # fresh fleet knows the relation
+        engine.close_pool()
 
 
 class TestGroupCommit:
@@ -153,6 +232,28 @@ class TestGroupCommit:
         assert stats["counters"]["shard.waves"] == 1
         assert len(workload.orders) == 3
         workload.amos.detach_wal()
+
+    def test_group_commit_pays_one_sync_per_batch(self):
+        workload = sharded_inventory(shards=2)
+        engine = workload.amos.rules.engine
+        workload.touch_one_item(0, below=True)  # fork the pool
+        assert engine.pool_stats["resyncs"] == 0
+
+        def unit(i):
+            return lambda: workload.set_quantity(workload.items[i], 1)
+
+        outcomes = workload.amos.apply_group([unit(i) for i in range(3)])
+        assert all(o.ok for o in outcomes)
+        # three members, ONE merged check phase, ONE replica sync
+        assert engine.pool_stats["resyncs"] == 1
+        assert engine.pool_stats["reuse_hits"] == 1
+        # and the next batch reuses the same fleet again
+        pids = engine.pool_pids
+        outcomes = workload.amos.apply_group([unit(i) for i in range(3, 5)])
+        assert all(o.ok for o in outcomes)
+        assert engine.pool_pids == pids
+        assert engine.pool_stats["resyncs"] == 2
+        engine.close_pool()
 
 
 class TestDurabilityAndEpochs:
@@ -242,6 +343,130 @@ class TestPickleContract:
         assert clone == wave
 
 
+class TestAutoPolicy:
+    """The per-transaction serial-vs-fanout route (policy='auto')."""
+
+    def test_small_transactions_route_serial(self):
+        workload = sharded_inventory(shards=2, policy="auto")
+        engine = workload.amos.rules.engine
+        workload.touch_one_item(0, below=True)
+        # a two-row Δ is far below auto_min_rows: no fork, no pool
+        assert engine.pool_pids == []
+        assert engine.pool_stats["auto_serial"] == 1
+        assert engine.pool_stats["auto_fanout"] == 0
+        assert len(workload.orders) == 1  # the serial path still fired
+
+    def test_large_spread_transactions_fan_out(self):
+        workload = sharded_inventory(
+            8, shards=2, policy="auto",
+            shard_options={"auto_min_rows": 4},
+        )
+        engine = workload.amos.rules.engine
+        workload.massive_change(-1)  # touches every item: 16 Δ rows
+        assert engine.pool_stats["auto_fanout"] == 1
+        assert len(engine.pool_pids) == 2
+        # ...and the next small commit routes serial on the idle pool
+        workload.touch_one_item(0, below=True)
+        assert engine.pool_stats["auto_serial"] == 1
+        engine.close_pool()
+
+    def test_route_is_sticky_for_the_whole_phase(self):
+        # cascading waves of a serial-routed phase stay serial even if
+        # a later wave is large: the decision is made once, at seeding
+        workload = sharded_inventory(
+            shards=2, policy="auto",
+            shard_options={"auto_min_rows": 10**9},
+        )
+        engine = workload.amos.rules.engine
+        workload.touch_one_item(0, below=True)  # order cascade: 2 waves
+        assert engine.pool_stats["auto_serial"] == 1
+        assert engine.pool_stats["auto_fanout"] == 0
+        assert engine.pool_pids == []
+
+    def test_policy_serial_never_forks(self):
+        workload = sharded_inventory(8, shards=2, policy="serial")
+        engine = workload.amos.rules.engine
+        workload.massive_change(-1)
+        assert engine.pool_pids == []
+        assert engine.pool_stats["forks"] == 0
+
+    def test_auto_shards_resolution(self):
+        # "auto" resolves from the host: 1 on non-fork platforms or
+        # non-incremental modes, min(cpus, 8) otherwise
+        import os
+        resolved = resolve_auto_shards("incremental")
+        if hasattr(os, "fork"):
+            assert 1 <= resolved <= 8
+            assert resolved == min(os.cpu_count() or 1, 8)
+        else:
+            assert resolved == 1
+        assert resolve_auto_shards("naive") == 1
+        assert resolve_auto_shards("hybrid") == 1
+
+    def test_shards_auto_is_the_default(self):
+        engine = AmosqlEngine(mode="incremental")
+        assert engine.amos.shards == resolve_auto_shards("incremental")
+        # naive mode under the default silently resolves to 1 — no error
+        naive = AmosqlEngine(mode="naive")
+        assert naive.amos.shards == 1
+
+    def test_explicit_auto_string_accepted(self):
+        engine = AmosqlEngine(mode="incremental", shards="auto")
+        assert engine.amos.shards == resolve_auto_shards("incremental")
+
+
+class TestReplicaSync:
+    def test_backlog_drains_on_reuse(self):
+        workload = sharded_inventory(shards=2)
+        engine = workload.amos.rules.engine
+        workload.touch_one_item(0, below=True)  # forks the pool
+        # the pooled commit's own net Δ is buffered for the next sync
+        assert len(engine._backlog) == 1
+        workload.touch_one_item(1, below=True)  # ships it, buffers #2
+        assert len(engine._backlog) == 1
+        assert engine.pool_stats["sync_bytes"] > 0
+        assert engine.pool_stats["resyncs"] == 1
+        engine.close_pool()
+
+    def test_backlog_overflow_discards_the_pool(self):
+        workload = sharded_inventory(
+            shards=2, shard_options={"sync_backlog_limit": 2},
+        )
+        engine = workload.amos.rules.engine
+        workload.touch_one_item(0, below=True)  # forks the pool
+        assert engine.pool_pids
+        # route the pool around: serial commits pile up in the backlog
+        engine.policy = "serial"
+        for i in range(3):
+            workload.set_quantity(workload.items[i], 200 + i)
+        # ...until replaying beats re-forking and the pool is dropped
+        assert engine.pool_pids == []
+        assert engine.pool_stats["discards"] == 1
+        # the next fanned-out phase forks a fresh, current fleet
+        engine.policy = "fanout"
+        workload.touch_one_item(0, below=True)
+        assert len(workload.orders) == 2
+        assert engine.pool_pids
+        engine.close_pool()
+
+    def test_sync_is_idempotent_under_set_semantics(self):
+        # rows a worker already applied through waves re-arrive via the
+        # backlog; set semantics make the overlap harmless
+        workload = sharded_inventory(shards=2)
+        serial = build_inventory(6, explain=True, shards=1)
+        serial.activate()
+        for w in (workload, serial):
+            w.touch_one_item(0, below=True)
+            w.touch_one_item(0, below=False)
+            w.touch_one_item(0, below=True)
+        assert (
+            workload.amos.snapshot_extensions()
+            == serial.amos.snapshot_extensions()
+        )
+        assert [a for _, a in workload.orders] == [a for _, a in serial.orders]
+        workload.amos.rules.engine.close_pool()
+
+
 class TestShardErrors:
     def test_engine_rejects_zero_shards(self):
         workload = build_inventory(2)
@@ -249,3 +474,15 @@ class TestShardErrors:
             ShardedEngine(
                 workload.amos.storage, workload.amos.program, shards=0
             )
+
+    def test_engine_rejects_unknown_policy(self):
+        workload = build_inventory(2)
+        with pytest.raises(ShardError):
+            ShardedEngine(
+                workload.amos.storage, workload.amos.program,
+                shards=2, policy="sometimes",
+            )
+
+    def test_manager_rejects_garbage_shard_strings(self):
+        with pytest.raises(RuleError):
+            build_inventory(2, shards="many")
